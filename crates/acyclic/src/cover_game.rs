@@ -1,0 +1,307 @@
+//! The existential 1-cover game of Chen & Dalmau, written `≡∃1c`.
+//!
+//! Theorem 25 of the paper evaluates semantically acyclic CQs under guarded
+//! tgds in polynomial time by checking `chase(q,Σ) ≡∃1c D`, and Lemma 32
+//! shows that for guarded Σ this is equivalent to `q ≡∃1c D`.  We implement
+//! the *winning strategy* characterization of Lemma 28 as a greatest-fixpoint
+//! computation:
+//!
+//! * a candidate for an atom `T(ā)` of the left structure is an atom
+//!   `T(c̄)` of the right structure such that the positional mapping
+//!   `ā ↦ c̄` is a well-defined partial homomorphism respecting the
+//!   distinguished tuples;
+//! * candidates are repeatedly discarded when some other left atom has no
+//!   compatible candidate (condition 2 of Lemma 28);
+//! * the duplicator wins iff every left atom retains at least one candidate
+//!   at the fixpoint.
+//!
+//! The fixpoint runs in time polynomial in `|left| · |right|`, which is what
+//! makes Theorem 25's evaluation algorithm tractable.
+
+use sac_common::{Atom, Term};
+use sac_storage::Instance;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The left-hand side of a cover game: a finite structure given by atoms
+/// (which may contain variables — e.g. a query body) and a distinguished
+/// tuple of its terms.
+#[derive(Debug, Clone)]
+pub struct CoverGameInput<'a> {
+    /// Atoms of the left structure.
+    pub atoms: &'a [Atom],
+    /// Distinguished tuple `t̄` (elements of the left structure).
+    pub tuple: &'a [Term],
+}
+
+/// A candidate assignment for one left atom: the right atom it maps to and
+/// the induced element mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Candidate {
+    mapping: BTreeMap<Term, Term>,
+}
+
+/// Decides `(left, t̄) ≡∃1c (right, t̄')` via the Lemma 28 fixpoint.
+///
+/// Distinguished tuples must have equal length; otherwise the answer is
+/// `false`.
+pub fn cover_equivalent(left: CoverGameInput<'_>, right: &Instance, right_tuple: &[Term]) -> bool {
+    if left.tuple.len() != right_tuple.len() {
+        return false;
+    }
+    // Pinned elements: the i-th component of the left tuple must map to the
+    // i-th component of the right tuple.  If the same left element occurs at
+    // two positions with different right images, the duplicator loses
+    // immediately.
+    let mut pinned: BTreeMap<Term, Term> = BTreeMap::new();
+    for (l, r) in left.tuple.iter().zip(right_tuple.iter()) {
+        match pinned.get(l) {
+            Some(existing) if existing != r => return false,
+            _ => {
+                pinned.insert(*l, *r);
+            }
+        }
+    }
+
+    if left.atoms.is_empty() {
+        return true;
+    }
+
+    // Initial candidate sets.
+    let mut candidates: Vec<Vec<Candidate>> = left
+        .atoms
+        .iter()
+        .map(|atom| initial_candidates(atom, right, &pinned))
+        .collect();
+    if candidates.iter().any(|c| c.is_empty()) {
+        return false;
+    }
+
+    // Greatest fixpoint: discard candidates violating pairwise compatibility.
+    loop {
+        let mut changed = false;
+        for i in 0..left.atoms.len() {
+            let mut kept = Vec::with_capacity(candidates[i].len());
+            'cand: for cand in &candidates[i] {
+                for (j, other_atom) in left.atoms.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let shared: BTreeSet<Term> = left.atoms[i]
+                        .terms()
+                        .intersection(&other_atom.terms())
+                        .copied()
+                        .collect();
+                    let compatible = candidates[j].iter().any(|other| {
+                        shared
+                            .iter()
+                            .all(|t| cand.mapping.get(t) == other.mapping.get(t))
+                    });
+                    if !compatible {
+                        changed = true;
+                        continue 'cand;
+                    }
+                }
+                kept.push(cand.clone());
+            }
+            if kept.is_empty() {
+                return false;
+            }
+            candidates[i] = kept;
+        }
+        if !changed {
+            break;
+        }
+    }
+    true
+}
+
+/// All candidates for a single left atom: right atoms over the same predicate
+/// whose positional mapping is functional, fixes constants, and respects the
+/// pinned elements.
+fn initial_candidates(
+    atom: &Atom,
+    right: &Instance,
+    pinned: &BTreeMap<Term, Term>,
+) -> Vec<Candidate> {
+    let Some(rel) = right.relation(atom.predicate) else {
+        return Vec::new();
+    };
+    if rel.arity() != atom.arity() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    'fact: for fact in rel.iter() {
+        let mut mapping: BTreeMap<Term, Term> = BTreeMap::new();
+        for (l, r) in atom.args.iter().zip(fact.iter()) {
+            // Constants must be preserved (homomorphisms fix constants).
+            if l.is_constant() && l != r {
+                continue 'fact;
+            }
+            if let Some(p) = pinned.get(l) {
+                if p != r {
+                    continue 'fact;
+                }
+            }
+            match mapping.get(l) {
+                Some(existing) if existing != r => continue 'fact,
+                _ => {
+                    mapping.insert(*l, *r);
+                }
+            }
+        }
+        out.push(Candidate { mapping });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::atom;
+    use sac_query::{evaluate_boolean, ConjunctiveQuery};
+
+    fn game<'a>(atoms: &'a [Atom], tuple: &'a [Term]) -> CoverGameInput<'a> {
+        CoverGameInput { atoms, tuple }
+    }
+
+    #[test]
+    fn acyclic_query_true_on_database_wins_the_game() {
+        // q :- E(x,y), E(y,z) on a database with a 2-path.
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "y", var "z"),
+        ])
+        .unwrap();
+        let db = Instance::from_atoms(vec![
+            atom!("E", cst "a", cst "b"),
+            atom!("E", cst "b", cst "c"),
+        ])
+        .unwrap();
+        assert!(cover_equivalent(game(&q.body, &[]), &db, &[]));
+    }
+
+    #[test]
+    fn acyclic_query_false_on_database_loses_the_game() {
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "y", var "z"),
+        ])
+        .unwrap();
+        // Only a single edge: no 2-path.
+        let db = Instance::from_atoms(vec![atom!("E", cst "a", cst "b")]).unwrap();
+        assert!(!cover_equivalent(game(&q.body, &[]), &db, &[]));
+        assert!(!evaluate_boolean(&q, &db));
+    }
+
+    #[test]
+    fn cyclic_query_may_win_on_a_homomorphically_equivalent_db() {
+        // The triangle query wins the 1-cover game on a database containing a
+        // long even cycle IF the query has a homomorphism... here it does not
+        // (no triangle in a 4-cycle), but the cover game is coarser than
+        // homomorphism: the duplicator can win locally.  This is exactly why
+        // the game characterizes *semantically acyclic* evaluation only.
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "y", var "z"),
+            atom!("E", var "z", var "x"),
+        ])
+        .unwrap();
+        let db = Instance::from_atoms(vec![
+            atom!("E", cst "a", cst "b"),
+            atom!("E", cst "b", cst "c"),
+            atom!("E", cst "c", cst "d"),
+            atom!("E", cst "d", cst "a"),
+        ])
+        .unwrap();
+        // The duplicator survives: every pebbled pair extends locally.
+        assert!(cover_equivalent(game(&q.body, &[]), &db, &[]));
+        // Even though the query is actually false on the database.
+        assert!(!evaluate_boolean(&q, &db));
+    }
+
+    #[test]
+    fn distinguished_tuples_must_be_respected() {
+        let q = ConjunctiveQuery::new(
+            vec![sac_common::intern("x")],
+            vec![atom!("E", var "x", var "y")],
+        )
+        .unwrap();
+        let db = Instance::from_atoms(vec![atom!("E", cst "a", cst "b")]).unwrap();
+        let x = Term::variable("x");
+        assert!(cover_equivalent(
+            game(&q.body, &[x]),
+            &db,
+            &[Term::constant("a")]
+        ));
+        assert!(!cover_equivalent(
+            game(&q.body, &[x]),
+            &db,
+            &[Term::constant("b")]
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_of_tuples_is_rejected() {
+        let q = ConjunctiveQuery::boolean(vec![atom!("E", var "x", var "y")]).unwrap();
+        let db = Instance::from_atoms(vec![atom!("E", cst "a", cst "b")]).unwrap();
+        assert!(!cover_equivalent(
+            game(&q.body, &[Term::variable("x")]),
+            &db,
+            &[]
+        ));
+    }
+
+    #[test]
+    fn constants_in_left_atoms_must_be_preserved() {
+        let q = ConjunctiveQuery::boolean(vec![atom!("E", cst "a", var "y")]).unwrap();
+        let db_good = Instance::from_atoms(vec![atom!("E", cst "a", cst "b")]).unwrap();
+        let db_bad = Instance::from_atoms(vec![atom!("E", cst "c", cst "b")]).unwrap();
+        assert!(cover_equivalent(game(&q.body, &[]), &db_good, &[]));
+        assert!(!cover_equivalent(game(&q.body, &[]), &db_bad, &[]));
+    }
+
+    #[test]
+    fn empty_left_structure_always_wins() {
+        let db = Instance::new();
+        assert!(cover_equivalent(game(&[], &[]), &db, &[]));
+    }
+
+    #[test]
+    fn missing_predicate_on_the_right_loses() {
+        let q = ConjunctiveQuery::boolean(vec![atom!("Z", var "x")]).unwrap();
+        let db = Instance::from_atoms(vec![atom!("E", cst "a", cst "b")]).unwrap();
+        assert!(!cover_equivalent(game(&q.body, &[]), &db, &[]));
+    }
+
+    #[test]
+    fn game_agrees_with_evaluation_for_acyclic_queries() {
+        // Proposition 30: for acyclic q, (q, x̄) ≡∃1c (D, t̄) implies t̄ ∈ q(D);
+        // combined with the converse (homomorphism gives a strategy) the game
+        // exactly characterizes evaluation for acyclic queries.
+        let q = ConjunctiveQuery::new(
+            vec![sac_common::intern("x")],
+            vec![
+                atom!("Interest", var "x", var "z"),
+                atom!("Class", var "y", var "z"),
+            ],
+        )
+        .unwrap();
+        let db = Instance::from_atoms(vec![
+            atom!("Interest", cst "alice", cst "jazz"),
+            atom!("Class", cst "kind_of_blue", cst "jazz"),
+            atom!("Interest", cst "bob", cst "opera"),
+        ])
+        .unwrap();
+        let x = Term::variable("x");
+        assert!(cover_equivalent(
+            game(&q.body, &[x]),
+            &db,
+            &[Term::constant("alice")]
+        ));
+        assert!(!cover_equivalent(
+            game(&q.body, &[x]),
+            &db,
+            &[Term::constant("bob")]
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! # sac-acyclic
+//!
+//! Everything about *acyclicity* of conjunctive queries and instances:
+//!
+//! * the **join-tree** data structure (the paper's Section 2 definition of an
+//!   acyclic instance is "admits a join tree"),
+//! * the **GYO reduction**, which decides acyclicity and produces a join tree
+//!   when one exists,
+//! * the **Yannakakis algorithm**, evaluating acyclic CQs in time
+//!   `O(|q|·|D|)` (plus output cost for non-Boolean queries),
+//! * the **Lemma 9 compaction**: from a homomorphism of a CQ `q` into an
+//!   acyclic instance `I`, extract an acyclic CQ `q'` of size `O(|q|)` with
+//!   `q' ⊆ q` and `q'` satisfied in `I` — the small-witness engine behind all
+//!   of the paper's decidability results,
+//! * the **existential 1-cover game** `≡∃1c` of Chen & Dalmau, used by
+//!   Theorem 25 to evaluate semantically acyclic CQs under guarded tgds in
+//!   polynomial time.
+
+pub mod cover_game;
+pub mod gyo;
+pub mod join_tree;
+pub mod lemma9;
+pub mod yannakakis;
+
+pub use cover_game::{cover_equivalent, CoverGameInput};
+pub use gyo::{is_acyclic_atoms, is_acyclic_instance, is_acyclic_query, join_tree_of_atoms};
+pub use join_tree::JoinTree;
+pub use lemma9::compact_acyclic_witness;
+pub use yannakakis::{yannakakis_boolean, yannakakis_evaluate};

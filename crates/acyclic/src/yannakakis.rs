@@ -1,0 +1,387 @@
+//! The Yannakakis algorithm: evaluating acyclic CQs in linear time.
+//!
+//! Given an acyclic CQ and a database, we build a join tree of the query,
+//! compute the match set of every node, run an upward semi-join sweep (and a
+//! downward sweep for non-Boolean queries), and finally enumerate answers
+//! along the reduced tree.  Boolean evaluation is `O(|q|·|D|)` up to hashing;
+//! answer enumeration adds cost proportional to the output.
+
+use crate::gyo::join_tree_of_atoms;
+use crate::join_tree::JoinTree;
+use sac_common::{Atom, Substitution, Symbol, Term};
+use sac_query::ConjunctiveQuery;
+use sac_storage::Instance;
+use std::collections::{BTreeSet, HashSet};
+
+/// The match set of one join-tree node: the distinct variable list of its
+/// atom and the tuples (projections of matching facts onto those variables).
+#[derive(Debug, Clone)]
+struct NodeMatches {
+    vars: Vec<Symbol>,
+    tuples: HashSet<Vec<Term>>,
+}
+
+impl NodeMatches {
+    fn of_atom(atom: &Atom, instance: &Instance) -> NodeMatches {
+        let vars: Vec<Symbol> = {
+            let mut seen = BTreeSet::new();
+            atom.variables_iter()
+                .filter(|v| seen.insert(*v))
+                .collect()
+        };
+        let mut tuples = HashSet::new();
+        if let Some(rel) = instance.relation(atom.predicate) {
+            if rel.arity() == atom.arity() {
+                'tuple: for fact in rel.iter() {
+                    let mut s = Substitution::new();
+                    for (pat, val) in atom.args.iter().zip(fact.iter()) {
+                        match pat {
+                            Term::Variable(v) => {
+                                if !s.bind_var(*v, *val) {
+                                    continue 'tuple;
+                                }
+                            }
+                            rigid => {
+                                if rigid != val {
+                                    continue 'tuple;
+                                }
+                            }
+                        }
+                    }
+                    tuples.insert(vars.iter().map(|v| s.get_var(*v).expect("bound")).collect());
+                }
+            }
+        }
+        NodeMatches { vars, tuples }
+    }
+
+    /// Keeps only tuples that agree with some tuple of `other` on the shared
+    /// variables (a semi-join).  Returns `true` if anything was removed.
+    fn semijoin(&mut self, other: &NodeMatches) -> bool {
+        let shared: Vec<(usize, usize)> = self
+            .vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| other.vars.iter().position(|u| u == v).map(|j| (i, j)))
+            .collect();
+        if shared.is_empty() {
+            // No shared variables: the semi-join only removes everything when
+            // `other` is empty.
+            if other.tuples.is_empty() && !self.tuples.is_empty() {
+                self.tuples.clear();
+                return true;
+            }
+            return false;
+        }
+        let keys: HashSet<Vec<Term>> = other
+            .tuples
+            .iter()
+            .map(|t| shared.iter().map(|(_, j)| t[*j]).collect())
+            .collect();
+        let before = self.tuples.len();
+        self.tuples
+            .retain(|t| keys.contains(&shared.iter().map(|(i, _)| t[*i]).collect::<Vec<_>>()));
+        self.tuples.len() != before
+    }
+}
+
+/// Evaluates an acyclic Boolean CQ with the Yannakakis upward sweep.
+///
+/// Returns `None` if the query is not acyclic (callers should fall back to
+/// the generic evaluator), otherwise `Some(answer)`.
+pub fn yannakakis_boolean(query: &ConjunctiveQuery, instance: &Instance) -> Option<bool> {
+    let tree = join_tree_of_atoms(&query.body)?;
+    let mut matches: Vec<NodeMatches> = query
+        .body
+        .iter()
+        .map(|a| NodeMatches::of_atom(a, instance))
+        .collect();
+    Some(upward_sweep(&tree, &mut matches).is_some())
+}
+
+/// Evaluates an acyclic CQ completely, returning the answer set.
+///
+/// Returns `None` if the query is not acyclic.
+pub fn yannakakis_evaluate(
+    query: &ConjunctiveQuery,
+    instance: &Instance,
+) -> Option<BTreeSet<Vec<Term>>> {
+    let tree = join_tree_of_atoms(&query.body)?;
+    let mut matches: Vec<NodeMatches> = query
+        .body
+        .iter()
+        .map(|a| NodeMatches::of_atom(a, instance))
+        .collect();
+
+    if upward_sweep(&tree, &mut matches).is_none() {
+        return Some(BTreeSet::new());
+    }
+    downward_sweep(&tree, &mut matches);
+
+    // Enumerate answers by a backtracking walk over the (now globally
+    // consistent) reduced match sets, visiting nodes in a root-first order.
+    let order = topological_order(&tree);
+    let mut answers = BTreeSet::new();
+    enumerate(
+        &tree,
+        &matches,
+        &order,
+        0,
+        &mut Substitution::new(),
+        &query.head,
+        &mut answers,
+    );
+    Some(answers)
+}
+
+/// Upward (leaf-to-root) semi-join sweep.  Returns `None` if some node's match
+/// set becomes empty (the query then has no answers).
+fn upward_sweep(tree: &JoinTree, matches: &mut [NodeMatches]) -> Option<()> {
+    let order = topological_order(tree);
+    for &node in order.iter().rev() {
+        for child in tree.children(node) {
+            let child_matches = matches[child].clone();
+            matches[node].semijoin(&child_matches);
+        }
+        if matches[node].tuples.is_empty() {
+            return None;
+        }
+    }
+    Some(())
+}
+
+/// Downward (root-to-leaf) semi-join sweep, making every node consistent with
+/// its parent.
+fn downward_sweep(tree: &JoinTree, matches: &mut [NodeMatches]) {
+    let order = topological_order(tree);
+    for &node in &order {
+        if let Some(parent) = tree.parent[node] {
+            let parent_matches = matches[parent].clone();
+            matches[node].semijoin(&parent_matches);
+        }
+    }
+}
+
+/// Root-first ordering of the nodes (parents before children).
+fn topological_order(tree: &JoinTree) -> Vec<usize> {
+    let mut order = Vec::with_capacity(tree.len());
+    let mut stack = tree.roots();
+    while let Some(n) = stack.pop() {
+        order.push(n);
+        stack.extend(tree.children(n));
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate(
+    tree: &JoinTree,
+    matches: &[NodeMatches],
+    order: &[usize],
+    depth: usize,
+    binding: &mut Substitution,
+    head: &[Symbol],
+    answers: &mut BTreeSet<Vec<Term>>,
+) {
+    if depth == order.len() {
+        let tuple: Vec<Term> = head
+            .iter()
+            .map(|v| binding.apply(Term::Variable(*v)))
+            .collect();
+        if tuple.iter().all(|t| !t.is_variable()) {
+            answers.insert(tuple);
+        }
+        return;
+    }
+    let node = order[depth];
+    let nm = &matches[node];
+    'tuple: for tuple in &nm.tuples {
+        let mut local = binding.clone();
+        for (v, t) in nm.vars.iter().zip(tuple.iter()) {
+            if !local.bind_var(*v, *t) {
+                continue 'tuple;
+            }
+        }
+        enumerate(tree, matches, order, depth + 1, &mut local, head, answers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::{atom, intern};
+    use sac_query::evaluate;
+
+    fn music_db() -> Instance {
+        Instance::from_atoms(vec![
+            atom!("Interest", cst "alice", cst "jazz"),
+            atom!("Interest", cst "bob", cst "rock"),
+            atom!("Class", cst "kind_of_blue", cst "jazz"),
+            atom!("Class", cst "nevermind", cst "rock"),
+            atom!("Owns", cst "alice", cst "kind_of_blue"),
+            atom!("Owns", cst "bob", cst "kind_of_blue"),
+        ])
+        .unwrap()
+    }
+
+    fn acyclic_query() -> ConjunctiveQuery {
+        // q(x, y) :- Interest(x, z), Class(y, z)
+        ConjunctiveQuery::new(
+            vec![intern("x"), intern("y")],
+            vec![
+                atom!("Interest", var "x", var "z"),
+                atom!("Class", var "y", var "z"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn matches_naive_evaluation_on_acyclic_query() {
+        let q = acyclic_query();
+        let db = music_db();
+        let fast = yannakakis_evaluate(&q, &db).expect("query is acyclic");
+        let slow = evaluate(&q, &db);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 2);
+    }
+
+    #[test]
+    fn boolean_variant_agrees() {
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("Interest", var "x", var "z"),
+            atom!("Class", var "y", var "z"),
+        ])
+        .unwrap();
+        assert_eq!(yannakakis_boolean(&q, &music_db()), Some(true));
+        let q2 = ConjunctiveQuery::boolean(vec![
+            atom!("Interest", var "x", cst "classical"),
+        ])
+        .unwrap();
+        assert_eq!(yannakakis_boolean(&q2, &music_db()), Some(false));
+    }
+
+    #[test]
+    fn cyclic_query_is_rejected() {
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("Interest", var "x", var "z"),
+            atom!("Class", var "y", var "z"),
+            atom!("Owns", var "x", var "y"),
+        ])
+        .unwrap();
+        assert_eq!(yannakakis_boolean(&q, &music_db()), None);
+        assert!(yannakakis_evaluate(&q, &music_db()).is_none());
+    }
+
+    #[test]
+    fn semijoin_filters_dangling_tuples() {
+        // Path query over a path database where one branch dangles.
+        let db = Instance::from_atoms(vec![
+            atom!("E", cst "a", cst "b"),
+            atom!("E", cst "b", cst "c"),
+            atom!("E", cst "x", cst "y"), // dangling: y has no outgoing edge
+        ])
+        .unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![intern("u")],
+            vec![
+                atom!("E", var "u", var "v"),
+                atom!("E", var "v", var "w"),
+            ],
+        )
+        .unwrap();
+        let res = yannakakis_evaluate(&q, &db).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&vec![Term::constant("a")]));
+    }
+
+    #[test]
+    fn empty_database_yields_empty_answers() {
+        let q = acyclic_query();
+        let db = Instance::new();
+        assert_eq!(yannakakis_boolean(&q, &db), Some(false));
+        assert!(yannakakis_evaluate(&q, &db).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeated_variables_within_an_atom_are_honoured() {
+        let db = Instance::from_atoms(vec![
+            atom!("R", cst "a", cst "a"),
+            atom!("R", cst "a", cst "b"),
+        ])
+        .unwrap();
+        let q = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("R", var "x", var "x")])
+            .unwrap();
+        let res = yannakakis_evaluate(&q, &db).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&vec![Term::constant("a")]));
+    }
+
+    #[test]
+    fn constants_in_query_atoms_filter_matches() {
+        let db = music_db();
+        let q = ConjunctiveQuery::new(
+            vec![intern("y")],
+            vec![
+                atom!("Interest", cst "alice", var "z"),
+                atom!("Class", var "y", var "z"),
+            ],
+        )
+        .unwrap();
+        let res = yannakakis_evaluate(&q, &db).unwrap();
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&vec![Term::constant("kind_of_blue")]));
+    }
+
+    #[test]
+    fn disconnected_acyclic_query_is_a_cross_product() {
+        let db = Instance::from_atoms(vec![
+            atom!("A", cst "1"),
+            atom!("A", cst "2"),
+            atom!("B", cst "x"),
+        ])
+        .unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![intern("u"), intern("v")],
+            vec![atom!("A", var "u"), atom!("B", var "v")],
+        )
+        .unwrap();
+        let res = yannakakis_evaluate(&q, &db).unwrap();
+        assert_eq!(res.len(), 2);
+        let slow = evaluate(&q, &db);
+        assert_eq!(res, slow);
+    }
+
+    #[test]
+    fn star_query_agreement_with_naive_on_larger_data() {
+        let mut db = Instance::new();
+        for i in 0..50 {
+            db.insert(Atom::from_parts(
+                "E",
+                vec![
+                    Term::constant(&format!("h{}", i % 5)),
+                    Term::constant(&format!("t{i}")),
+                ],
+            ))
+            .unwrap();
+            db.insert(Atom::from_parts(
+                "L",
+                vec![Term::constant(&format!("t{i}"))],
+            ))
+            .unwrap();
+        }
+        let q = ConjunctiveQuery::new(
+            vec![intern("c")],
+            vec![
+                atom!("E", var "c", var "l1"),
+                atom!("E", var "c", var "l2"),
+                atom!("L", var "l1"),
+            ],
+        )
+        .unwrap();
+        let fast = yannakakis_evaluate(&q, &db).unwrap();
+        let slow = evaluate(&q, &db);
+        assert_eq!(fast, slow);
+        assert_eq!(fast.len(), 5);
+    }
+}

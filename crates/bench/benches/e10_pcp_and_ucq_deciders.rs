@@ -1,0 +1,47 @@
+//! E10 — Theorem 7 (PCP reduction construction + chase verification) and the
+//! UCQ-rewriting-based deciders for non-recursive/sticky sets (Theorems 18
+//! and 20).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_pcp_and_ucq_deciders");
+
+    let instance = PcpInstance::new(vec!["a", "ab"], vec!["aa", "b"])
+        .unwrap()
+        .normalize_even();
+    let solution = instance.find_solution(3).unwrap();
+    group.bench_function("pcp_build_and_verify_solution", |b| {
+        b.iter(|| {
+            let (q, tgds) = sac::core::build_pcp_reduction(&instance);
+            let path = solution_path_query(&instance, &solution).unwrap();
+            equivalent_under_tgds(&q, &path, &tgds, ChaseBudget::new(5_000, 100_000)).holds()
+        })
+    });
+
+    // Non-recursive / sticky deciders on the HR ontology with growing query
+    // chains.
+    let tgds = vec![
+        parse_tgd("Employee(X, D) -> Dept(D).").unwrap(),
+        parse_tgd("Dept(D) -> Manages(M, D).").unwrap(),
+        parse_tgd("Manages(M, D), Dept(D) -> WorksWith(M, D).").unwrap(),
+    ];
+    for n in [2usize, 4, 6] {
+        let body: Vec<String> = (0..n)
+            .map(|i| format!("Employee(E{i}, D{i}), Dept(D{i})"))
+            .collect();
+        let q = parse_query(&format!("q() :- {}.", body.join(", "))).unwrap();
+        group.bench_with_input(BenchmarkId::new("semac_nonrecursive", n), &q, |b, q| {
+            b.iter(|| semantic_acyclicity_under_tgds(q, &tgds, SemAcConfig::default()).is_acyclic())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

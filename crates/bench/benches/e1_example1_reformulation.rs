@@ -1,0 +1,36 @@
+//! E1 — Example 1: evaluating the cyclic triangle query naively vs the
+//! acyclic reformulation found by the decider (Yannakakis), as the database
+//! grows.  Paper prediction: the reformulation scales linearly in |D|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let q = sac::gen::example1_triangle();
+    let tgds = vec![sac::gen::collector_tgd()];
+    let witness = semantic_acyclicity_under_tgds(&q, &tgds, SemAcConfig::default())
+        .witness()
+        .expect("Example 1 witness")
+        .clone();
+
+    let mut group = c.benchmark_group("e1_example1_reformulation");
+    for customers in [50usize, 200, 800] {
+        let db = sac::gen::music_database(customers, customers * 2, 20);
+        group.bench_with_input(BenchmarkId::new("naive_cyclic", customers), &db, |b, db| {
+            b.iter(|| evaluate(&q, db).len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis_witness", customers),
+            &db,
+            |b, db| b.iter(|| yannakakis_evaluate(&witness, db).unwrap().len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E2 — Figure 1: cost and outcome of the sticky marking procedure on the
+//! paper's sets and on growing random inclusion-dependency sets (always
+//! sticky).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_sticky_marking");
+    let sticky = sac::gen::figure1_sticky();
+    let non_sticky = sac::gen::figure1_non_sticky();
+    assert!(is_sticky(&sticky) && !is_sticky(&non_sticky));
+
+    group.bench_function("figure1_sticky_set", |b| b.iter(|| is_sticky(&sticky)));
+    group.bench_function("figure1_non_sticky_set", |b| b.iter(|| is_sticky(&non_sticky)));
+    for n in [10usize, 40, 160] {
+        let tgds = sac::gen::random_inclusion_dependencies(n, 5, 7);
+        group.bench_with_input(BenchmarkId::new("random_linear_set", n), &tgds, |b, tgds| {
+            b.iter(|| classify_tgds(tgds))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! E3 — Theorem 11 (fixed schema ⇒ NP): wall-clock of the semantic
+//! acyclicity decision under a fixed guarded/linear set as the query grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    // A fixed small guarded Σ: symmetric edges.
+    let tgds = vec![parse_tgd("E(X, Y) -> E(Y, X).").unwrap()];
+    assert!(classify_tgds(&tgds).guarded);
+
+    let mut group = c.benchmark_group("e3_semac_guarded_scaling");
+    for n in [2usize, 4, 6, 8] {
+        // A cycle of length n with its reverse edges implied by Σ.
+        let q = sac::gen::cycle_query(n);
+        group.bench_with_input(BenchmarkId::new("decide_cycle", n), &q, |b, q| {
+            b.iter(|| semantic_acyclicity_under_tgds(q, &tgds, SemAcConfig::default()).is_acyclic())
+        });
+        let p = sac::gen::path_query(n);
+        group.bench_with_input(BenchmarkId::new("decide_path", n), &p, |b, p| {
+            b.iter(|| semantic_acyclicity_under_tgds(p, &tgds, SemAcConfig::default()).is_acyclic())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

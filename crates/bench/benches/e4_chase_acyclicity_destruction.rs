@@ -1,0 +1,29 @@
+//! E4 — Example 2: chase size and acyclicity destruction under the
+//! non-recursive/sticky tgd P(x), P(y) → R(x,y).  Prediction: n² derived
+//! atoms and an n-clique in the Gaifman graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let tgd = sac::gen::example2_tgd();
+    let mut group = c.benchmark_group("e4_chase_acyclicity_destruction");
+    for n in [4usize, 8, 16] {
+        let q = sac::gen::example2_query(n);
+        group.bench_with_input(BenchmarkId::new("chase_and_probe", n), &q, |b, q| {
+            b.iter(|| {
+                let probe = chase_preserves_acyclicity(q, &[tgd.clone()], ChaseBudget::large());
+                assert!(!probe.output_acyclic);
+                probe.clique_lower_bound
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E5 — Example 3: the UCQ rewriting height under the sticky family grows as
+//! 2^n with the arity parameter n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_sticky_rewriting_height");
+    for n in [2usize, 3, 4] {
+        let (tgds, q) = sac::gen::example3_sticky_family(n);
+        group.bench_with_input(BenchmarkId::new("rewrite", n), &n, |b, _| {
+            b.iter(|| {
+                let rw = rewrite(&q, &tgds, RewriteBudget::large());
+                assert!(rw.height() >= 1 << n);
+                rw.height()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

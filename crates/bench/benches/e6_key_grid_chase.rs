@@ -1,0 +1,38 @@
+//! E6 — Examples 4/5 (Figure 4): keys over ≥3-ary predicates destroy
+//! acyclicity; the egd chase of the key-ring family closes a ring of growing
+//! size, while binary keys (Proposition 22) preserve acyclicity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let key = FunctionalDependency::key("R", 2, [1]).unwrap().to_egds();
+    let binary_key = FunctionalDependency::key("E", 2, [1]).unwrap().to_egds();
+    let mut group = c.benchmark_group("e6_key_grid_chase");
+    for n in [4usize, 8, 16] {
+        let ring = sac::gen::key_ring_query(n);
+        group.bench_with_input(BenchmarkId::new("ring_key_chase", n), &ring, |b, q| {
+            b.iter(|| {
+                let probe = sac::chase::probe::egd_chase_preserves_acyclicity(q, &key);
+                assert!(!probe.output_acyclic);
+                probe.output_atoms
+            })
+        });
+        let star = sac::gen::star_query(n);
+        group.bench_with_input(BenchmarkId::new("star_binary_key_chase", n), &star, |b, q| {
+            b.iter(|| {
+                let probe = sac::chase::probe::egd_chase_preserves_acyclicity(q, &binary_key);
+                assert!(probe.preserved());
+                probe.output_atoms
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

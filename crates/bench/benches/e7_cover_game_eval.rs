@@ -1,0 +1,37 @@
+//! E7 — Theorem 25: Boolean evaluation of the semantically acyclic Example 1
+//! query via the existential 1-cover game vs naive evaluation vs
+//! rewrite-then-Yannakakis, as the database grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let q = ConjunctiveQuery::boolean(sac::gen::example1_triangle().body).unwrap();
+    let tgds = vec![sac::gen::collector_tgd()];
+    let witness = semantic_acyclicity_under_tgds(&q, &tgds, SemAcConfig::default())
+        .witness()
+        .expect("witness")
+        .clone();
+
+    let mut group = c.benchmark_group("e7_cover_game_eval");
+    for customers in [10usize, 30, 90] {
+        let db = sac::gen::music_database(customers, customers, 10);
+        group.bench_with_input(BenchmarkId::new("cover_game", customers), &db, |b, db| {
+            b.iter(|| cover_game_evaluate(&q, db).len())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", customers), &db, |b, db| {
+            b.iter(|| evaluate_boolean(&q, db))
+        });
+        group.bench_with_input(BenchmarkId::new("yannakakis_witness", customers), &db, |b, db| {
+            b.iter(|| yannakakis_boolean(&witness, db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 — Proposition 24: fixed-parameter tractable evaluation.  With q and Σ
+//! fixed, the cost of the full pipeline (decide + Yannakakis) grows linearly
+//! in |D|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let q = sac::gen::example1_triangle();
+    let tgds = vec![sac::gen::collector_tgd()];
+
+    let mut group = c.benchmark_group("e8_fpt_evaluation");
+    for customers in [100usize, 400, 1600] {
+        let db = sac::gen::music_database(customers, customers, 25);
+        group.throughput(Throughput::Elements(db.len() as u64));
+        group.bench_with_input(BenchmarkId::new("fpt_pipeline", db.len()), &db, |b, db| {
+            b.iter(|| {
+                evaluate_semantically_acyclic(
+                    &q,
+                    &tgds,
+                    db,
+                    EvaluationStrategy::RewriteThenYannakakis,
+                    SemAcConfig::default(),
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

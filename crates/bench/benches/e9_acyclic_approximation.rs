@@ -1,0 +1,30 @@
+//! E9 — Section 8.2: computing acyclic approximations of cyclic queries and
+//! evaluating them ("quick answers") vs exact evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sac::prelude::*;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_acyclic_approximation");
+    for n in [3usize, 4, 5] {
+        let q = sac::gen::cycle_query(n);
+        group.bench_with_input(BenchmarkId::new("compute_approximation", n), &q, |b, q| {
+            b.iter(|| acyclic_approximations(q, &[], ChaseBudget::small()).maximal.len())
+        });
+    }
+    let q = sac::gen::cycle_query(3);
+    let report = acyclic_approximations(&q, &[], ChaseBudget::small());
+    let db = sac::gen::random_graph_database(150, 700, 3);
+    group.bench_function("exact_triangle_eval", |b| b.iter(|| evaluate_boolean(&q, &db)));
+    group.bench_function("quick_approx_eval", |b| {
+        b.iter(|| report.maximal.iter().any(|a| evaluate_boolean(a, &db)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench
+}
+criterion_main!(benches);

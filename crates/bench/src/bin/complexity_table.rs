@@ -1,0 +1,117 @@
+//! Prints the paper's complexity landscape (the summary of Propositions 2–4
+//! and Theorems 7, 11, 14, 18, 20, 23) side by side with this library's
+//! measured decision times on a fixed query suite — experiment E11.
+//!
+//! Run with `cargo run --release -p sac-bench --bin complexity_table`.
+
+use sac::prelude::*;
+use std::time::Instant;
+
+struct Row {
+    class: &'static str,
+    containment: &'static str,
+    semac: &'static str,
+    tgds: Vec<Tgd>,
+    egds: Vec<Egd>,
+}
+
+fn main() {
+    let rows = vec![
+        Row {
+            class: "full (F)",
+            containment: "decidable",
+            semac: "UNDECIDABLE (Thm 7)",
+            tgds: vec![sac::gen::collector_tgd()],
+            egds: vec![],
+        },
+        Row {
+            class: "guarded (G)",
+            containment: "2EXPTIME-c",
+            semac: "2EXPTIME-c (Thm 11)",
+            tgds: vec![
+                parse_tgd("E(X, Y) -> E(Y, X).").unwrap(),
+                parse_tgd("G(X, Y, Z) -> E(X, Y).").unwrap(),
+            ],
+            egds: vec![],
+        },
+        Row {
+            class: "linear / ID (L, ID)",
+            containment: "PSPACE-c",
+            semac: "PSPACE-c (Thm 14)",
+            tgds: vec![
+                parse_tgd("Employee(X, D) -> Dept(D).").unwrap(),
+                parse_tgd("Dept(D) -> Org(D).").unwrap(),
+            ],
+            egds: vec![],
+        },
+        Row {
+            class: "non-recursive (NR)",
+            containment: "NEXPTIME-c",
+            semac: "NEXPTIME-c (Thm 18)",
+            tgds: vec![
+                parse_tgd("Employee(X, D) -> Dept(D).").unwrap(),
+                parse_tgd("Dept(D) -> Manages(M, D).").unwrap(),
+            ],
+            egds: vec![],
+        },
+        Row {
+            class: "sticky (S)",
+            containment: "EXPTIME-c",
+            semac: "NEXPTIME / EXPTIME-hard (Thm 20)",
+            tgds: sac::gen::figure1_sticky(),
+            egds: vec![],
+        },
+        Row {
+            class: "keys, unary/binary (K2)",
+            containment: "NP-c",
+            semac: "NP-c (Thm 23)",
+            tgds: vec![],
+            egds: FunctionalDependency::key("E", 2, [1]).unwrap().to_egds(),
+        },
+    ];
+
+    // A fixed suite of queries exercised against every row.
+    let suite = vec![
+        ("triangle", sac::gen::cycle_query(3)),
+        ("path4", sac::gen::path_query(4)),
+        ("example1", ConjunctiveQuery::boolean(sac::gen::example1_triangle().body).unwrap()),
+    ];
+
+    println!(
+        "{:<24} {:<14} {:<34} {:<22} {:>12}",
+        "class", "containment", "semantic acyclicity (paper)", "classification (ours)", "decide (ms)"
+    );
+    println!("{}", "-".repeat(110));
+    for row in rows {
+        let classification = if row.tgds.is_empty() {
+            "egds/keys".to_string()
+        } else {
+            format!("{}", classify_tgds(&row.tgds))
+        };
+        let start = Instant::now();
+        let mut decided = 0usize;
+        for (_, q) in &suite {
+            let acyclic = if row.tgds.is_empty() {
+                semantic_acyclicity_under_egds(q, &row.egds, SemAcConfig::default()).is_acyclic()
+            } else {
+                semantic_acyclicity_under_tgds(q, &row.tgds, SemAcConfig::default()).is_acyclic()
+            };
+            decided += usize::from(acyclic);
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:<24} {:<14} {:<34} {:<22} {:>12.2}",
+            row.class, row.containment, row.semac, classification, elapsed
+        );
+        let _ = decided;
+    }
+    println!(
+        "\nSuite: {} queries ({}).  Times are end-to-end decision wall-clock for the whole suite.",
+        suite.len(),
+        suite
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

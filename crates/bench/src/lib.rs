@@ -1,0 +1,19 @@
+//! # sac-bench
+//!
+//! Criterion benchmark harness reproducing every figure/example experiment of
+//! the paper (see DESIGN.md §4 for the experiment index E1–E11 and
+//! EXPERIMENTS.md for recorded results).  Shared helpers live here; each
+//! `benches/eN_*.rs` target regenerates one experiment, and the
+//! `complexity_table` / `experiment_report` binaries print the summary tables.
+
+use criterion::Criterion;
+
+/// A Criterion configuration small enough that the full suite completes in a
+/// few minutes while still producing stable medians (the experiments compare
+/// growth shapes, not nanosecond-level effects).
+pub fn quick_criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(600))
+}

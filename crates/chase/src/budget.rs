@@ -1,0 +1,73 @@
+//! Resource budgets for the (possibly non-terminating) tgd chase.
+
+/// A budget limiting a chase run.
+///
+/// The chase under guarded or sticky tgds may be infinite; the budget keeps
+/// every run finite and lets callers distinguish "reached a fixpoint" from
+/// "ran out of budget" (see [`crate::TgdChaseResult::terminated`]).  The
+/// deciders in `sac-core` choose budgets derived from the paper's small-query
+/// bounds and report `Inconclusive` rather than guessing when a budget is
+/// exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaseBudget {
+    /// Maximum number of chase steps (tgd firings).
+    pub max_steps: usize,
+    /// Maximum number of atoms in the chased instance.
+    pub max_atoms: usize,
+}
+
+impl ChaseBudget {
+    /// A budget suitable for unit tests and small interactive inputs.
+    pub fn small() -> ChaseBudget {
+        ChaseBudget {
+            max_steps: 2_000,
+            max_atoms: 20_000,
+        }
+    }
+
+    /// A budget suitable for the benchmark workloads.
+    pub fn large() -> ChaseBudget {
+        ChaseBudget {
+            max_steps: 200_000,
+            max_atoms: 2_000_000,
+        }
+    }
+
+    /// A custom budget.
+    pub fn new(max_steps: usize, max_atoms: usize) -> ChaseBudget {
+        ChaseBudget {
+            max_steps,
+            max_atoms,
+        }
+    }
+
+    /// Whether the given counters exceed the budget.
+    pub fn exceeded(&self, steps: usize, atoms: usize) -> bool {
+        steps >= self.max_steps || atoms >= self.max_atoms
+    }
+}
+
+impl Default for ChaseBudget {
+    fn default() -> ChaseBudget {
+        ChaseBudget::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exceeded_checks_both_dimensions() {
+        let b = ChaseBudget::new(10, 100);
+        assert!(!b.exceeded(5, 50));
+        assert!(b.exceeded(10, 0));
+        assert!(b.exceeded(0, 100));
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(ChaseBudget::small().max_steps < ChaseBudget::large().max_steps);
+        assert_eq!(ChaseBudget::default(), ChaseBudget::small());
+    }
+}

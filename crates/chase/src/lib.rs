@@ -1,0 +1,29 @@
+//! # sac-chase
+//!
+//! The chase procedure for tgds and egds (Section 2 of the paper), the tool
+//! behind containment under constraints (Lemma 1) and all of the paper's
+//! decidability arguments.
+//!
+//! * [`tgd_chase`] implements the *restricted* (standard) chase: a tgd fires
+//!   only when its head is not already satisfied by the trigger.  Because the
+//!   chase under guarded or sticky sets need not terminate, every entry point
+//!   takes a [`ChaseBudget`]; the result records whether the chase reached a
+//!   fixpoint or was truncated.
+//! * [`egd_chase`] implements the egd chase, which identifies terms (and can
+//!   *fail* when two distinct constants are equated).  It always terminates
+//!   and reports the cumulative renaming, which callers need to track where
+//!   the frozen head terms of a query went (Lemma 1 for egds).
+//! * [`probe`] contains the acyclicity-preservation probe used to validate
+//!   Proposition 12 (guarded sets preserve acyclicity) and Proposition 22
+//!   (keys over unary/binary schemas preserve acyclicity) experimentally, and
+//!   to demonstrate Examples 2, 4 and 5 where acyclicity is destroyed.
+
+pub mod budget;
+pub mod egd_chase;
+pub mod probe;
+pub mod tgd_chase;
+
+pub use budget::ChaseBudget;
+pub use egd_chase::{egd_chase, egd_chase_query, EgdChaseResult};
+pub use probe::{chase_preserves_acyclicity, AcyclicityProbe};
+pub use tgd_chase::{tgd_chase, tgd_chase_query, TgdChaseResult};

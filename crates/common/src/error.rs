@@ -1,0 +1,93 @@
+//! Error type shared by the workspace crates.
+
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the semantic-acyclicity toolkit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An atom used a predicate not declared in the schema.
+    UnknownPredicate(String),
+    /// An atom used a predicate with the wrong number of arguments.
+    ArityMismatch {
+        /// Predicate name.
+        predicate: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity found in the offending atom.
+        found: usize,
+    },
+    /// A dependency or query was structurally malformed.
+    Malformed(String),
+    /// The egd chase failed by attempting to identify two distinct constants.
+    ChaseFailure(String),
+    /// A resource budget (chase steps, candidate count, …) was exhausted
+    /// before the procedure could reach a definite answer.
+    BudgetExhausted(String),
+    /// Parsing error with a human-readable message and byte offset.
+    Parse {
+        /// Explanation of what went wrong.
+        message: String,
+        /// Byte offset into the input where the error was detected.
+        offset: usize,
+    },
+    /// A procedure was invoked on a dependency class it does not support.
+    UnsupportedClass(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
+            Error::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch for `{predicate}`: expected {expected}, found {found}"
+            ),
+            Error::Malformed(msg) => write!(f, "malformed input: {msg}"),
+            Error::ChaseFailure(msg) => write!(f, "chase failure: {msg}"),
+            Error::BudgetExhausted(msg) => write!(f, "budget exhausted: {msg}"),
+            Error::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            Error::UnsupportedClass(msg) => write!(f, "unsupported dependency class: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::ArityMismatch {
+            predicate: "R".into(),
+            expected: 2,
+            found: 3,
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("R"));
+        assert!(msg.contains('2'));
+        assert!(msg.contains('3'));
+
+        let p = Error::Parse {
+            message: "expected `)`".into(),
+            offset: 12,
+        };
+        assert!(format!("{p}").contains("12"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_e: &E) {}
+        assert_error(&Error::Malformed("x".into()));
+    }
+}

@@ -1,0 +1,149 @@
+//! Global string interner producing lightweight [`Symbol`] handles.
+//!
+//! Predicate names, constant names and variable names are all interned into a
+//! single process-wide table.  Interning gives us `Copy` terms, O(1) equality
+//! and hashing, and deterministic `Display` output (the original string is
+//! recoverable through [`resolve`]).
+//!
+//! The interner is intentionally append-only: symbols are never removed, so a
+//! `Symbol` handle is valid for the lifetime of the process.  The table is
+//! guarded by an `RwLock`; reads (the common case during query evaluation)
+//! only take the shared lock.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string.
+///
+/// Two `Symbol`s are equal if and only if the strings they were interned from
+/// are equal.  The ordering of symbols follows interning order, which is
+/// deterministic for a fixed sequence of [`intern`] calls; code that needs a
+/// *lexicographic* order should compare the resolved strings instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Returns the raw index of this symbol inside the global interner.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the string this symbol was interned from.
+    pub fn as_str(self) -> String {
+        resolve(self)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", resolve(*self))
+    }
+}
+
+#[derive(Default)]
+struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.strings.push(s.to_owned());
+        self.map.insert(s.to_owned(), id);
+        Symbol(id)
+    }
+
+    fn resolve(&self, sym: Symbol) -> Option<String> {
+        self.strings.get(sym.0 as usize).cloned()
+    }
+}
+
+fn global() -> &'static RwLock<Interner> {
+    static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+/// Interns `s` and returns its [`Symbol`] handle.
+///
+/// Interning the same string twice returns the same symbol.
+pub fn intern(s: &str) -> Symbol {
+    // Fast path: the string is already interned and only the read lock is
+    // required.
+    {
+        let guard = global().read().expect("interner poisoned");
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+    }
+    let mut guard = global().write().expect("interner poisoned");
+    guard.intern(s)
+}
+
+/// Returns the string a [`Symbol`] was interned from.
+///
+/// # Panics
+///
+/// Panics if the symbol does not belong to the global interner (which can
+/// only happen if a `Symbol` was forged from a raw index).
+pub fn resolve(sym: Symbol) -> String {
+    let guard = global().read().expect("interner poisoned");
+    guard
+        .resolve(sym)
+        .unwrap_or_else(|| panic!("unknown symbol index {}", sym.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("R");
+        let b = intern("R");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = intern("some_predicate_x");
+        let b = intern("some_predicate_y");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let a = intern("Interest");
+        assert_eq!(resolve(a), "Interest");
+        assert_eq!(a.as_str(), "Interest");
+    }
+
+    #[test]
+    fn display_uses_original_string() {
+        let a = intern("Owns");
+        assert_eq!(format!("{a}"), "Owns");
+    }
+
+    #[test]
+    fn symbols_are_copy_and_hashable() {
+        use std::collections::HashSet;
+        let a = intern("A");
+        let b = a;
+        let mut set = HashSet::new();
+        set.insert(a);
+        set.insert(b);
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn many_symbols_remain_distinct() {
+        let symbols: Vec<Symbol> = (0..500).map(|i| intern(&format!("pred_{i}"))).collect();
+        for (i, s) in symbols.iter().enumerate() {
+            assert_eq!(resolve(*s), format!("pred_{i}"));
+        }
+    }
+}

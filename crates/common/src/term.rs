@@ -1,0 +1,151 @@
+//! Terms: constants, labelled nulls and variables.
+//!
+//! Following Section 2 of the paper, we work with three disjoint countably
+//! infinite sets: constants `C`, labelled nulls `N` (introduced by the chase
+//! for existentially quantified variables) and regular variables `V` (used in
+//! queries and dependencies).
+//!
+//! A [`Term`] is `Copy` (symbols are interned, nulls are numeric), so tuples
+//! of terms can be cloned and hashed cheaply throughout the chase and the
+//! homomorphism engine.
+
+use crate::symbol::{intern, Symbol};
+use std::fmt;
+
+/// A term of the data model: a constant, a labelled null, or a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant from `C`.  Constants are rigid: homomorphisms are the
+    /// identity on them.
+    Constant(Symbol),
+    /// A labelled null from `N`, identified by a numeric label.  Nulls are
+    /// invented by the chase when firing tgds with existential variables.
+    Null(u64),
+    /// A variable from `V`, used in queries and dependencies.
+    Variable(Symbol),
+}
+
+impl Term {
+    /// Convenience constructor interning `name` as a constant.
+    pub fn constant(name: &str) -> Term {
+        Term::Constant(intern(name))
+    }
+
+    /// Convenience constructor interning `name` as a variable.
+    pub fn variable(name: &str) -> Term {
+        Term::Variable(intern(name))
+    }
+
+    /// Convenience constructor for a labelled null.
+    pub fn null(label: u64) -> Term {
+        Term::Null(label)
+    }
+
+    /// Returns `true` if this term is a constant.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, Term::Constant(_))
+    }
+
+    /// Returns `true` if this term is a labelled null.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    /// Returns `true` if this term is a variable.
+    pub fn is_variable(&self) -> bool {
+        matches!(self, Term::Variable(_))
+    }
+
+    /// Returns the variable symbol if this term is a variable.
+    pub fn as_variable(&self) -> Option<Symbol> {
+        match self {
+            Term::Variable(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the constant symbol if this term is a constant.
+    pub fn as_constant(&self) -> Option<Symbol> {
+        match self {
+            Term::Constant(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Returns the null label if this term is a labelled null.
+    pub fn as_null(&self) -> Option<u64> {
+        match self {
+            Term::Null(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Whether a homomorphism is allowed to map this term to something other
+    /// than itself.  Constants are rigid; nulls and variables are not.
+    ///
+    /// Note: when queries are *frozen* into canonical databases the paper
+    /// treats the introduced constants `c(x)` "as nulls during the chase";
+    /// that behaviour is handled at the freezing layer (`sac-query`), not
+    /// here.
+    pub fn is_rigid(&self) -> bool {
+        self.is_constant()
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Constant(c) => write!(f, "{c}"),
+            Term::Null(n) => write!(f, "_:n{n}"),
+            Term::Variable(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_classify_correctly() {
+        assert!(Term::constant("a").is_constant());
+        assert!(Term::variable("x").is_variable());
+        assert!(Term::null(3).is_null());
+        assert!(!Term::constant("a").is_variable());
+        assert!(!Term::variable("x").is_null());
+    }
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        let c = Term::constant("a");
+        let v = Term::variable("x");
+        let n = Term::null(7);
+        assert_eq!(c.as_constant().map(|s| s.as_str()), Some("a".to_owned()));
+        assert_eq!(v.as_variable().map(|s| s.as_str()), Some("x".to_owned()));
+        assert_eq!(n.as_null(), Some(7));
+        assert_eq!(c.as_variable(), None);
+        assert_eq!(v.as_constant(), None);
+        assert_eq!(c.as_null(), None);
+    }
+
+    #[test]
+    fn equality_follows_interning() {
+        assert_eq!(Term::constant("a"), Term::constant("a"));
+        assert_ne!(Term::constant("a"), Term::variable("a"));
+        assert_ne!(Term::null(1), Term::null(2));
+    }
+
+    #[test]
+    fn only_constants_are_rigid() {
+        assert!(Term::constant("a").is_rigid());
+        assert!(!Term::variable("x").is_rigid());
+        assert!(!Term::null(0).is_rigid());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(format!("{}", Term::constant("a")), "a");
+        assert_eq!(format!("{}", Term::variable("x")), "?x");
+        assert_eq!(format!("{}", Term::null(5)), "_:n5");
+    }
+}

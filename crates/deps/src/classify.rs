@@ -1,0 +1,237 @@
+//! Classification of tgd sets into the paper's syntactic classes.
+//!
+//! The decidability landscape of the paper hinges on which class a set of
+//! tgds belongs to:
+//!
+//! | class | CQ containment | semantic acyclicity |
+//! |-------|----------------|---------------------|
+//! | full (`F`) | decidable | **undecidable** (Theorem 7) |
+//! | guarded (`G`) | 2EXPTIME-c | 2EXPTIME-c (Theorem 11) |
+//! | linear (`L`) / inclusion deps (`ID`) | PSPACE-c | PSPACE-c (Theorem 14) |
+//! | non-recursive (`NR`) | NEXPTIME-c | NEXPTIME-c (Theorem 18) |
+//! | sticky (`S`) | EXPTIME-c | NEXPTIME / EXPTIME-hard (Theorem 20) |
+//! | keys over unary/binary schemas (`K2`) | NP-c | NP-c (Theorem 23) |
+
+use crate::egd::Egd;
+use crate::marking::is_sticky;
+use crate::predicate_graph::{is_non_recursive, is_weakly_acyclic};
+use crate::tgd::Tgd;
+use std::fmt;
+
+/// The classification report for a set of tgds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TgdClassification {
+    /// Every tgd is full (no existentials).
+    pub full: bool,
+    /// Every tgd is guarded.
+    pub guarded: bool,
+    /// Every tgd is linear (single body atom).
+    pub linear: bool,
+    /// Every tgd is an inclusion dependency.
+    pub inclusion: bool,
+    /// The predicate graph is acyclic.
+    pub non_recursive: bool,
+    /// The marking procedure certifies stickiness.
+    pub sticky: bool,
+    /// The position dependency graph has no special cycle.
+    pub weakly_acyclic: bool,
+    /// Every tgd has a connected body.
+    pub body_connected: bool,
+}
+
+impl TgdClassification {
+    /// Whether this set falls into at least one class for which the paper
+    /// proves semantic acyclicity decidable (guarded, non-recursive, sticky —
+    /// linear and inclusion dependencies are subsumed by guarded).
+    pub fn semantic_acyclicity_decidable(&self) -> bool {
+        self.guarded || self.non_recursive || self.sticky
+    }
+
+    /// Whether the set is UCQ-rewritable by one of the criteria used in the
+    /// paper (non-recursive or sticky — guarded sets are *not* UCQ
+    /// rewritable, see the appendix counterexample).
+    pub fn ucq_rewritable(&self) -> bool {
+        self.non_recursive || self.sticky
+    }
+
+    /// Whether the set is covered by the acyclicity-preserving-chase
+    /// criterion (guarded; Proposition 12).
+    pub fn acyclicity_preserving_chase(&self) -> bool {
+        self.guarded
+    }
+}
+
+impl fmt::Display for TgdClassification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut classes = Vec::new();
+        if self.full {
+            classes.push("full");
+        }
+        if self.inclusion {
+            classes.push("inclusion");
+        } else if self.linear {
+            classes.push("linear");
+        } else if self.guarded {
+            classes.push("guarded");
+        }
+        if self.non_recursive {
+            classes.push("non-recursive");
+        }
+        if self.sticky {
+            classes.push("sticky");
+        }
+        if self.weakly_acyclic {
+            classes.push("weakly-acyclic");
+        }
+        if classes.is_empty() {
+            classes.push("unrestricted");
+        }
+        write!(f, "{}", classes.join(", "))
+    }
+}
+
+/// Classifies a set of tgds against every syntactic class used in the paper.
+pub fn classify_tgds(tgds: &[Tgd]) -> TgdClassification {
+    TgdClassification {
+        full: tgds.iter().all(Tgd::is_full),
+        guarded: tgds.iter().all(Tgd::is_guarded),
+        linear: tgds.iter().all(Tgd::is_linear),
+        inclusion: tgds.iter().all(Tgd::is_inclusion_dependency),
+        non_recursive: is_non_recursive(tgds),
+        sticky: is_sticky(tgds),
+        weakly_acyclic: is_weakly_acyclic(tgds),
+        body_connected: tgds.iter().all(Tgd::is_body_connected),
+    }
+}
+
+/// Classification report for a set of egds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EgdClassification {
+    /// Every egd mentions only unary and binary predicates.
+    pub unary_binary_schema: bool,
+}
+
+/// Classifies a set of egds (the paper's positive result, Theorem 23,
+/// concerns keys over unary and binary predicates; the `K2` membership of a
+/// *key set* additionally requires the egds to come from keys, which callers
+/// know syntactically from the [`crate::FunctionalDependency`] they compiled).
+pub fn classify_egds(egds: &[Egd]) -> EgdClassification {
+    EgdClassification {
+        unary_binary_schema: egds.iter().all(Egd::is_over_unary_binary_schema),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::atom;
+
+    fn tgd(body: Vec<sac_common::Atom>, head: Vec<sac_common::Atom>) -> Tgd {
+        Tgd::new(body, head).unwrap()
+    }
+
+    #[test]
+    fn example1_tgd_is_full_sticky_nonrecursive_but_not_guarded() {
+        let tgds = vec![tgd(
+            vec![
+                atom!("Interest", var "x", var "z"),
+                atom!("Class", var "y", var "z"),
+            ],
+            vec![atom!("Owns", var "x", var "y")],
+        )];
+        let c = classify_tgds(&tgds);
+        assert!(c.full);
+        assert!(!c.guarded);
+        assert!(!c.linear);
+        assert!(c.non_recursive);
+        // The join variable z is marked (it is missing from the head) and
+        // occurs twice: not sticky.
+        assert!(!c.sticky);
+        assert!(c.weakly_acyclic);
+        assert!(c.body_connected);
+        assert!(c.semantic_acyclicity_decidable()); // via non-recursiveness
+    }
+
+    #[test]
+    fn inclusion_dependencies_are_detected() {
+        let tgds = vec![tgd(
+            vec![atom!("Employee", var "x", var "d")],
+            vec![atom!("Department", var "d")],
+        )];
+        let c = classify_tgds(&tgds);
+        assert!(c.inclusion);
+        assert!(c.linear);
+        assert!(c.guarded);
+        assert!(c.acyclicity_preserving_chase());
+    }
+
+    #[test]
+    fn guarded_but_not_ucq_rewritable() {
+        // The appendix counterexample: P(x,y), S(x) → S(y) is guarded,
+        // recursive, not sticky-relevant here.
+        let tgds = vec![tgd(
+            vec![atom!("P", var "x", var "y"), atom!("S", var "x")],
+            vec![atom!("S", var "y")],
+        )];
+        let c = classify_tgds(&tgds);
+        assert!(c.guarded);
+        assert!(!c.non_recursive);
+        assert!(c.acyclicity_preserving_chase());
+        assert!(!c.ucq_rewritable());
+    }
+
+    #[test]
+    fn example2_tgd_is_sticky_and_non_recursive_but_not_guarded() {
+        let tgds = vec![tgd(
+            vec![atom!("P", var "x"), atom!("P", var "y")],
+            vec![atom!("R", var "x", var "y")],
+        )];
+        let c = classify_tgds(&tgds);
+        assert!(c.sticky);
+        assert!(c.non_recursive);
+        assert!(!c.guarded);
+        assert!(c.ucq_rewritable());
+    }
+
+    #[test]
+    fn empty_set_is_in_every_class() {
+        let c = classify_tgds(&[]);
+        assert!(c.full && c.guarded && c.linear && c.inclusion);
+        assert!(c.non_recursive && c.sticky && c.weakly_acyclic && c.body_connected);
+    }
+
+    #[test]
+    fn display_reports_most_specific_guarded_subclass() {
+        let inclusion = vec![tgd(
+            vec![atom!("R", var "x", var "y")],
+            vec![atom!("S", var "y")],
+        )];
+        let s = format!("{}", classify_tgds(&inclusion));
+        assert!(s.contains("inclusion"));
+        assert!(!s.contains("unrestricted"));
+    }
+
+    #[test]
+    fn egd_classification_checks_arities() {
+        let narrow = Egd::new(
+            vec![
+                atom!("R", var "x", var "y"),
+                atom!("R", var "x", var "z"),
+            ],
+            sac_common::intern("y"),
+            sac_common::intern("z"),
+        )
+        .unwrap();
+        let wide = Egd::new(
+            vec![
+                atom!("W", var "x", var "y", var "z", var "u"),
+                atom!("W", var "x", var "y", var "z", var "v"),
+            ],
+            sac_common::intern("u"),
+            sac_common::intern("v"),
+        )
+        .unwrap();
+        assert!(classify_egds(&[narrow.clone()]).unary_binary_schema);
+        assert!(!classify_egds(&[narrow, wide]).unary_binary_schema);
+    }
+}

@@ -1,0 +1,263 @@
+//! The connecting operator of Section 4.
+//!
+//! The operator turns an instance `(q, q', Σ)` of `AcBoolCont` (containment
+//! of an acyclic Boolean CQ in a Boolean CQ) into an instance
+//! `(c(q), c(q'), c(Σ))` of `RestCont` such that:
+//!
+//! * `c(q)` is acyclic and connected,
+//! * `c(q')` is connected and **not** semantically acyclic under `c(Σ)` (its
+//!   `aux`-triangle cannot be removed),
+//! * `c(Σ)` is a set of body-connected tgds,
+//! * `q ⊆Σ q'` iff `c(q) ⊆c(Σ) c(q')`.
+//!
+//! Every predicate `R` is replaced by a starred copy `R⋆` with one extra
+//! argument carrying a fresh "connector" variable `w`; `c(q)` adds the loop
+//! `aux(w,w)` and `c(q')` adds an `aux`-triangle `aux(w,u), aux(u,v),
+//! aux(v,w)`.  The operator is the engine of Proposition 13 (all lower
+//! bounds), and the toolkit uses it in tests to cross-validate the semantic
+//! acyclicity deciders against plain containment.
+
+use crate::tgd::Tgd;
+use sac_common::{intern, Atom, Symbol, Term};
+use sac_query::ConjunctiveQuery;
+
+/// The name of the starred copy of a predicate.
+fn starred(predicate: Symbol) -> Symbol {
+    intern(&format!("{}*", predicate.as_str()))
+}
+
+/// The auxiliary binary predicate introduced by the operator.
+fn aux_predicate() -> Symbol {
+    intern("aux")
+}
+
+/// Star every atom of a conjunction, appending the connector term.
+fn star_atoms(atoms: &[Atom], connector: Term) -> Vec<Atom> {
+    atoms
+        .iter()
+        .map(|a| {
+            let mut args = a.args.clone();
+            args.push(connector);
+            Atom::new(starred(a.predicate), args)
+        })
+        .collect()
+}
+
+/// Applies the connecting operator to the *left* query (the acyclic one):
+/// `c(q) = ∃ȳ∃w (R⋆1(v̄1,w) ∧ … ∧ R⋆m(v̄m,w) ∧ aux(w,w))`.
+pub fn connect_left_query(query: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let w = Term::variable("w__conn");
+    let mut body = star_atoms(&query.body, w);
+    body.push(Atom::new(aux_predicate(), vec![w, w]));
+    ConjunctiveQuery::new_unchecked(query.head.clone(), body)
+}
+
+/// Applies the connecting operator to the *right* query:
+/// `c(q') = ∃ȳ∃w∃u∃v (R⋆1(v̄1,w) ∧ … ∧ aux(w,u) ∧ aux(u,v) ∧ aux(v,w))`.
+pub fn connect_right_query(query: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let w = Term::variable("w__conn");
+    let u = Term::variable("u__conn");
+    let v = Term::variable("v__conn");
+    let mut body = star_atoms(&query.body, w);
+    body.push(Atom::new(aux_predicate(), vec![w, u]));
+    body.push(Atom::new(aux_predicate(), vec![u, v]));
+    body.push(Atom::new(aux_predicate(), vec![v, w]));
+    ConjunctiveQuery::new_unchecked(query.head.clone(), body)
+}
+
+/// Backwards-compatible alias used in tests: connect a query as the left
+/// (acyclic) side.
+pub fn connect_query(query: &ConjunctiveQuery) -> ConjunctiveQuery {
+    connect_left_query(query)
+}
+
+/// Applies the connecting operator to a tgd: every body and head atom is
+/// starred with the same fresh connector variable.
+pub fn connect_tgd(tgd: &Tgd) -> Tgd {
+    let w = Term::variable("w__conn");
+    Tgd {
+        body: star_atoms(&tgd.body, w),
+        head: star_atoms(&tgd.head, w),
+    }
+}
+
+/// Applies the connecting operator to a set of tgds.
+pub fn connect_tgds(tgds: &[Tgd]) -> Vec<Tgd> {
+    tgds.iter().map(connect_tgd).collect()
+}
+
+/// The full connecting operator on a containment instance
+/// `(q, q', Σ) ↦ (c(q), c(q'), c(Σ))`.
+pub fn connecting_operator(
+    q: &ConjunctiveQuery,
+    q_prime: &ConjunctiveQuery,
+    tgds: &[Tgd],
+) -> (ConjunctiveQuery, ConjunctiveQuery, Vec<Tgd>) {
+    (
+        connect_left_query(q),
+        connect_right_query(q_prime),
+        connect_tgds(tgds),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_tgds;
+    use sac_common::atom;
+
+    fn sample_tgds() -> Vec<Tgd> {
+        vec![
+            Tgd::new(
+                vec![atom!("R", var "x", var "y")],
+                vec![atom!("S", var "y", var "z")],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![atom!("S", var "x", var "y"), atom!("T", var "y")],
+                vec![atom!("R", var "x", var "x")],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn starred_predicates_gain_one_position() {
+        let q = ConjunctiveQuery::boolean(vec![atom!("R", var "a", var "b")]).unwrap();
+        let cq = connect_left_query(&q);
+        let starred_atom = cq
+            .body
+            .iter()
+            .find(|a| a.predicate.as_str() == "R*")
+            .expect("starred atom present");
+        assert_eq!(starred_atom.arity(), 3);
+    }
+
+    #[test]
+    fn left_query_stays_acyclic_and_connected() {
+        use sac_acyclic_check::*;
+        // q is a disconnected acyclic query; c(q) must be connected and acyclic.
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("R", var "a", var "b"),
+            atom!("T", var "u"),
+        ])
+        .unwrap();
+        let cq = connect_left_query(&q);
+        assert!(cq.is_connected());
+        assert!(is_acyclic(&cq));
+        assert_eq!(cq.size(), q.size() + 1);
+    }
+
+    #[test]
+    fn right_query_gains_an_aux_triangle_and_becomes_cyclic() {
+        use sac_acyclic_check::*;
+        let q = ConjunctiveQuery::boolean(vec![atom!("R", var "a", var "b")]).unwrap();
+        let cq = connect_right_query(&q);
+        assert!(cq.is_connected());
+        assert!(!is_acyclic(&cq));
+        assert_eq!(cq.size(), q.size() + 3);
+    }
+
+    #[test]
+    fn connected_tgds_are_body_connected_and_preserve_guardedness_class() {
+        let tgds = sample_tgds();
+        let connected = connect_tgds(&tgds);
+        let before = classify_tgds(&tgds);
+        let after = classify_tgds(&connected);
+        assert!(connected.iter().all(Tgd::is_body_connected));
+        // Guardedness is preserved: the connector variable joins the guard.
+        assert_eq!(before.guarded, after.guarded);
+        assert_eq!(before.full, after.full);
+        assert_eq!(before.non_recursive, after.non_recursive);
+    }
+
+    #[test]
+    fn connecting_preserves_linearity() {
+        let tgds = vec![Tgd::new(
+            vec![atom!("R", var "x", var "y")],
+            vec![atom!("S", var "y", var "z")],
+        )
+        .unwrap()];
+        let connected = connect_tgds(&tgds);
+        assert!(connected[0].is_linear());
+        assert!(connected[0].is_guarded());
+    }
+
+    #[test]
+    fn full_operator_produces_all_three_parts() {
+        let q = ConjunctiveQuery::boolean(vec![atom!("R", var "a", var "b")]).unwrap();
+        let q_prime = ConjunctiveQuery::boolean(vec![atom!("S", var "a", var "b")]).unwrap();
+        let (cq, cq_prime, ctgds) = connecting_operator(&q, &q_prime, &sample_tgds());
+        assert!(cq.body.iter().any(|a| a.predicate.as_str() == "aux"));
+        assert_eq!(
+            cq_prime
+                .body
+                .iter()
+                .filter(|a| a.predicate.as_str() == "aux")
+                .count(),
+            3
+        );
+        assert_eq!(ctgds.len(), 2);
+    }
+
+    /// Tiny local acyclicity check to avoid a circular dev-dependency on
+    /// `sac-acyclic` (which depends on `sac-query`, not on this crate, so a
+    /// real dependency would also be fine — but the check is six lines).
+    mod sac_acyclic_check {
+        use sac_common::Term;
+        use sac_query::ConjunctiveQuery;
+        use std::collections::BTreeSet;
+
+        /// GYO reduction specialised to query bodies.
+        pub fn is_acyclic(q: &ConjunctiveQuery) -> bool {
+            let mut edges: Vec<BTreeSet<Term>> = q
+                .body
+                .iter()
+                .map(|a| {
+                    a.terms()
+                        .into_iter()
+                        .filter(|t| t.is_variable())
+                        .collect()
+                })
+                .collect();
+            loop {
+                let mut changed = false;
+                // Remove vertices occurring in a single edge.
+                let mut counts: std::collections::BTreeMap<Term, usize> =
+                    std::collections::BTreeMap::new();
+                for e in &edges {
+                    for t in e {
+                        *counts.entry(*t).or_insert(0) += 1;
+                    }
+                }
+                for e in edges.iter_mut() {
+                    let before = e.len();
+                    e.retain(|t| counts[t] > 1);
+                    if e.len() != before {
+                        changed = true;
+                    }
+                }
+                // Remove edges contained in another edge.
+                let mut remove: Option<usize> = None;
+                'outer: for i in 0..edges.len() {
+                    for j in 0..edges.len() {
+                        if i != j && edges[i].is_subset(&edges[j]) {
+                            remove = Some(i);
+                            break 'outer;
+                        }
+                    }
+                }
+                if let Some(i) = remove {
+                    edges.remove(i);
+                    changed = true;
+                }
+                if edges.len() <= 1 {
+                    return true;
+                }
+                if !changed {
+                    return false;
+                }
+            }
+        }
+    }
+}

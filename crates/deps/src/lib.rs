@@ -1,0 +1,31 @@
+//! # sac-deps
+//!
+//! Database dependencies and their syntactic classification, following
+//! Section 2 of the paper:
+//!
+//! * **tgds** (tuple-generating dependencies) `φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)`,
+//! * **egds** (equality-generating dependencies) `φ(x̄) → x_i = x_j`,
+//!   together with the derived notions of **functional dependencies** and
+//!   **keys**,
+//! * the syntactic classes driving the paper's decidability landscape:
+//!   *full*, *guarded*, *linear*, *inclusion dependencies*, *non-recursive*,
+//!   *sticky* (via the marking procedure of Figure 1), *weakly acyclic*, and
+//!   *body-connected* sets,
+//! * the **connecting operator** of Section 4, the generic reduction used for
+//!   all of the paper's lower bounds (Proposition 13).
+
+pub mod classify;
+pub mod connecting;
+pub mod egd;
+pub mod fd;
+pub mod marking;
+pub mod predicate_graph;
+pub mod tgd;
+
+pub use classify::{classify_tgds, TgdClassification};
+pub use connecting::{connect_query, connect_tgds, connecting_operator};
+pub use egd::Egd;
+pub use fd::FunctionalDependency;
+pub use marking::{is_sticky, sticky_marking, StickyMarking};
+pub use predicate_graph::PredicateGraph;
+pub use tgd::Tgd;

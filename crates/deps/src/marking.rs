@@ -1,0 +1,314 @@
+//! The sticky marking procedure (Figure 1 of the paper; Calì, Gottlob &
+//! Pieris, Artif. Intell. 2012).
+//!
+//! Stickiness captures joins that guarded tgds cannot express, without
+//! forcing chase termination.  Its defining semantic property — terms bound
+//! to join variables "stick" to all inferred atoms — is approximated by a
+//! syntactic marking:
+//!
+//! 1. **Base step**: in each tgd `τ`, mark every body variable that is
+//!    missing from at least one head atom of `τ`.
+//! 2. **Propagation**: if a (universally quantified) variable `v` occurs in
+//!    the head of `τ` at position `π`, and some tgd `τ'` has a *marked*
+//!    variable at position `π` in its body, then mark `v` in the body of
+//!    `τ`.  Repeat to fixpoint.
+//!
+//! A set of tgds is **sticky** iff no tgd has a marked variable occurring
+//! more than once in its body.
+
+use crate::tgd::Tgd;
+use sac_common::{Symbol, Term};
+use std::collections::BTreeSet;
+
+/// A position: predicate symbol and 0-based argument index.
+pub type Position = (Symbol, usize);
+
+/// The result of running the marking procedure over a set of tgds.
+#[derive(Debug, Clone)]
+pub struct StickyMarking {
+    /// For each tgd (by index), the set of marked body variables.
+    pub marked: Vec<BTreeSet<Symbol>>,
+    /// The body positions at which a marked variable occurs, per tgd.
+    pub marked_positions: BTreeSet<Position>,
+}
+
+impl StickyMarking {
+    /// Whether the marked assignment witnesses stickiness: no tgd has a
+    /// marked variable with two or more body occurrences.
+    pub fn is_sticky(&self, tgds: &[Tgd]) -> bool {
+        self.violations(tgds).is_empty()
+    }
+
+    /// The tgd indices and variables violating the sticky condition.
+    pub fn violations(&self, tgds: &[Tgd]) -> Vec<(usize, Symbol)> {
+        let mut out = Vec::new();
+        for (i, tgd) in tgds.iter().enumerate() {
+            for v in &self.marked[i] {
+                let occurrences: usize = tgd
+                    .body
+                    .iter()
+                    .map(|a| a.args.iter().filter(|t| **t == Term::Variable(*v)).count())
+                    .sum();
+                if occurrences >= 2 {
+                    out.push((i, *v));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Runs the marking procedure of Figure 1 and returns the marking.
+pub fn sticky_marking(tgds: &[Tgd]) -> StickyMarking {
+    let mut marked: Vec<BTreeSet<Symbol>> = vec![BTreeSet::new(); tgds.len()];
+
+    // Base step.
+    for (i, tgd) in tgds.iter().enumerate() {
+        for v in tgd.body_variables() {
+            let in_every_head_atom = tgd.head.iter().all(|a| a.mentions_variable(v));
+            if !in_every_head_atom {
+                marked[i].insert(v);
+            }
+        }
+    }
+
+    // Propagation to fixpoint.
+    loop {
+        // Body positions currently holding a marked variable (across all tgds).
+        let mut marked_positions: BTreeSet<Position> = BTreeSet::new();
+        for (i, tgd) in tgds.iter().enumerate() {
+            for atom in &tgd.body {
+                for (pos, t) in atom.args.iter().enumerate() {
+                    if let Term::Variable(v) = t {
+                        if marked[i].contains(v) {
+                            marked_positions.insert((atom.predicate, pos));
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut changed = false;
+        for (i, tgd) in tgds.iter().enumerate() {
+            let body_vars = tgd.body_variables();
+            for atom in &tgd.head {
+                for (pos, t) in atom.args.iter().enumerate() {
+                    if let Term::Variable(v) = t {
+                        // Only universally quantified (body) variables can be
+                        // marked in the body.
+                        if body_vars.contains(v)
+                            && marked_positions.contains(&(atom.predicate, pos))
+                            && marked[i].insert(*v)
+                        {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            // Recompute final marked positions for the report.
+            let mut final_positions: BTreeSet<Position> = BTreeSet::new();
+            for (i, tgd) in tgds.iter().enumerate() {
+                for atom in &tgd.body {
+                    for (pos, t) in atom.args.iter().enumerate() {
+                        if let Term::Variable(v) = t {
+                            if marked[i].contains(v) {
+                                final_positions.insert((atom.predicate, pos));
+                            }
+                        }
+                    }
+                }
+            }
+            return StickyMarking {
+                marked,
+                marked_positions: final_positions,
+            };
+        }
+    }
+}
+
+/// Whether a set of tgds is sticky.
+pub fn is_sticky(tgds: &[Tgd]) -> bool {
+    sticky_marking(tgds).is_sticky(tgds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::{atom, intern};
+
+    /// The sticky set of Figure 1: `T(x,y,z) → ∃w S(y,w)` and
+    /// `R(x,y), P(y,z) → ∃w T(x,y,w)` — the join variable `y` stays
+    /// unmarked, so the set is sticky.
+    fn figure1_sticky() -> Vec<Tgd> {
+        vec![
+            Tgd::new(
+                vec![atom!("T", var "x", var "y", var "z")],
+                vec![atom!("S", var "y", var "w")],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![atom!("R", var "x", var "y"), atom!("P", var "y", var "z")],
+                vec![atom!("T", var "x", var "y", var "w")],
+            )
+            .unwrap(),
+        ]
+    }
+
+    /// The non-sticky variant of Figure 1: the first tgd exports `x` instead
+    /// of `y`, so the marking reaches the join variable `y` of the second tgd.
+    fn figure1_non_sticky() -> Vec<Tgd> {
+        vec![
+            Tgd::new(
+                vec![atom!("T", var "x", var "y", var "z")],
+                vec![atom!("S", var "x", var "w")],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![atom!("R", var "x", var "y"), atom!("P", var "y", var "z")],
+                vec![atom!("T", var "x", var "y", var "w")],
+            )
+            .unwrap(),
+        ]
+    }
+
+    #[test]
+    fn figure1_sticky_set_is_sticky() {
+        let tgds = figure1_sticky();
+        let marking = sticky_marking(&tgds);
+        assert!(marking.is_sticky(&tgds));
+        assert!(is_sticky(&tgds));
+        // The join variable y of the second tgd must be unmarked.
+        assert!(!marking.marked[1].contains(&intern("y")));
+    }
+
+    #[test]
+    fn figure1_non_sticky_set_is_rejected() {
+        let tgds = figure1_non_sticky();
+        let marking = sticky_marking(&tgds);
+        assert!(!marking.is_sticky(&tgds));
+        assert!(!is_sticky(&tgds));
+        // The violation is the doubly-occurring marked join variable y in the
+        // second tgd.
+        let violations = marking.violations(&tgds);
+        assert!(violations.contains(&(1, intern("y"))));
+    }
+
+    #[test]
+    fn base_step_marks_variables_missing_from_some_head_atom() {
+        let tgds = figure1_sticky();
+        let marking = sticky_marking(&tgds);
+        // tgd 0: head S(y,w) misses x and z.
+        assert!(marking.marked[0].contains(&intern("x")));
+        assert!(marking.marked[0].contains(&intern("z")));
+        assert!(!marking.marked[0].contains(&intern("y")));
+        // tgd 1: head T(x,y,w) misses z.
+        assert!(marking.marked[1].contains(&intern("z")));
+    }
+
+    #[test]
+    fn example2_single_tgd_is_sticky() {
+        // Example 2: P(x), P(y) → R(x,y).  Both variables appear in the head,
+        // nothing is marked, the set is sticky (and non-recursive) but not
+        // guarded.
+        let tgds = vec![Tgd::new(
+            vec![atom!("P", var "x"), atom!("P", var "y")],
+            vec![atom!("R", var "x", var "y")],
+        )
+        .unwrap()];
+        assert!(is_sticky(&tgds));
+        assert!(!tgds[0].is_guarded());
+    }
+
+    #[test]
+    fn join_variable_dropped_from_head_makes_a_set_non_sticky() {
+        // R(x,y), S(y,z) → T(x,z): the join variable y is marked in the base
+        // step and occurs twice in the body.
+        let tgds = vec![Tgd::new(
+            vec![atom!("R", var "x", var "y"), atom!("S", var "y", var "z")],
+            vec![atom!("T", var "x", var "z")],
+        )
+        .unwrap()];
+        assert!(!is_sticky(&tgds));
+    }
+
+    #[test]
+    fn linear_tgds_are_always_sticky() {
+        // With single-atom bodies no variable can occur twice in different
+        // atoms; only repeated occurrences within the atom matter.
+        let tgds = vec![
+            Tgd::new(
+                vec![atom!("R", var "x", var "y")],
+                vec![atom!("S", var "y")],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![atom!("S", var "x")],
+                vec![atom!("R", var "x", var "z")],
+            )
+            .unwrap(),
+        ];
+        assert!(is_sticky(&tgds));
+    }
+
+    #[test]
+    fn repeated_marked_variable_within_one_atom_violates_stickiness() {
+        // R(x,x) → S(x) is fine (x occurs in the head)… but
+        // R(x,x,y) → S(y) marks x, which occurs twice in the body atom.
+        let ok = vec![Tgd::new(
+            vec![atom!("R", var "x", var "x")],
+            vec![atom!("S", var "x")],
+        )
+        .unwrap()];
+        assert!(is_sticky(&ok));
+        let bad = vec![Tgd::new(
+            vec![atom!("R", var "x", var "x", var "y")],
+            vec![atom!("S", var "y")],
+        )
+        .unwrap()];
+        assert!(!is_sticky(&bad));
+    }
+
+    #[test]
+    fn propagation_crosses_tgds() {
+        // τ1: A(x,y) → B(x):  y marked at A[1]... no B in any body, fine.
+        // τ2: B(u), C(u,v) → A(u,v): head position A[1] holds v; A[1] is a
+        // marked body position of τ1 → v becomes marked in τ2; v occurs once,
+        // still sticky.  Adding another body occurrence of v breaks it.
+        let sticky = vec![
+            Tgd::new(
+                vec![atom!("A", var "x", var "y")],
+                vec![atom!("B", var "x")],
+            )
+            .unwrap(),
+            Tgd::new(
+                vec![atom!("B", var "u"), atom!("C", var "u", var "v")],
+                vec![atom!("A", var "u", var "v")],
+            )
+            .unwrap(),
+        ];
+        let marking = sticky_marking(&sticky);
+        assert!(marking.marked[1].contains(&intern("v")));
+        assert!(is_sticky(&sticky));
+
+        let broken = vec![
+            sticky[0].clone(),
+            Tgd::new(
+                vec![
+                    atom!("B", var "u"),
+                    atom!("C", var "u", var "v"),
+                    atom!("D", var "v"),
+                ],
+                vec![atom!("A", var "u", var "v")],
+            )
+            .unwrap(),
+        ];
+        assert!(!is_sticky(&broken));
+    }
+
+    #[test]
+    fn empty_set_is_sticky() {
+        assert!(is_sticky(&[]));
+    }
+}

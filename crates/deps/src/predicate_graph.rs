@@ -1,0 +1,274 @@
+//! The predicate graph of a set of tgds and the derived classifiers:
+//! non-recursiveness (acyclic predicate graph) and weak acyclicity (no cycle
+//! through a "special" edge in the position dependency graph).
+
+use crate::tgd::Tgd;
+use sac_common::{Symbol, Term};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The predicate graph: an edge `P → Q` whenever `P` occurs in the body and
+/// `Q` in the head of the same tgd.
+#[derive(Debug, Clone, Default)]
+pub struct PredicateGraph {
+    edges: BTreeMap<Symbol, BTreeSet<Symbol>>,
+    nodes: BTreeSet<Symbol>,
+}
+
+impl PredicateGraph {
+    /// Builds the predicate graph of a set of tgds.
+    pub fn of_tgds(tgds: &[Tgd]) -> PredicateGraph {
+        let mut g = PredicateGraph::default();
+        for tgd in tgds {
+            for p in tgd.body_predicates() {
+                g.nodes.insert(p);
+            }
+            for q in tgd.head_predicates() {
+                g.nodes.insert(q);
+            }
+            for p in tgd.body_predicates() {
+                for q in tgd.head_predicates() {
+                    g.edges.entry(p).or_default().insert(q);
+                }
+            }
+        }
+        g
+    }
+
+    /// Nodes of the graph.
+    pub fn nodes(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, p: Symbol) -> impl Iterator<Item = Symbol> + '_ {
+        self.edges.get(&p).into_iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// Whether the graph contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        // Iterative DFS with colours.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour: BTreeMap<Symbol, Colour> =
+            self.nodes.iter().map(|n| (*n, Colour::White)).collect();
+        for &start in &self.nodes {
+            if colour[&start] != Colour::White {
+                continue;
+            }
+            // (node, iterator index over successors)
+            let mut stack: Vec<(Symbol, Vec<Symbol>, usize)> = vec![(
+                start,
+                self.successors(start).collect(),
+                0,
+            )];
+            colour.insert(start, Colour::Grey);
+            while let Some((node, succs, idx)) = stack.last_mut() {
+                if *idx < succs.len() {
+                    let next = succs[*idx];
+                    *idx += 1;
+                    match colour[&next] {
+                        Colour::Grey => return true,
+                        Colour::White => {
+                            colour.insert(next, Colour::Grey);
+                            let next_succs: Vec<Symbol> = self.successors(next).collect();
+                            stack.push((next, next_succs, 0));
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour.insert(*node, Colour::Black);
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+/// A set of tgds is *non-recursive* if its predicate graph is acyclic.
+pub fn is_non_recursive(tgds: &[Tgd]) -> bool {
+    !PredicateGraph::of_tgds(tgds).has_cycle()
+}
+
+/// Position node `(predicate, index)` of the weak-acyclicity dependency graph.
+type Position = (Symbol, usize);
+
+/// A set of tgds is *weakly acyclic* if its position dependency graph has no
+/// cycle passing through a special edge (Fagin et al., "Data exchange").
+///
+/// Regular edge `(π → π')`: a frontier variable occurs at body position `π`
+/// and head position `π'`.  Special edge `(π ⇒ π'')`: a frontier variable
+/// occurs at body position `π` and some existential variable occurs at head
+/// position `π''` of the same tgd.
+pub fn is_weakly_acyclic(tgds: &[Tgd]) -> bool {
+    let mut regular: BTreeMap<Position, BTreeSet<Position>> = BTreeMap::new();
+    let mut special: BTreeMap<Position, BTreeSet<Position>> = BTreeMap::new();
+    let mut nodes: BTreeSet<Position> = BTreeSet::new();
+
+    for tgd in tgds {
+        let existential = tgd.existential_variables();
+        // Positions of each body variable.
+        let mut body_positions: BTreeMap<Symbol, Vec<Position>> = BTreeMap::new();
+        for atom in &tgd.body {
+            for (i, t) in atom.args.iter().enumerate() {
+                if let Term::Variable(v) = t {
+                    body_positions.entry(*v).or_default().push((atom.predicate, i));
+                    nodes.insert((atom.predicate, i));
+                }
+            }
+        }
+        for atom in &tgd.head {
+            for (i, t) in atom.args.iter().enumerate() {
+                nodes.insert((atom.predicate, i));
+
+                if let Term::Variable(v) = t {
+                    if existential.contains(v) {
+                        // Special edges from every body position of every
+                        // frontier variable.
+                        for positions in tgd.frontier_variables().iter().filter_map(|f| body_positions.get(f)) {
+                            for &p in positions {
+                                special.entry(p).or_default().insert((atom.predicate, i));
+                            }
+                        }
+                    } else if let Some(positions) = body_positions.get(v) {
+                        for &p in positions {
+                            regular.entry(p).or_default().insert((atom.predicate, i));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // A cycle through a special edge exists iff for some special edge
+    // `u ⇒ v`, `u` is reachable from `v` using regular ∪ special edges.
+    let succ = |p: &Position| -> Vec<Position> {
+        let mut out: Vec<Position> = Vec::new();
+        if let Some(s) = regular.get(p) {
+            out.extend(s.iter().copied());
+        }
+        if let Some(s) = special.get(p) {
+            out.extend(s.iter().copied());
+        }
+        out
+    };
+    let reachable = |from: Position, to: Position| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            stack.extend(succ(&n));
+        }
+        false
+    };
+    for (u, vs) in &special {
+        for v in vs {
+            if reachable(*v, *u) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::atom;
+
+    fn tgd(body: Vec<sac_common::Atom>, head: Vec<sac_common::Atom>) -> Tgd {
+        Tgd::new(body, head).unwrap()
+    }
+
+    #[test]
+    fn non_recursive_detection() {
+        // R → S → T is acyclic.
+        let tgds = vec![
+            tgd(vec![atom!("R", var "x", var "y")], vec![atom!("S", var "x")]),
+            tgd(vec![atom!("S", var "x")], vec![atom!("T", var "x")]),
+        ];
+        assert!(is_non_recursive(&tgds));
+
+        // Adding T → R closes a cycle.
+        let mut cyclic = tgds.clone();
+        cyclic.push(tgd(vec![atom!("T", var "x")], vec![atom!("R", var "x", var "x")]));
+        assert!(!is_non_recursive(&cyclic));
+    }
+
+    #[test]
+    fn self_loop_is_recursive() {
+        let tgds = vec![tgd(
+            vec![atom!("E", var "x", var "y")],
+            vec![atom!("E", var "y", var "x")],
+        )];
+        assert!(!is_non_recursive(&tgds));
+    }
+
+    #[test]
+    fn figure1_sets_are_non_recursive() {
+        // Both Figure 1 sets have predicate edges T→S and {R,P}→T: acyclic.
+        let set = vec![
+            tgd(
+                vec![atom!("T", var "x", var "y", var "z")],
+                vec![atom!("S", var "y", var "w")],
+            ),
+            tgd(
+                vec![atom!("R", var "x", var "y"), atom!("P", var "y", var "z")],
+                vec![atom!("T", var "x", var "y", var "w")],
+            ),
+        ];
+        assert!(is_non_recursive(&set));
+    }
+
+    #[test]
+    fn weak_acyclicity_accepts_full_tgds() {
+        let tgds = vec![tgd(
+            vec![atom!("E", var "x", var "y")],
+            vec![atom!("E", var "y", var "x")],
+        )];
+        // Recursive but full: weakly acyclic (no special edges at all).
+        assert!(is_weakly_acyclic(&tgds));
+        assert!(!is_non_recursive(&tgds));
+    }
+
+    #[test]
+    fn weak_acyclicity_rejects_value_inventing_recursion() {
+        // Person(x) → ∃z HasParent(x, z); HasParent(x, z) → Person(z):
+        // the classic non-terminating example is NOT weakly acyclic.
+        let tgds = vec![
+            tgd(
+                vec![atom!("Person", var "x")],
+                vec![atom!("HasParent", var "x", var "z")],
+            ),
+            tgd(
+                vec![atom!("HasParent", var "x", var "z")],
+                vec![atom!("Person", var "z")],
+            ),
+        ];
+        assert!(!is_weakly_acyclic(&tgds));
+    }
+
+    #[test]
+    fn weak_acyclicity_accepts_non_recursive_existentials() {
+        let tgds = vec![tgd(
+            vec![atom!("Person", var "x")],
+            vec![atom!("HasId", var "x", var "z")],
+        )];
+        assert!(is_weakly_acyclic(&tgds));
+    }
+
+    #[test]
+    fn empty_set_is_trivially_in_all_classes() {
+        assert!(is_non_recursive(&[]));
+        assert!(is_weakly_acyclic(&[]));
+    }
+}

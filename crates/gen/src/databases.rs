@@ -1,0 +1,158 @@
+//! Synthetic databases for the evaluation experiments.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_common::{Atom, Term};
+use sac_storage::Instance;
+
+/// The Example 1 music-collector database with `customers` customers,
+/// `records` records and `styles` styles, **closed under the collector tgd**
+/// (every customer owns every record of a style they are interested in), so
+/// it satisfies the constraint by construction.
+///
+/// Interests and record classifications are assigned round-robin, which makes
+/// the answer counts predictable for the tests and the E1/E8 experiments.
+pub fn music_database(customers: usize, records: usize, styles: usize) -> Instance {
+    let styles = styles.max(1);
+    let mut inst = Instance::new();
+    let style_name = |s: usize| Term::constant(&format!("style{s}"));
+    for r in 0..records {
+        inst.insert(Atom::from_parts(
+            "Class",
+            vec![Term::constant(&format!("rec{r}")), style_name(r % styles)],
+        ))
+        .expect("consistent arities");
+    }
+    for c in 0..customers {
+        let s = c % styles;
+        inst.insert(Atom::from_parts(
+            "Interest",
+            vec![Term::constant(&format!("cust{c}")), style_name(s)],
+        ))
+        .expect("consistent arities");
+        // Close under the collector tgd: own every record of the style.
+        let mut r = s;
+        while r < records {
+            inst.insert(Atom::from_parts(
+                "Owns",
+                vec![
+                    Term::constant(&format!("cust{c}")),
+                    Term::constant(&format!("rec{r}")),
+                ],
+            ))
+            .expect("consistent arities");
+            r += styles;
+        }
+    }
+    inst
+}
+
+/// A random directed graph over `nodes` nodes with `edges` edges (predicate
+/// `E`), seeded for reproducibility.
+pub fn random_graph_database(nodes: usize, edges: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = Instance::new();
+    let node = |i: usize| Term::constant(&format!("n{i}"));
+    let mut inserted = 0usize;
+    let mut attempts = 0usize;
+    while inserted < edges && attempts < edges * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..nodes);
+        let b = rng.gen_range(0..nodes);
+        if inst
+            .insert(Atom::from_parts("E", vec![node(a), node(b)]))
+            .expect("consistent arities")
+        {
+            inserted += 1;
+        }
+    }
+    inst
+}
+
+/// A star-schema database: a `Fact(id, dim1, dim2)` table with two dimension
+/// tables `Dim1(d1, attr)` and `Dim2(d2, attr)` — the shape used by the
+/// evaluation-scaling experiment E8.
+pub fn star_schema_database(facts: usize, dim1: usize, dim2: usize, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim1 = dim1.max(1);
+    let dim2 = dim2.max(1);
+    let mut inst = Instance::new();
+    for d in 0..dim1 {
+        inst.insert(Atom::from_parts(
+            "Dim1",
+            vec![
+                Term::constant(&format!("d1_{d}")),
+                Term::constant(&format!("attr{}", d % 7)),
+            ],
+        ))
+        .expect("consistent arities");
+    }
+    for d in 0..dim2 {
+        inst.insert(Atom::from_parts(
+            "Dim2",
+            vec![
+                Term::constant(&format!("d2_{d}")),
+                Term::constant(&format!("attr{}", d % 5)),
+            ],
+        ))
+        .expect("consistent arities");
+    }
+    for f in 0..facts {
+        let a = rng.gen_range(0..dim1);
+        let b = rng.gen_range(0..dim2);
+        inst.insert(Atom::from_parts(
+            "Fact",
+            vec![
+                Term::constant(&format!("f{f}")),
+                Term::constant(&format!("d1_{a}")),
+                Term::constant(&format!("d2_{b}")),
+            ],
+        ))
+        .expect("consistent arities");
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::collector_tgd;
+    use sac_chase::{tgd_chase, ChaseBudget};
+    use sac_common::intern;
+
+    #[test]
+    fn music_database_satisfies_the_collector_tgd() {
+        let db = music_database(10, 20, 4);
+        let chased = tgd_chase(&db, &[collector_tgd()], ChaseBudget::large());
+        assert!(chased.terminated);
+        assert_eq!(
+            chased.steps, 0,
+            "the generated database must already be closed under the tgd"
+        );
+    }
+
+    #[test]
+    fn music_database_sizes_scale_with_parameters() {
+        let small = music_database(5, 10, 2);
+        let large = music_database(50, 100, 2);
+        assert!(large.len() > small.len());
+        assert!(small.relation(intern("Interest")).unwrap().len() == 5);
+        assert!(small.relation(intern("Class")).unwrap().len() == 10);
+    }
+
+    #[test]
+    fn random_graph_is_reproducible_and_bounded() {
+        let a = random_graph_database(50, 200, 1);
+        let b = random_graph_database(50, 200, 1);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() <= 200);
+        assert!(a.len() > 100, "should achieve most requested edges");
+    }
+
+    #[test]
+    fn star_schema_has_three_relations() {
+        let db = star_schema_database(100, 10, 10, 3);
+        assert_eq!(db.predicates().count(), 3);
+        assert_eq!(db.relation(intern("Fact")).unwrap().len(), 100);
+    }
+}

@@ -1,0 +1,213 @@
+//! The paper's named dependency sets and random dependency generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_common::{intern, Atom, Term};
+use sac_deps::{FunctionalDependency, Tgd};
+
+fn var(name: impl AsRef<str>) -> Term {
+    Term::Variable(intern(name.as_ref()))
+}
+
+/// Example 1's "compulsive collector" tgd:
+/// `Interest(x,z), Class(y,z) → Owns(x,y)`.
+pub fn collector_tgd() -> Tgd {
+    Tgd::new(
+        vec![
+            Atom::from_parts("Interest", vec![var("x"), var("z")]),
+            Atom::from_parts("Class", vec![var("y"), var("z")]),
+        ],
+        vec![Atom::from_parts("Owns", vec![var("x"), var("y")])],
+    )
+    .expect("collector tgd is well-formed")
+}
+
+/// Example 2's tgd `P(x), P(y) → R(x,y)` (sticky and non-recursive, not
+/// guarded; destroys acyclicity).
+pub fn example2_tgd() -> Tgd {
+    Tgd::new(
+        vec![
+            Atom::from_parts("P", vec![var("x")]),
+            Atom::from_parts("P", vec![var("y")]),
+        ],
+        vec![Atom::from_parts("R", vec![var("x"), var("y")])],
+    )
+    .expect("Example 2 tgd is well-formed")
+}
+
+/// Figure 1's sticky set: `T(x,y,z) → ∃w S(y,w)` and
+/// `R(x,y), P(y,z) → ∃w T(x,y,w)`.
+pub fn figure1_sticky() -> Vec<Tgd> {
+    vec![
+        Tgd::new(
+            vec![Atom::from_parts("T", vec![var("x"), var("y"), var("z")])],
+            vec![Atom::from_parts("S", vec![var("y"), var("w")])],
+        )
+        .expect("well-formed"),
+        Tgd::new(
+            vec![
+                Atom::from_parts("R", vec![var("x"), var("y")]),
+                Atom::from_parts("P", vec![var("y"), var("z")]),
+            ],
+            vec![Atom::from_parts("T", vec![var("x"), var("y"), var("w")])],
+        )
+        .expect("well-formed"),
+    ]
+}
+
+/// Figure 1's non-sticky variant (the first tgd exports `x` instead of `y`).
+pub fn figure1_non_sticky() -> Vec<Tgd> {
+    vec![
+        Tgd::new(
+            vec![Atom::from_parts("T", vec![var("x"), var("y"), var("z")])],
+            vec![Atom::from_parts("S", vec![var("x"), var("w")])],
+        )
+        .expect("well-formed"),
+        figure1_sticky().remove(1),
+    ]
+}
+
+/// Example 3's sticky family for arity parameter `n`: the rules
+/// `P_i(x̄, Z, x̄, Z, O), P_i(x̄, O, x̄, Z, O) → P_{i-1}(x̄, Z, x̄, Z, O)`
+/// whose UCQ rewriting of `P_0(0,…,0,0,1)` has height `2^n`.
+pub fn example3_sticky_family(n: usize) -> (Vec<Tgd>, sac_query::ConjunctiveQuery) {
+    let mut tgds = Vec::new();
+    for i in 1..=n {
+        let mut args_z: Vec<Term> = Vec::new();
+        let mut args_o: Vec<Term> = Vec::new();
+        let mut head_args: Vec<Term> = Vec::new();
+        for j in 1..=n {
+            if j == i {
+                args_z.push(var("Z"));
+                args_o.push(var("O"));
+                head_args.push(var("Z"));
+            } else {
+                args_z.push(var(format!("x{j}")));
+                args_o.push(var(format!("x{j}")));
+                head_args.push(var(format!("x{j}")));
+            }
+        }
+        for args in [&mut args_z, &mut args_o, &mut head_args] {
+            args.push(var("Z"));
+            args.push(var("O"));
+        }
+        tgds.push(
+            Tgd::new(
+                vec![
+                    Atom::from_parts(&format!("P{i}"), args_z),
+                    Atom::from_parts(&format!("P{i}"), args_o),
+                ],
+                vec![Atom::from_parts(&format!("P{}", i - 1), head_args)],
+            )
+            .expect("Example 3 tgd is well-formed"),
+        );
+    }
+    let mut q_args = vec![Term::constant("0"); n];
+    q_args.push(Term::constant("0"));
+    q_args.push(Term::constant("1"));
+    let q = sac_query::ConjunctiveQuery::boolean(vec![Atom::from_parts("P0", q_args)])
+        .expect("Example 3 query is well-formed");
+    (tgds, q)
+}
+
+/// Example 5 / Figure 4's two keys: `R(x,y,z,w), R(x,y,z,w') → w = w'` and
+/// `H(x,y), H(x,z) → y = z`, compiled to egds.
+pub fn example5_keys() -> Vec<sac_deps::Egd> {
+    let mut egds = FunctionalDependency::key("R", 4, [1, 2, 3])
+        .expect("key is well-formed")
+        .to_egds();
+    egds.extend(
+        FunctionalDependency::key("H", 2, [1])
+            .expect("key is well-formed")
+            .to_egds(),
+    );
+    egds
+}
+
+/// Generates `count` random inclusion dependencies over `num_predicates`
+/// binary predicates `E0, …` — always guarded, linear and sticky; whether the
+/// set is non-recursive depends on the drawn predicate pairs.
+pub fn random_inclusion_dependencies(count: usize, num_predicates: usize, seed: u64) -> Vec<Tgd> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let from = rng.gen_range(0..num_predicates);
+        let to = rng.gen_range(0..num_predicates);
+        let swap = rng.gen_bool(0.5);
+        let (b1, b2) = (var(format!("u{i}")), var(format!("v{i}")));
+        let head_args = if swap {
+            vec![b2.clone(), b1.clone()]
+        } else {
+            vec![b1.clone(), b2.clone()]
+        };
+        out.push(
+            Tgd::new(
+                vec![Atom::from_parts(&format!("E{from}"), vec![b1, b2])],
+                vec![Atom::from_parts(&format!("E{to}"), head_args)],
+            )
+            .expect("random inclusion dependency is well-formed"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_deps::{classify_tgds, is_sticky};
+
+    #[test]
+    fn named_sets_have_the_documented_classifications() {
+        let collector = classify_tgds(&[collector_tgd()]);
+        assert!(collector.full && collector.non_recursive && !collector.guarded);
+
+        let ex2 = classify_tgds(&[example2_tgd()]);
+        assert!(ex2.sticky && ex2.non_recursive && !ex2.guarded);
+
+        assert!(is_sticky(&figure1_sticky()));
+        assert!(!is_sticky(&figure1_non_sticky()));
+    }
+
+    #[test]
+    fn example3_family_is_sticky_and_non_recursive() {
+        for n in 2..=4 {
+            let (tgds, q) = example3_sticky_family(n);
+            assert_eq!(tgds.len(), n);
+            let c = classify_tgds(&tgds);
+            assert!(c.sticky, "Example 3 family must be sticky (n={n})");
+            assert!(c.non_recursive);
+            assert_eq!(q.size(), 1);
+            assert_eq!(q.body[0].arity(), n + 2);
+        }
+    }
+
+    #[test]
+    fn example5_keys_cover_both_predicates() {
+        let keys = example5_keys();
+        assert_eq!(keys.len(), 2);
+        let preds: Vec<String> = keys
+            .iter()
+            .flat_map(|e| e.body_predicates())
+            .map(|p| p.as_str())
+            .collect();
+        assert!(preds.contains(&"R".to_string()));
+        assert!(preds.contains(&"H".to_string()));
+    }
+
+    #[test]
+    fn random_inclusion_dependencies_are_inclusion_dependencies() {
+        let tgds = random_inclusion_dependencies(20, 4, 7);
+        assert_eq!(tgds.len(), 20);
+        let c = classify_tgds(&tgds);
+        assert!(c.inclusion && c.linear && c.guarded && c.sticky);
+    }
+
+    #[test]
+    fn random_generation_is_deterministic_per_seed() {
+        let a = random_inclusion_dependencies(10, 3, 42);
+        let b = random_inclusion_dependencies(10, 3, 42);
+        assert_eq!(a, b);
+        let c = random_inclusion_dependencies(10, 3, 43);
+        assert_ne!(a, c);
+    }
+}

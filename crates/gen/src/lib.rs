@@ -1,0 +1,30 @@
+//! # sac-gen
+//!
+//! Workload generators for the experiments: the query families, dependency
+//! sets and synthetic databases that back every benchmark in `sac-bench` and
+//! the examples.
+//!
+//! * [`queries`] — parameterized CQ families (paths, cycles, stars, cliques,
+//!   grids) and the paper's named queries (Example 1, Example 2, Example 4,
+//!   Example 5 / Figure 4).
+//! * [`deps`] — the paper's named dependency sets (the collector tgd of
+//!   Example 1, Figure 1's sticky and non-sticky sets, Example 2's tgd,
+//!   Example 3's sticky family, Example 4/5's keys) and random guarded /
+//!   linear / non-recursive generators.
+//! * [`databases`] — synthetic databases: the music-collector database of
+//!   Example 1 (closed under the collector tgd), random graphs, and
+//!   star-schema data for evaluation sweeps.
+
+pub mod databases;
+pub mod deps;
+pub mod queries;
+
+pub use databases::{music_database, random_graph_database, star_schema_database};
+pub use deps::{
+    collector_tgd, example2_tgd, example3_sticky_family, example5_keys, figure1_non_sticky,
+    figure1_sticky, random_inclusion_dependencies,
+};
+pub use queries::{
+    clique_query, cycle_query, example1_triangle, example2_query, example4_query, key_ring_query,
+    path_query, star_query,
+};

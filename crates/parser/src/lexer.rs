@@ -1,0 +1,145 @@
+//! Tokenizer for the Datalog-style syntax.
+
+use sac_common::{Error, Result};
+
+/// A token with its byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// An identifier (predicate, variable or constant name).
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:-`
+    ColonDash,
+    /// `->`
+    Arrow,
+    /// `=`
+    Equals,
+}
+
+/// Tokenizes the input; `%`-to-end-of-line comments are skipped.
+pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((Token::Comma, i));
+                i += 1;
+            }
+            '.' => {
+                tokens.push((Token::Dot, i));
+                i += 1;
+            }
+            '=' => {
+                tokens.push((Token::Equals, i));
+                i += 1;
+            }
+            ':' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push((Token::ColonDash, i));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse {
+                        message: "expected `:-`".into(),
+                        offset: i,
+                    });
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push((Token::Arrow, i));
+                    i += 2;
+                } else {
+                    return Err(Error::Parse {
+                        message: "expected `->`".into(),
+                        offset: i,
+                    });
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || c == '_' || c == '*' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((Token::Ident(input[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(Error::Parse {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_rule() {
+        let tokens = tokenize("R(X, y) -> S(X).").unwrap();
+        assert_eq!(tokens.len(), 12);
+        assert_eq!(tokens[0].0, Token::Ident("R".into()));
+        assert!(tokens.iter().any(|(t, _)| *t == Token::Arrow));
+        assert_eq!(tokens.last().unwrap().0, Token::Dot);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let tokens = tokenize("% a comment\nR(a).").unwrap();
+        assert_eq!(tokens[0].0, Token::Ident("R".into()));
+    }
+
+    #[test]
+    fn colon_dash_and_equals() {
+        let tokens = tokenize("q() :- R(X, Y), X = Y.").unwrap();
+        assert!(tokens.iter().any(|(t, _)| *t == Token::ColonDash));
+        assert!(tokens.iter().any(|(t, _)| *t == Token::Equals));
+    }
+
+    #[test]
+    fn bad_characters_are_reported_with_offsets() {
+        let err = tokenize("R(a) & S(b)").unwrap_err();
+        match err {
+            Error::Parse { offset, .. } => assert_eq!(offset, 5),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lone_dash_is_an_error() {
+        assert!(tokenize("R(a) - S(b)").is_err());
+        assert!(tokenize("R(a) : S(b)").is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! Recursive-descent parser for queries, dependencies and databases.
+
+use crate::lexer::{tokenize, Token};
+use sac_common::{intern, Atom, Error, Result, Term};
+use sac_deps::{Egd, Tgd};
+use sac_query::ConjunctiveQuery;
+use sac_storage::Instance;
+
+/// A parsed program: any mix of queries, tgds, egds and facts.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Named queries, in order of appearance.
+    pub queries: Vec<ConjunctiveQuery>,
+    /// Tgds, in order of appearance.
+    pub tgds: Vec<Tgd>,
+    /// Egds, in order of appearance.
+    pub egds: Vec<Egd>,
+    /// Ground facts, collected into an instance.
+    pub database: Instance,
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(_, o)| *o)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: &str) -> Error {
+        Error::Parse {
+            message: message.to_owned(),
+            offset: self.offset(),
+        }
+    }
+
+    fn eat(&mut self, expected: &Token) -> Result<()> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {expected:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().cloned() {
+            Some(Token::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error("expected an identifier")),
+        }
+    }
+
+    fn term_of(name: &str) -> Term {
+        let first = name.chars().next().unwrap_or('a');
+        if first.is_uppercase() || first == '_' {
+            Term::Variable(intern(name))
+        } else {
+            Term::Constant(intern(name))
+        }
+    }
+
+    /// Parses `Pred(arg, …, arg)`; the argument list may be empty.
+    fn atom(&mut self) -> Result<Atom> {
+        let predicate = self.ident()?;
+        self.eat(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                let name = self.ident()?;
+                args.push(Self::term_of(&name));
+                if self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        Ok(Atom::from_parts(&predicate, args))
+    }
+
+    fn atom_list(&mut self) -> Result<Vec<Atom>> {
+        let mut atoms = vec![self.atom()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            atoms.push(self.atom()?);
+        }
+        Ok(atoms)
+    }
+
+    /// Parses one statement ending with `.`.
+    fn statement(&mut self, program: &mut Program) -> Result<()> {
+        // Look ahead: a query starts with `name(args) :-`.
+        let start = self.pos;
+        let first_atom = self.atom()?;
+        match self.peek() {
+            Some(Token::ColonDash) => {
+                // Query: head variables come from the pseudo-atom.
+                self.pos += 1;
+                let head: Result<Vec<_>> = first_atom
+                    .args
+                    .iter()
+                    .map(|t| {
+                        t.as_variable()
+                            .ok_or_else(|| self.error("query heads may only contain variables"))
+                    })
+                    .collect();
+                let body = self.atom_list()?;
+                self.eat(&Token::Dot)?;
+                let query = ConjunctiveQuery::new(head?, body)
+                    .map_err(|e| self.error(&format!("invalid query: {e}")))?
+                    .named(&first_atom.predicate.as_str());
+                program.queries.push(query);
+                Ok(())
+            }
+            Some(Token::Dot) => {
+                // Ground fact.
+                self.pos += 1;
+                if !first_atom.is_ground() {
+                    return Err(self.error("facts must be ground (constants only)"));
+                }
+                program
+                    .database
+                    .insert(first_atom)
+                    .map_err(|e| self.error(&format!("invalid fact: {e}")))?;
+                Ok(())
+            }
+            Some(Token::Comma) | Some(Token::Arrow) => {
+                // Dependency: re-parse the body from `start`.
+                self.pos = start;
+                let body = self.atom_list()?;
+                self.eat(&Token::Arrow)?;
+                // Egd if the right-hand side is `V = W`.
+                let rhs_start = self.pos;
+                if let Ok(left_name) = self.ident() {
+                    if self.peek() == Some(&Token::Equals) {
+                        self.pos += 1;
+                        let right_name = self.ident()?;
+                        self.eat(&Token::Dot)?;
+                        let left = Self::term_of(&left_name)
+                            .as_variable()
+                            .ok_or_else(|| self.error("egd equates variables"))?;
+                        let right = Self::term_of(&right_name)
+                            .as_variable()
+                            .ok_or_else(|| self.error("egd equates variables"))?;
+                        let egd = Egd::new(body, left, right)
+                            .map_err(|e| self.error(&format!("invalid egd: {e}")))?;
+                        program.egds.push(egd);
+                        return Ok(());
+                    }
+                }
+                self.pos = rhs_start;
+                let head = self.atom_list()?;
+                self.eat(&Token::Dot)?;
+                let tgd =
+                    Tgd::new(body, head).map_err(|e| self.error(&format!("invalid tgd: {e}")))?;
+                program.tgds.push(tgd);
+                Ok(())
+            }
+            _ => Err(self.error("expected `.`, `:-`, `,` or `->`")),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut program = Program::default();
+        while self.peek().is_some() {
+            self.statement(&mut program)?;
+        }
+        Ok(program)
+    }
+}
+
+/// Parses a whole program (queries, dependencies and facts in any order).
+pub fn parse_program(input: &str) -> Result<Program> {
+    Parser::new(input)?.program()
+}
+
+/// Parses a single conjunctive query.
+pub fn parse_query(input: &str) -> Result<ConjunctiveQuery> {
+    let program = parse_program(input)?;
+    program
+        .queries
+        .into_iter()
+        .next()
+        .ok_or_else(|| Error::Parse {
+            message: "expected a query".into(),
+            offset: 0,
+        })
+}
+
+/// Parses a single tgd.
+pub fn parse_tgd(input: &str) -> Result<Tgd> {
+    let program = parse_program(input)?;
+    program.tgds.into_iter().next().ok_or_else(|| Error::Parse {
+        message: "expected a tgd".into(),
+        offset: 0,
+    })
+}
+
+/// Parses a single egd.
+pub fn parse_egd(input: &str) -> Result<Egd> {
+    let program = parse_program(input)?;
+    program.egds.into_iter().next().ok_or_else(|| Error::Parse {
+        message: "expected an egd".into(),
+        offset: 0,
+    })
+}
+
+/// Parses a database (a list of ground facts).
+pub fn parse_database(input: &str) -> Result<Instance> {
+    Ok(parse_program(input)?.database)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::atom;
+
+    #[test]
+    fn parses_example1_query() {
+        let q = parse_query("q(X, Y) :- Interest(X, Z), Class(Y, Z), Owns(X, Y).").unwrap();
+        assert_eq!(q.size(), 3);
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.name.as_deref(), Some("q"));
+        assert!(q.constants().is_empty());
+    }
+
+    #[test]
+    fn parses_boolean_queries() {
+        let q = parse_query("check() :- R(X, a), S(X).").unwrap();
+        assert!(q.is_boolean());
+        assert!(q.constants().contains(&intern("a")));
+    }
+
+    #[test]
+    fn parses_tgds_with_existentials() {
+        let t = parse_tgd("Person(X) -> HasParent(X, Z).").unwrap();
+        assert!(!t.is_full());
+        assert_eq!(t.existential_variables().len(), 1);
+        let full = parse_tgd("Interest(X, Z), Class(Y, Z) -> Owns(X, Y).").unwrap();
+        assert!(full.is_full());
+    }
+
+    #[test]
+    fn parses_egds_and_keys() {
+        let e = parse_egd("R(X, Y), R(X, Z) -> Y = Z.").unwrap();
+        assert_eq!(e.body.len(), 2);
+        assert_eq!(e.left, intern("Y"));
+        assert_eq!(e.right, intern("Z"));
+    }
+
+    #[test]
+    fn parses_facts_into_a_database() {
+        let db = parse_database("Interest(alice, jazz). Class(kind_of_blue, jazz).").unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(db.contains(&atom!("Interest", cst "alice", cst "jazz")));
+    }
+
+    #[test]
+    fn parses_a_mixed_program() {
+        let src = "
+            % Example 1, end to end.
+            Interest(alice, jazz).
+            Class(kind_of_blue, jazz).
+            Interest(X, Z), Class(Y, Z) -> Owns(X, Y).
+            q(X, Y) :- Interest(X, Z), Class(Y, Z), Owns(X, Y).
+        ";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.database.len(), 2);
+        assert_eq!(p.tgds.len(), 1);
+        assert_eq!(p.queries.len(), 1);
+        assert!(p.egds.is_empty());
+    }
+
+    #[test]
+    fn case_determines_variables_vs_constants() {
+        let q = parse_query("q() :- R(X, x, _tmp).").unwrap();
+        let atom = &q.body[0];
+        assert!(atom.args[0].is_variable());
+        assert!(atom.args[1].is_constant());
+        assert!(atom.args[2].is_variable());
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        assert!(parse_query("q(X) :- R(X,").is_err());
+        assert!(parse_database("R(X).").is_err()); // non-ground fact
+        assert!(parse_program("R(a) S(b).").is_err());
+        assert!(parse_query("q(a) :- R(a).").is_err()); // constant in head
+    }
+
+    #[test]
+    fn malformed_dependencies_are_rejected() {
+        assert!(parse_program("R(X) -> Y = Z.").is_err()); // egd vars not in body
+        assert!(parse_program("R(X), R(X, Y) -> S(X).").is_err()); // arity clash
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        let q = parse_query("q(X) :- Interest(X, Z), Class(Y, Z).").unwrap();
+        let printed = format!("{q}");
+        assert!(printed.contains("Interest"));
+        assert!(printed.contains("Class"));
+    }
+}

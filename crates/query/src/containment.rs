@@ -1,0 +1,126 @@
+//! Classical (constraint-free) CQ containment and equivalence.
+//!
+//! By the Chandra–Merlin theorem, `q ⊆ q'` holds iff there is a homomorphism
+//! from `q'` to `q` mapping the head of `q'` onto the head of `q` — or,
+//! equivalently, iff the frozen head tuple `c(x̄)` of `q` belongs to
+//! `q'(D_q)` where `D_q` is the canonical database of `q`.  This module
+//! implements the canonical-database formulation, which is the one Lemma 1
+//! generalizes to containment *under constraints* (implemented in
+//! `sac-core`, on top of the chase).
+
+use crate::cq::ConjunctiveQuery;
+use crate::evaluate::contains_answer;
+use crate::freeze::FrozenQuery;
+
+/// Returns `true` iff `q ⊆ q'` over all instances (no constraints).
+///
+/// Queries with different head arities are never comparable and the function
+/// returns `false` for them.
+pub fn contained_in(q: &ConjunctiveQuery, q_prime: &ConjunctiveQuery) -> bool {
+    if q.head.len() != q_prime.head.len() {
+        return false;
+    }
+    let frozen = FrozenQuery::freeze(q);
+    contains_answer(q_prime, &frozen.instance, &frozen.head)
+}
+
+/// Returns `true` iff `q ≡ q'` over all instances (no constraints).
+pub fn equivalent(q: &ConjunctiveQuery, q_prime: &ConjunctiveQuery) -> bool {
+    contained_in(q, q_prime) && contained_in(q_prime, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::{atom, intern};
+
+    fn path(n: usize) -> ConjunctiveQuery {
+        // Boolean: E(x0,x1), ..., E(x{n-1},xn)
+        let body = (0..n)
+            .map(|i| {
+                sac_common::Atom::from_parts(
+                    "E",
+                    vec![
+                        sac_common::Term::variable(&format!("x{i}")),
+                        sac_common::Term::variable(&format!("x{}", i + 1)),
+                    ],
+                )
+            })
+            .collect();
+        ConjunctiveQuery::boolean(body).unwrap()
+    }
+
+    #[test]
+    fn longer_paths_are_contained_in_shorter_ones() {
+        // A database with a 3-path also has a 2-path: path(3) ⊆ path(2).
+        assert!(contained_in(&path(3), &path(2)));
+        assert!(!contained_in(&path(2), &path(3)));
+    }
+
+    #[test]
+    fn every_query_is_contained_in_itself() {
+        let q = path(4);
+        assert!(contained_in(&q, &q));
+        assert!(equivalent(&q, &q));
+    }
+
+    #[test]
+    fn cycle_contained_in_path_but_not_conversely() {
+        let cycle = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "y", var "x"),
+        ])
+        .unwrap();
+        // Any DB with a 2-cycle has a 2-path.
+        assert!(contained_in(&cycle, &path(2)));
+        assert!(!contained_in(&path(2), &cycle));
+    }
+
+    #[test]
+    fn head_arity_mismatch_is_never_contained() {
+        let unary = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "x", var "y")])
+            .unwrap();
+        let boolean = path(1);
+        assert!(!contained_in(&unary, &boolean));
+        assert!(!contained_in(&boolean, &unary));
+    }
+
+    #[test]
+    fn head_variables_constrain_containment() {
+        // q1(x) :- E(x,y)   vs   q2(x) :- E(y,x): not comparable.
+        let q1 = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "x", var "y")])
+            .unwrap();
+        let q2 = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "y", var "x")])
+            .unwrap();
+        assert!(!contained_in(&q1, &q2));
+        assert!(!contained_in(&q2, &q1));
+    }
+
+    #[test]
+    fn redundant_atoms_do_not_change_equivalence() {
+        let q1 = ConjunctiveQuery::new(
+            vec![intern("x")],
+            vec![atom!("E", var "x", var "y")],
+        )
+        .unwrap();
+        let q2 = ConjunctiveQuery::new(
+            vec![intern("x")],
+            vec![
+                atom!("E", var "x", var "y"),
+                atom!("E", var "x", var "y2"),
+            ],
+        )
+        .unwrap();
+        assert!(equivalent(&q1, &q2));
+    }
+
+    #[test]
+    fn constants_affect_containment() {
+        let q_const =
+            ConjunctiveQuery::boolean(vec![atom!("E", cst "a", var "y")]).unwrap();
+        let q_var = ConjunctiveQuery::boolean(vec![atom!("E", var "x", var "y")]).unwrap();
+        // Having E(a, y) implies having E(x, y); not conversely.
+        assert!(contained_in(&q_const, &q_var));
+        assert!(!contained_in(&q_var, &q_const));
+    }
+}

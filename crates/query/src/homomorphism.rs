@@ -1,0 +1,321 @@
+//! Backtracking homomorphism search with greedy join ordering.
+//!
+//! Homomorphisms are the single primitive behind CQ evaluation, containment
+//! (Lemma 1), the chase trigger search, and the core computation.  The search
+//! maps a *pattern* (a list of atoms that may contain variables) into a
+//! *target* [`Instance`], extending an initial [`Substitution`].
+//!
+//! The engine performs a standard backtracking join:
+//!
+//! 1. at every step it picks the not-yet-matched atom with the most bound
+//!    argument positions (constants or already-bound variables), breaking
+//!    ties towards atoms whose relation is smallest;
+//! 2. candidate facts for that atom are obtained through the target's
+//!    positional indexes ([`sac_storage::Relation::select`]);
+//! 3. bindings are extended and the search recurses, undoing bindings on
+//!    backtrack.
+//!
+//! CQ evaluation is NP-complete in combined complexity, so the worst case is
+//! exponential — as it must be — but the index-driven ordering keeps the
+//! paper's workloads (queries with tens of atoms over databases with up to a
+//! few hundred thousand facts) comfortably fast.
+
+use sac_common::{Atom, Substitution, Term};
+use sac_storage::Instance;
+use std::ops::ControlFlow;
+
+/// A configured homomorphism search from a pattern into a target instance.
+pub struct HomomorphismSearch<'a> {
+    pattern: &'a [Atom],
+    target: &'a Instance,
+    initial: Substitution,
+}
+
+impl<'a> HomomorphismSearch<'a> {
+    /// Creates a search for homomorphisms mapping `pattern` into `target`.
+    pub fn new(pattern: &'a [Atom], target: &'a Instance) -> HomomorphismSearch<'a> {
+        HomomorphismSearch {
+            pattern,
+            target,
+            initial: Substitution::new(),
+        }
+    }
+
+    /// Fixes an initial partial substitution (e.g. the identity on free
+    /// variables for core computation, or a chase trigger prefix).
+    pub fn with_initial(mut self, initial: Substitution) -> HomomorphismSearch<'a> {
+        self.initial = initial;
+        self
+    }
+
+    /// Returns the first homomorphism found, if any.
+    pub fn find_first(&self) -> Option<Substitution> {
+        let mut found = None;
+        self.for_each(|h| {
+            found = Some(h.clone());
+            ControlFlow::Break(())
+        });
+        found
+    }
+
+    /// Returns `true` if at least one homomorphism exists.
+    pub fn exists(&self) -> bool {
+        self.find_first().is_some()
+    }
+
+    /// Collects every homomorphism.  Use [`HomomorphismSearch::for_each`] for
+    /// early termination or to avoid materializing a large result set.
+    pub fn all(&self) -> Vec<Substitution> {
+        let mut out = Vec::new();
+        self.for_each(|h| {
+            out.push(h.clone());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Invokes `visit` on every homomorphism until it returns
+    /// [`ControlFlow::Break`].
+    pub fn for_each(&self, mut visit: impl FnMut(&Substitution) -> ControlFlow<()>) {
+        let mut state = self.initial.clone();
+        let mut remaining: Vec<usize> = (0..self.pattern.len()).collect();
+        let _ = self.search(&mut state, &mut remaining, &mut visit);
+    }
+
+    fn search(
+        &self,
+        state: &mut Substitution,
+        remaining: &mut Vec<usize>,
+        visit: &mut impl FnMut(&Substitution) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        if remaining.is_empty() {
+            return visit(state);
+        }
+        // Greedy ordering: most bound positions first, then smallest relation.
+        let (choice_idx, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &atom_idx)| {
+                let atom = &self.pattern[atom_idx];
+                let bound = atom
+                    .args
+                    .iter()
+                    .filter(|t| !state.apply(**t).is_variable())
+                    .count();
+                let rel_size = self
+                    .target
+                    .relation(atom.predicate)
+                    .map(|r| r.len())
+                    .unwrap_or(0);
+                (i, (bound, rel_size))
+            })
+            .max_by(|(_, (b1, s1)), (_, (b2, s2))| b1.cmp(b2).then(s2.cmp(s1)))
+            .expect("remaining is non-empty");
+        let atom_idx = remaining.swap_remove(choice_idx);
+        let atom = &self.pattern[atom_idx];
+
+        let outcome = self.try_atom(atom, state, remaining, visit);
+
+        // Restore `remaining` (swap_remove moved the last element into
+        // `choice_idx`; pushing back and swapping restores the original
+        // multiset, which is all that matters).
+        remaining.push(atom_idx);
+        outcome
+    }
+
+    fn try_atom(
+        &self,
+        atom: &Atom,
+        state: &mut Substitution,
+        remaining: &mut Vec<usize>,
+        visit: &mut impl FnMut(&Substitution) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let Some(relation) = self.target.relation(atom.predicate) else {
+            return ControlFlow::Continue(());
+        };
+        if relation.arity() != atom.arity() {
+            return ControlFlow::Continue(());
+        }
+        // Bound positions under the current partial substitution.
+        let bound: Vec<(usize, Term)> = atom
+            .args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                let image = state.apply(*t);
+                (!image.is_variable()).then_some((i, image))
+            })
+            .collect();
+        let candidates: Vec<Vec<Term>> = relation.select(&bound).map(|t| t.to_vec()).collect();
+        for tuple in candidates {
+            let target_atom = Atom::new(atom.predicate, tuple);
+            let mut extended = state.clone();
+            if !extended.match_atom(atom, &target_atom) {
+                continue;
+            }
+            let mut next_state = extended;
+            std::mem::swap(state, &mut next_state);
+            let outcome = self.search(state, remaining, visit);
+            std::mem::swap(state, &mut next_state);
+            if outcome.is_break() {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    }
+}
+
+/// Finds one homomorphism from `pattern` into `target`.
+pub fn find_homomorphism(pattern: &[Atom], target: &Instance) -> Option<Substitution> {
+    HomomorphismSearch::new(pattern, target).find_first()
+}
+
+/// Collects all homomorphisms from `pattern` into `target`.
+pub fn all_homomorphisms(pattern: &[Atom], target: &Instance) -> Vec<Substitution> {
+    HomomorphismSearch::new(pattern, target).all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::{atom, intern};
+
+    fn path_db(n: usize) -> Instance {
+        // E(a0,a1), E(a1,a2), ..., E(a{n-1}, a{n})
+        let mut inst = Instance::new();
+        for i in 0..n {
+            inst.insert(Atom::from_parts(
+                "E",
+                vec![
+                    Term::constant(&format!("a{i}")),
+                    Term::constant(&format!("a{}", i + 1)),
+                ],
+            ))
+            .unwrap();
+        }
+        inst
+    }
+
+    #[test]
+    fn single_atom_pattern_matches_every_fact() {
+        let db = path_db(4);
+        let pattern = vec![atom!("E", var "x", var "y")];
+        assert_eq!(all_homomorphisms(&pattern, &db).len(), 4);
+    }
+
+    #[test]
+    fn two_step_path_pattern() {
+        let db = path_db(4);
+        let pattern = vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "y", var "z"),
+        ];
+        // Paths of length 2 in a 4-edge path: 3.
+        assert_eq!(all_homomorphisms(&pattern, &db).len(), 3);
+    }
+
+    #[test]
+    fn unsatisfiable_pattern_has_no_homomorphism() {
+        let db = path_db(2);
+        // A cycle of length 2 does not embed into a directed path.
+        let pattern = vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "y", var "x"),
+        ];
+        assert!(find_homomorphism(&pattern, &db).is_none());
+    }
+
+    #[test]
+    fn constants_in_pattern_restrict_matches() {
+        let db = path_db(4);
+        let pattern = vec![atom!("E", cst "a0", var "y")];
+        let homs = all_homomorphisms(&pattern, &db);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(
+            homs[0].get_var(intern("y")),
+            Some(Term::constant("a1"))
+        );
+    }
+
+    #[test]
+    fn missing_predicate_yields_no_matches() {
+        let db = path_db(2);
+        let pattern = vec![atom!("Missing", var "x")];
+        assert!(!HomomorphismSearch::new(&pattern, &db).exists());
+    }
+
+    #[test]
+    fn initial_substitution_is_respected() {
+        let db = path_db(4);
+        let pattern = vec![atom!("E", var "x", var "y")];
+        let initial = Substitution::from_pairs([(Term::variable("x"), Term::constant("a2"))]);
+        let homs = HomomorphismSearch::new(&pattern, &db)
+            .with_initial(initial)
+            .all();
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get_var(intern("y")), Some(Term::constant("a3")));
+    }
+
+    #[test]
+    fn repeated_variables_must_agree() {
+        let mut db = Instance::new();
+        db.insert(atom!("R", cst "a", cst "a")).unwrap();
+        db.insert(atom!("R", cst "a", cst "b")).unwrap();
+        let pattern = vec![atom!("R", var "x", var "x")];
+        let homs = all_homomorphisms(&pattern, &db);
+        assert_eq!(homs.len(), 1);
+    }
+
+    #[test]
+    fn empty_pattern_has_exactly_the_initial_homomorphism() {
+        let db = path_db(1);
+        let homs = all_homomorphisms(&[], &db);
+        assert_eq!(homs.len(), 1);
+        assert!(homs[0].is_empty());
+    }
+
+    #[test]
+    fn cross_product_pattern_enumerates_all_pairs() {
+        let db = path_db(3);
+        let pattern = vec![
+            atom!("E", var "x1", var "y1"),
+            atom!("E", var "x2", var "y2"),
+        ];
+        assert_eq!(all_homomorphisms(&pattern, &db).len(), 9);
+    }
+
+    #[test]
+    fn for_each_supports_early_exit() {
+        let db = path_db(5);
+        let pattern = vec![atom!("E", var "x", var "y")];
+        let mut seen = 0;
+        HomomorphismSearch::new(&pattern, &db).for_each(|_| {
+            seen += 1;
+            if seen == 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn triangle_pattern_in_triangle_db() {
+        let mut db = Instance::new();
+        for (s, t) in [("a", "b"), ("b", "c"), ("c", "a")] {
+            db.insert(Atom::from_parts(
+                "E",
+                vec![Term::constant(s), Term::constant(t)],
+            ))
+            .unwrap();
+        }
+        let pattern = vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "y", var "z"),
+            atom!("E", var "z", var "x"),
+        ];
+        // Three rotations of the triangle.
+        assert_eq!(all_homomorphisms(&pattern, &db).len(), 3);
+    }
+}

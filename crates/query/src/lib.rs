@@ -1,0 +1,33 @@
+//! # sac-query
+//!
+//! Conjunctive queries (CQs) and unions of conjunctive queries (UCQs),
+//! together with the machinery the paper's Section 2 relies on:
+//!
+//! * the **Gaifman graph** of a query and connectivity notions (used by the
+//!   connecting operator and by Proposition 5),
+//! * **freezing** a query into its canonical database (the `c(x)` construction
+//!   used throughout the paper, Lemma 1 in particular),
+//! * a backtracking **homomorphism engine** with greedy join ordering, the
+//!   workhorse behind evaluation, containment and the chase,
+//! * classical (constraint-free) **containment**, **equivalence** and **core**
+//!   computation — the baseline against which semantic acyclicity under
+//!   constraints is compared (a CQ is semantically acyclic in the absence of
+//!   constraints iff its core is acyclic).
+
+pub mod containment;
+pub mod cq;
+pub mod evaluate;
+pub mod freeze;
+pub mod gaifman;
+pub mod homomorphism;
+pub mod minimize;
+pub mod ucq;
+
+pub use containment::{contained_in, equivalent};
+pub use cq::ConjunctiveQuery;
+pub use evaluate::{evaluate, evaluate_boolean};
+pub use freeze::FrozenQuery;
+pub use gaifman::GaifmanGraph;
+pub use homomorphism::{all_homomorphisms, find_homomorphism, HomomorphismSearch};
+pub use minimize::core_of;
+pub use ucq::UnionOfConjunctiveQueries;

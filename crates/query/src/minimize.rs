@@ -1,0 +1,237 @@
+//! Core computation (query minimization).
+//!
+//! The *core* of a CQ `q` is the unique (up to isomorphism) minimal
+//! equivalent CQ `q'` — the paper's Section 1 recalls that in the absence of
+//! constraints, semantic acyclicity degenerates to "the core is acyclic".
+//! `sac-core` uses this module both for the constraint-free baseline and to
+//! simplify candidate witness queries before testing them.
+//!
+//! The algorithm is the standard folding procedure: repeatedly look for an
+//! endomorphism of `q` (fixing the free variables) whose image misses at
+//! least one body atom, replace the body with the image, and stop when no
+//! such endomorphism exists.  Each round removes at least one atom, so at
+//! most `|q|` rounds are performed; each round performs an NP homomorphism
+//! search, which is the unavoidable cost (core computation is NP-hard).
+
+use crate::cq::ConjunctiveQuery;
+use crate::homomorphism::HomomorphismSearch;
+use sac_common::{Atom, Substitution, Term};
+use sac_storage::Instance;
+use std::collections::BTreeSet;
+
+/// Computes the core of `query`.
+///
+/// The result is equivalent to `query` (over all instances), uses a subset of
+/// its variables, and has a body that cannot be further folded.
+pub fn core_of(query: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let mut current: Vec<Atom> = query.dedup_atoms().body;
+    loop {
+        match fold_step(&query.head, &current) {
+            Some(smaller) => current = smaller,
+            None => break,
+        }
+    }
+    ConjunctiveQuery {
+        name: query.name.clone(),
+        head: query.head.clone(),
+        body: current,
+    }
+}
+
+/// Returns `true` if `query` is a core (no proper fold exists).
+pub fn is_core(query: &ConjunctiveQuery) -> bool {
+    fold_step(&query.head, &query.dedup_atoms().body).is_none()
+}
+
+/// Tries to find an endomorphism of `body` (fixing `head` variables) whose
+/// image avoids at least one atom of `body`; returns the image if found.
+///
+/// The target side is *frozen* (variables replaced by labelled nulls) so that
+/// the homomorphism engine never confuses pattern variables with the query's
+/// own variables appearing as target values.
+fn fold_step(head: &[sac_common::Symbol], body: &[Atom]) -> Option<Vec<Atom>> {
+    // Freeze every variable of the body to a dedicated null.
+    let variables: BTreeSet<sac_common::Symbol> =
+        body.iter().flat_map(|a| a.variables()).collect();
+    let var_to_null: std::collections::BTreeMap<sac_common::Symbol, Term> = variables
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (*v, Term::Null(i as u64)))
+        .collect();
+    let null_to_var: std::collections::BTreeMap<u64, sac_common::Symbol> = var_to_null
+        .iter()
+        .map(|(v, t)| (t.as_null().expect("frozen term is a null"), *v))
+        .collect();
+    let freeze_atom = |a: &Atom| {
+        a.map_args(|t| match t {
+            Term::Variable(v) => var_to_null[&v],
+            other => other,
+        })
+    };
+    let unfreeze_atom = |a: &Atom| {
+        a.map_args(|t| match t {
+            Term::Null(n) => Term::Variable(null_to_var[&n]),
+            other => other,
+        })
+    };
+    // Free variables must be fixed pointwise (mapped to their own frozen
+    // image).
+    let fixed = Substitution::from_pairs(
+        head.iter()
+            .map(|v| (Term::Variable(*v), var_to_null[v])),
+    );
+
+    for dropped in body {
+        // Look for an endomorphism avoiding `dropped`, i.e. into body \ {dropped}.
+        let reduced_frozen: Vec<Atom> = body
+            .iter()
+            .filter(|a| *a != dropped)
+            .map(freeze_atom)
+            .collect();
+        if reduced_frozen.len() == body.len() {
+            continue; // duplicates already removed by dedup
+        }
+        let reduced_instance = Instance::from_atoms(reduced_frozen.iter().cloned())
+            .expect("query body has consistent arities");
+        let found = HomomorphismSearch::new(body, &reduced_instance)
+            .with_initial(fixed.clone())
+            .find_first();
+        if let Some(h) = found {
+            // The image of the body under h, mapped back to query variables.
+            let image: BTreeSet<Atom> = body
+                .iter()
+                .map(|a| unfreeze_atom(&h.apply_atom(a)))
+                .collect();
+            debug_assert!(image.len() < body.len());
+            return Some(image.into_iter().collect());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::containment::equivalent;
+    use sac_common::{atom, intern};
+
+    #[test]
+    fn core_of_a_core_is_itself() {
+        // The Example 1 triangle is already a core.
+        let q = ConjunctiveQuery::new(
+            vec![intern("x"), intern("y")],
+            vec![
+                atom!("Interest", var "x", var "z"),
+                atom!("Class", var "y", var "z"),
+                atom!("Owns", var "x", var "y"),
+            ],
+        )
+        .unwrap();
+        let c = core_of(&q);
+        assert_eq!(c.size(), 3);
+        assert!(is_core(&q));
+    }
+
+    #[test]
+    fn redundant_atom_is_folded_away() {
+        // q() :- E(x,y), E(x,y')   — y' can fold onto y.
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "x", var "yp"),
+        ])
+        .unwrap();
+        let c = core_of(&q);
+        assert_eq!(c.size(), 1);
+        assert!(equivalent(&q, &c));
+    }
+
+    #[test]
+    fn boolean_path_folds_onto_single_edge_only_if_homomorphic() {
+        // A Boolean 2-path E(x,y),E(y,z) is a core (no endomorphism to a single
+        // edge because the middle variable is shared).
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "y", var "z"),
+        ])
+        .unwrap();
+        assert!(is_core(&q));
+    }
+
+    #[test]
+    fn directed_four_cycle_is_its_own_core() {
+        // The directed 4-cycle has homomorphisms onto the 2-cycle, but the
+        // 2-cycle is not a *subquery* of it, so no retraction exists: the
+        // 4-cycle is a core.
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x1", var "x2"),
+            atom!("E", var "x2", var "x3"),
+            atom!("E", var "x3", var "x4"),
+            atom!("E", var "x4", var "x1"),
+        ])
+        .unwrap();
+        let c = core_of(&q);
+        assert_eq!(c.size(), 4);
+        assert!(equivalent(&q, &c));
+        assert!(is_core(&q));
+    }
+
+    #[test]
+    fn four_cycle_with_chord_shortcut_folds() {
+        // Adding the 2-cycle E(x1,x2), E(x2,x1) to the 4-cycle lets the whole
+        // query retract onto that 2-cycle.
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x1", var "x2"),
+            atom!("E", var "x2", var "x3"),
+            atom!("E", var "x3", var "x4"),
+            atom!("E", var "x4", var "x1"),
+            atom!("E", var "x2", var "x1"),
+        ])
+        .unwrap();
+        let c = core_of(&q);
+        assert_eq!(c.size(), 2);
+        assert!(equivalent(&q, &c));
+    }
+
+    #[test]
+    fn head_variables_are_not_folded() {
+        // q(x, xp) :- E(x,y), E(xp,y): both x and xp are free, so the two
+        // atoms cannot be identified even though their existential parts could.
+        let q = ConjunctiveQuery::new(
+            vec![intern("x"), intern("xp")],
+            vec![
+                atom!("E", var "x", var "y"),
+                atom!("E", var "xp", var "y"),
+            ],
+        )
+        .unwrap();
+        let c = core_of(&q);
+        assert_eq!(c.size(), 2);
+    }
+
+    #[test]
+    fn duplicate_atoms_are_removed() {
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "x", var "y"),
+            atom!("E", var "x", var "y"),
+        ])
+        .unwrap();
+        assert_eq!(core_of(&q).size(), 1);
+    }
+
+    #[test]
+    fn core_is_always_equivalent_to_original() {
+        // A star with redundant rays plus a triangle.
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("E", var "c", var "r1"),
+            atom!("E", var "c", var "r2"),
+            atom!("E", var "c", var "r3"),
+            atom!("T", var "a", var "b"),
+            atom!("T", var "b", var "a"),
+        ])
+        .unwrap();
+        let c = core_of(&q);
+        assert!(equivalent(&q, &c));
+        assert!(c.size() <= q.size());
+        assert_eq!(c.size(), 3); // one ray + the 2-cycle
+    }
+}

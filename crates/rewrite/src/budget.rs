@@ -1,0 +1,62 @@
+//! Budgets for the rewriting loop.
+
+/// Limits on a UCQ rewriting computation.
+///
+/// For UCQ-rewritable classes (non-recursive, sticky) the rewriting reaches a
+/// fixpoint well within reasonable budgets; the limits exist so that feeding
+/// a non-UCQ-rewritable set (e.g. a recursive guarded set) never diverges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RewriteBudget {
+    /// Maximum number of disjuncts kept in the rewriting.
+    pub max_disjuncts: usize,
+    /// Maximum number of atoms allowed in a generated disjunct.
+    pub max_atoms_per_disjunct: usize,
+    /// Maximum number of rewriting steps (disjunct × tgd × atom applications).
+    pub max_steps: usize,
+}
+
+impl RewriteBudget {
+    /// Budget for unit tests and interactive inputs.
+    pub fn small() -> RewriteBudget {
+        RewriteBudget {
+            max_disjuncts: 2_000,
+            max_atoms_per_disjunct: 64,
+            max_steps: 50_000,
+        }
+    }
+
+    /// Budget for the benchmark workloads (Example 3 sweeps in particular).
+    pub fn large() -> RewriteBudget {
+        RewriteBudget {
+            max_disjuncts: 50_000,
+            max_atoms_per_disjunct: 1_024,
+            max_steps: 2_000_000,
+        }
+    }
+
+    /// Custom budget.
+    pub fn new(max_disjuncts: usize, max_atoms_per_disjunct: usize, max_steps: usize) -> RewriteBudget {
+        RewriteBudget {
+            max_disjuncts,
+            max_atoms_per_disjunct,
+            max_steps,
+        }
+    }
+}
+
+impl Default for RewriteBudget {
+    fn default() -> RewriteBudget {
+        RewriteBudget::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(RewriteBudget::small().max_disjuncts < RewriteBudget::large().max_disjuncts);
+        assert_eq!(RewriteBudget::default(), RewriteBudget::small());
+    }
+}

@@ -1,0 +1,171 @@
+//! Term unification for the backward-resolution rewriting step.
+//!
+//! The unifier works over equivalence classes of terms (union–find on a
+//! small map).  Constants are rigid: two distinct constants never unify, and
+//! a class containing a constant uses it as representative.
+
+use sac_common::{Atom, Term};
+use std::collections::BTreeMap;
+
+/// A most-general unifier represented as a union–find over terms.
+#[derive(Debug, Clone, Default)]
+pub struct Unifier {
+    parent: BTreeMap<Term, Term>,
+}
+
+impl Unifier {
+    /// The empty unifier.
+    pub fn new() -> Unifier {
+        Unifier::default()
+    }
+
+    /// Finds the representative of a term's class.
+    pub fn find(&self, term: Term) -> Term {
+        let mut current = term;
+        while let Some(next) = self.parent.get(&current) {
+            if *next == current {
+                break;
+            }
+            current = *next;
+        }
+        current
+    }
+
+    /// Unifies two terms; returns `false` on a constant clash.
+    pub fn union(&mut self, a: Term, b: Term) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return true;
+        }
+        match (ra.is_constant(), rb.is_constant()) {
+            (true, true) => false,
+            // Constants become representatives so that `resolve` maps
+            // variables to them.
+            (true, false) => {
+                self.parent.insert(rb, ra);
+                true
+            }
+            (false, true) => {
+                self.parent.insert(ra, rb);
+                true
+            }
+            (false, false) => {
+                // Deterministic orientation.
+                if ra < rb {
+                    self.parent.insert(rb, ra);
+                } else {
+                    self.parent.insert(ra, rb);
+                }
+                true
+            }
+        }
+    }
+
+    /// Unifies two atoms position-wise; returns `false` if the predicates or
+    /// arities differ or a constant clash occurs.
+    pub fn unify_atoms(&mut self, a: &Atom, b: &Atom) -> bool {
+        if a.predicate != b.predicate || a.arity() != b.arity() {
+            return false;
+        }
+        a.args
+            .iter()
+            .zip(b.args.iter())
+            .all(|(x, y)| self.union(*x, *y))
+    }
+
+    /// Applies the unifier to a term (maps it to its representative).
+    pub fn resolve(&self, term: Term) -> Term {
+        self.find(term)
+    }
+
+    /// Applies the unifier to an atom.
+    pub fn resolve_atom(&self, atom: &Atom) -> Atom {
+        atom.map_args(|t| self.resolve(t))
+    }
+
+    /// The terms unified into the same class as `term` (including itself).
+    pub fn class_of(&self, term: Term) -> Vec<Term> {
+        let rep = self.find(term);
+        let mut members: Vec<Term> = self
+            .parent
+            .keys()
+            .copied()
+            .filter(|t| self.find(*t) == rep)
+            .collect();
+        if !members.contains(&rep) {
+            members.push(rep);
+        }
+        if !members.contains(&term) {
+            members.push(term);
+        }
+        members
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::atom;
+
+    #[test]
+    fn unifying_matching_atoms_succeeds() {
+        let mut u = Unifier::new();
+        assert!(u.unify_atoms(
+            &atom!("R", var "x", var "y"),
+            &atom!("R", var "a", cst "c")
+        ));
+        assert_eq!(u.resolve(Term::variable("y")), Term::constant("c"));
+        assert_eq!(u.resolve(Term::variable("x")), u.resolve(Term::variable("a")));
+    }
+
+    #[test]
+    fn constant_clash_fails() {
+        let mut u = Unifier::new();
+        assert!(!u.unify_atoms(
+            &atom!("R", cst "a", var "y"),
+            &atom!("R", cst "b", var "z")
+        ));
+    }
+
+    #[test]
+    fn predicate_or_arity_mismatch_fails() {
+        let mut u = Unifier::new();
+        assert!(!u.unify_atoms(&atom!("R", var "x"), &atom!("S", var "y")));
+        assert!(!u.unify_atoms(&atom!("R", var "x"), &atom!("R", var "x", var "y")));
+    }
+
+    #[test]
+    fn classes_are_transitive() {
+        let mut u = Unifier::new();
+        u.union(Term::variable("a"), Term::variable("b"));
+        u.union(Term::variable("b"), Term::variable("c"));
+        assert_eq!(
+            u.resolve(Term::variable("a")),
+            u.resolve(Term::variable("c"))
+        );
+        let class = u.class_of(Term::variable("a"));
+        assert!(class.len() >= 3);
+    }
+
+    #[test]
+    fn repeated_variables_force_equalities() {
+        let mut u = Unifier::new();
+        assert!(u.unify_atoms(
+            &atom!("R", var "x", var "x"),
+            &atom!("R", var "u", var "v")
+        ));
+        assert_eq!(
+            u.resolve(Term::variable("u")),
+            u.resolve(Term::variable("v"))
+        );
+    }
+
+    #[test]
+    fn constants_become_representatives() {
+        let mut u = Unifier::new();
+        u.union(Term::variable("x"), Term::constant("k"));
+        u.union(Term::variable("y"), Term::variable("x"));
+        assert_eq!(u.resolve(Term::variable("y")), Term::constant("k"));
+    }
+}

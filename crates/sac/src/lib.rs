@@ -1,0 +1,71 @@
+//! # sac — Semantic Acyclicity Under Constraints
+//!
+//! A Rust implementation of *Semantic Acyclicity Under Constraints*
+//! (Barceló, Gottlob, Pieris — PODS 2016): decide whether a conjunctive
+//! query is equivalent to an **acyclic** one over all databases satisfying a
+//! set of tgds or egds, and exploit the acyclic reformulation for
+//! guaranteed-tractable query evaluation.
+//!
+//! This facade crate re-exports the whole workspace under stable module
+//! names.  Quickstart (Example 1 of the paper):
+//!
+//! ```
+//! use sac::prelude::*;
+//!
+//! // The cyclic triangle query and the "compulsive collector" constraint.
+//! let q = parse_query("q(X, Y) :- Interest(X, Z), Class(Y, Z), Owns(X, Y).").unwrap();
+//! let tgd = parse_tgd("Interest(X, Z), Class(Y, Z) -> Owns(X, Y).").unwrap();
+//!
+//! // q is not acyclic, and not even semantically acyclic without constraints…
+//! assert!(!is_acyclic_query(&q));
+//! assert!(is_semantically_acyclic_no_constraints(&q).is_none());
+//!
+//! // …but under the tgd it is, and the decider returns a verified witness.
+//! let result = semantic_acyclicity_under_tgds(&q, &[tgd], SemAcConfig::default());
+//! let witness = result.witness().expect("Example 1 is semantically acyclic");
+//! assert!(is_acyclic_query(witness));
+//! assert!(witness.size() <= 2);
+//! ```
+
+pub use sac_acyclic as acyclic;
+pub use sac_chase as chase;
+pub use sac_common as common;
+pub use sac_core as core;
+pub use sac_deps as deps;
+pub use sac_gen as gen;
+pub use sac_parser as parser;
+pub use sac_query as query;
+pub use sac_rewrite as rewrite;
+pub use sac_storage as storage;
+
+/// The most commonly used items, importable with `use sac::prelude::*`.
+pub mod prelude {
+    pub use sac_acyclic::{
+        cover_equivalent, is_acyclic_instance, is_acyclic_query, join_tree_of_atoms,
+        yannakakis_boolean, yannakakis_evaluate, CoverGameInput, JoinTree,
+    };
+    pub use sac_chase::{
+        chase_preserves_acyclicity, egd_chase, egd_chase_query, tgd_chase, tgd_chase_query,
+        ChaseBudget,
+    };
+    pub use sac_common::{atom, intern, Atom, Schema, Substitution, Term};
+    pub use sac_core::{
+        acyclic_approximations, build_pcp_reduction, contained_under_egds, contained_under_tgds,
+        cover_game_evaluate, equivalent_under_egds, equivalent_under_tgds,
+        evaluate_semantically_acyclic, is_semantically_acyclic_no_constraints,
+        semantic_acyclicity_under_egds, semantic_acyclicity_under_tgds, solution_path_query,
+        ucq_semantic_acyclicity_under_tgds, ContainmentAnswer, EvaluationStrategy, PcpInstance,
+        SemAcConfig, SemAcResult,
+    };
+    pub use sac_deps::{
+        classify_tgds, connecting_operator, is_sticky, sticky_marking, Egd, FunctionalDependency,
+        Tgd, TgdClassification,
+    };
+    pub use sac_parser::{parse_database, parse_egd, parse_program, parse_query, parse_tgd};
+    pub use sac_query::{
+        contained_in, core_of, equivalent, evaluate, evaluate_boolean, ConjunctiveQuery,
+        FrozenQuery, UnionOfConjunctiveQueries,
+    };
+    pub use sac_rewrite::{contained_via_rewriting, rewrite, RewriteBudget};
+    pub use sac_storage::Instance;
+}

@@ -1,0 +1,330 @@
+//! Instances: finite collections of ground-ish atoms grouped by predicate.
+
+use crate::relation::Relation;
+use crate::stats::InstanceStats;
+use sac_common::{Atom, Error, Result, Schema, Symbol, Term};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A finite instance: a set of atoms over constants and labelled nulls.
+///
+/// The paper distinguishes instances (possibly infinite) from databases
+/// (finite).  `Instance` is the materialized, finite object; the chase
+/// engine's budgets guarantee we only ever hold finite prefixes of possibly
+/// infinite chase results.
+///
+/// Atoms containing variables are accepted as well — this is deliberate:
+/// frozen queries ("canonical databases") are represented by mapping each
+/// variable to a fresh constant at the query layer, but a few internal
+/// constructions (notably the cover game, which plays directly on query
+/// atoms) find it convenient to store variable atoms.  Use
+/// [`Instance::is_ground`] when groundness matters.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    relations: HashMap<Symbol, Relation>,
+    /// Predicates in first-insertion order, for deterministic iteration.
+    order: Vec<Symbol>,
+    size: usize,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// Builds an instance from an iterator of atoms.
+    pub fn from_atoms(atoms: impl IntoIterator<Item = Atom>) -> Result<Instance> {
+        let mut inst = Instance::new();
+        for atom in atoms {
+            inst.insert(atom)?;
+        }
+        Ok(inst)
+    }
+
+    /// Inserts an atom.  Returns `Ok(true)` if the atom was new, `Ok(false)`
+    /// if it was already present, and an error if the predicate was already
+    /// used with a different arity.
+    pub fn insert(&mut self, atom: Atom) -> Result<bool> {
+        let arity = atom.arity();
+        let rel = match self.relations.get_mut(&atom.predicate) {
+            Some(rel) => {
+                if rel.arity() != arity {
+                    return Err(Error::ArityMismatch {
+                        predicate: atom.predicate.as_str(),
+                        expected: rel.arity(),
+                        found: arity,
+                    });
+                }
+                rel
+            }
+            None => {
+                self.order.push(atom.predicate);
+                self.relations
+                    .entry(atom.predicate)
+                    .or_insert_with(|| Relation::new(atom.predicate, arity))
+            }
+        };
+        let inserted = rel.insert(atom.args);
+        if inserted {
+            self.size += 1;
+        }
+        Ok(inserted)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.relations
+            .get(&atom.predicate)
+            .is_some_and(|rel| rel.arity() == atom.arity() && rel.contains(&atom.args))
+    }
+
+    /// Total number of atoms.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the instance holds no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// The relation for `predicate`, if any tuples were inserted for it.
+    pub fn relation(&self, predicate: Symbol) -> Option<&Relation> {
+        self.relations.get(&predicate)
+    }
+
+    /// Predicates present in the instance, in first-insertion order.
+    pub fn predicates(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Iterates over every atom of the instance (deterministic order).
+    pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.order.iter().flat_map(move |p| {
+            let rel = &self.relations[p];
+            rel.iter().map(move |tuple| Atom::new(*p, tuple.to_vec()))
+        })
+    }
+
+    /// Collects every atom into a vector.
+    pub fn to_atoms(&self) -> Vec<Atom> {
+        self.atoms().collect()
+    }
+
+    /// The set of all terms occurring in the instance (the *active domain*).
+    pub fn active_domain(&self) -> BTreeSet<Term> {
+        self.atoms().flat_map(|a| a.terms().into_iter().collect::<Vec<_>>()).collect()
+    }
+
+    /// The largest null label occurring in the instance, if any.
+    pub fn max_null_label(&self) -> Option<u64> {
+        self.atoms()
+            .flat_map(|a| a.nulls().into_iter().collect::<Vec<_>>())
+            .max()
+    }
+
+    /// Whether every atom is ground (no variables).
+    pub fn is_ground(&self) -> bool {
+        self.atoms().all(|a| a.is_ground())
+    }
+
+    /// The schema induced by the stored atoms.
+    pub fn schema(&self) -> Schema {
+        let mut s = Schema::new();
+        for (p, rel) in self.order.iter().map(|p| (*p, &self.relations[p])) {
+            s.add_predicate(p, rel.arity());
+        }
+        s
+    }
+
+    /// Summary statistics, used by the experiment reports.
+    pub fn stats(&self) -> InstanceStats {
+        InstanceStats {
+            atoms: self.len(),
+            predicates: self.order.len(),
+            domain_size: self.active_domain().len(),
+            nulls: self
+                .active_domain()
+                .iter()
+                .filter(|t| t.is_null())
+                .count(),
+            max_arity: self
+                .relations
+                .values()
+                .map(|r| r.arity())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// Applies a term-level renaming to every atom, producing a new instance.
+    /// Used by the egd chase to identify nulls.
+    pub fn rename(&self, mut f: impl FnMut(Term) -> Term) -> Instance {
+        let mut out = Instance::new();
+        for atom in self.atoms() {
+            out.insert(atom.map_args(&mut f))
+                .expect("renaming preserves arities");
+        }
+        out
+    }
+
+    /// Merges all atoms of `other` into `self`.
+    pub fn extend_from(&mut self, other: &Instance) -> Result<usize> {
+        let mut added = 0;
+        for atom in other.atoms() {
+            if self.insert(atom)? {
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{{")?;
+        for atom in self.atoms() {
+            writeln!(f, "  {atom}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Atom> for Instance {
+    /// Panics on arity conflicts; use [`Instance::from_atoms`] for the
+    /// fallible variant.
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Instance {
+        Instance::from_atoms(iter).expect("conflicting arities while collecting instance")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::{atom, intern};
+
+    fn sample() -> Instance {
+        Instance::from_atoms(vec![
+            atom!("R", cst "a", cst "b"),
+            atom!("R", cst "b", cst "c"),
+            atom!("S", cst "a"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let inst = sample();
+        assert_eq!(inst.len(), 3);
+        assert!(inst.contains(&atom!("R", cst "a", cst "b")));
+        assert!(!inst.contains(&atom!("R", cst "c", cst "a")));
+        assert!(!inst.contains(&atom!("T", cst "a")));
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let mut inst = sample();
+        assert!(!inst.insert(atom!("S", cst "a")).unwrap());
+        assert_eq!(inst.len(), 3);
+    }
+
+    #[test]
+    fn arity_conflicts_are_rejected() {
+        let mut inst = sample();
+        assert!(inst.insert(atom!("R", cst "a")).is_err());
+    }
+
+    #[test]
+    fn atoms_round_trip() {
+        let inst = sample();
+        let atoms = inst.to_atoms();
+        assert_eq!(atoms.len(), 3);
+        let rebuilt = Instance::from_atoms(atoms).unwrap();
+        assert_eq!(rebuilt.len(), inst.len());
+        for a in inst.atoms() {
+            assert!(rebuilt.contains(&a));
+        }
+    }
+
+    #[test]
+    fn active_domain_and_nulls() {
+        let mut inst = sample();
+        inst.insert(atom!("S", null 7)).unwrap();
+        let dom = inst.active_domain();
+        assert_eq!(dom.len(), 4); // a, b, c, null 7
+        assert_eq!(inst.max_null_label(), Some(7));
+        assert!(inst.is_ground());
+    }
+
+    #[test]
+    fn groundness_detects_variables() {
+        let mut inst = sample();
+        inst.insert(atom!("S", var "x")).unwrap();
+        assert!(!inst.is_ground());
+    }
+
+    #[test]
+    fn schema_reflects_contents() {
+        let inst = sample();
+        let schema = inst.schema();
+        assert_eq!(schema.arity_of(intern("R")), Some(2));
+        assert_eq!(schema.arity_of(intern("S")), Some(1));
+    }
+
+    #[test]
+    fn rename_substitutes_terms() {
+        let inst = sample();
+        let renamed = inst.rename(|t| {
+            if t == Term::constant("a") {
+                Term::constant("z")
+            } else {
+                t
+            }
+        });
+        assert!(renamed.contains(&atom!("R", cst "z", cst "b")));
+        assert!(renamed.contains(&atom!("S", cst "z")));
+        assert!(!renamed.contains(&atom!("S", cst "a")));
+    }
+
+    #[test]
+    fn rename_can_merge_atoms() {
+        // Renaming b ↦ c merges R(a,b) and R(a,c) if both existed; here it
+        // merges R(b,c) into R(c,c) and the size may shrink.
+        let mut inst = Instance::new();
+        inst.insert(atom!("R", cst "a", cst "b")).unwrap();
+        inst.insert(atom!("R", cst "a", cst "c")).unwrap();
+        let renamed = inst.rename(|t| {
+            if t == Term::constant("b") {
+                Term::constant("c")
+            } else {
+                t
+            }
+        });
+        assert_eq!(renamed.len(), 1);
+    }
+
+    #[test]
+    fn extend_from_counts_new_atoms() {
+        let mut inst = sample();
+        let other = Instance::from_atoms(vec![
+            atom!("S", cst "a"),
+            atom!("S", cst "b"),
+        ])
+        .unwrap();
+        let added = inst.extend_from(&other).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(inst.len(), 4);
+    }
+
+    #[test]
+    fn stats_summarize() {
+        let inst = sample();
+        let st = inst.stats();
+        assert_eq!(st.atoms, 3);
+        assert_eq!(st.predicates, 2);
+        assert_eq!(st.domain_size, 3);
+        assert_eq!(st.max_arity, 2);
+        assert_eq!(st.nulls, 0);
+    }
+}

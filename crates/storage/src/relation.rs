@@ -1,0 +1,206 @@
+//! A single relation: a deduplicated, insertion-ordered set of tuples with
+//! per-position hash indexes.
+
+use sac_common::{Symbol, Term};
+use std::collections::{HashMap, HashSet};
+
+/// The tuples of one predicate, with positional indexes.
+///
+/// Tuples are stored in insertion order (`tuples`) with a parallel hash set
+/// (`seen`) for O(1) membership tests, plus one hash index per argument
+/// position mapping a term to the row ids where it occurs at that position.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    predicate: Symbol,
+    arity: usize,
+    tuples: Vec<Vec<Term>>,
+    seen: HashSet<Vec<Term>>,
+    /// `indexes[pos][term]` = row ids whose `pos`-th component is `term`.
+    indexes: Vec<HashMap<Term, Vec<usize>>>,
+}
+
+impl Relation {
+    /// Creates an empty relation for `predicate` with the given arity.
+    pub fn new(predicate: Symbol, arity: usize) -> Relation {
+        Relation {
+            predicate,
+            arity,
+            tuples: Vec::new(),
+            seen: HashSet::new(),
+            indexes: vec![HashMap::new(); arity],
+        }
+    }
+
+    /// The predicate this relation stores tuples for.
+    pub fn predicate(&self) -> Symbol {
+        self.predicate
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tuple's length differs from the relation's arity — the
+    /// higher-level [`crate::Instance`] API validates this and returns an
+    /// error instead.
+    pub fn insert(&mut self, tuple: Vec<Term>) -> bool {
+        assert_eq!(
+            tuple.len(),
+            self.arity,
+            "tuple arity mismatch for {}",
+            self.predicate
+        );
+        if self.seen.contains(&tuple) {
+            return false;
+        }
+        let row = self.tuples.len();
+        for (pos, term) in tuple.iter().enumerate() {
+            self.indexes[pos].entry(*term).or_default().push(row);
+        }
+        self.seen.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    /// O(1) membership test.
+    pub fn contains(&self, tuple: &[Term]) -> bool {
+        self.seen.contains(tuple)
+    }
+
+    /// Iterates over all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Term]> + '_ {
+        self.tuples.iter().map(|t| t.as_slice())
+    }
+
+    /// Returns the tuple stored at `row`.
+    pub fn row(&self, row: usize) -> Option<&[Term]> {
+        self.tuples.get(row).map(|t| t.as_slice())
+    }
+
+    /// Row ids of tuples whose `pos`-th component equals `term`.
+    pub fn rows_with(&self, pos: usize, term: Term) -> &[usize] {
+        self.indexes
+            .get(pos)
+            .and_then(|idx| idx.get(&term))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterates over the tuples matching a partial binding: every `(pos,
+    /// term)` pair in `bound` must hold.  Uses the sparsest positional index
+    /// available and verifies the remaining positions.
+    pub fn select<'a>(
+        &'a self,
+        bound: &[(usize, Term)],
+    ) -> Box<dyn Iterator<Item = &'a [Term]> + 'a> {
+        if bound.is_empty() {
+            return Box::new(self.iter());
+        }
+        // Pick the most selective bound position to drive the scan.
+        let (drive_pos, drive_term) = bound
+            .iter()
+            .copied()
+            .min_by_key(|(pos, term)| self.rows_with(*pos, *term).len())
+            .expect("bound is non-empty");
+        let rows = self.rows_with(drive_pos, drive_term);
+        let bound: Vec<(usize, Term)> = bound.to_vec();
+        Box::new(rows.iter().filter_map(move |&r| {
+            let tuple = self.tuples[r].as_slice();
+            let ok = bound.iter().all(|(pos, term)| tuple[*pos] == *term);
+            ok.then_some(tuple)
+        }))
+    }
+
+    /// Number of distinct terms occurring at position `pos`.
+    pub fn distinct_at(&self, pos: usize) -> usize {
+        self.indexes.get(pos).map(|idx| idx.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::intern;
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(intern("R"), 2);
+        r.insert(vec![Term::constant("a"), Term::constant("b")]);
+        r.insert(vec![Term::constant("a"), Term::constant("c")]);
+        r.insert(vec![Term::constant("d"), Term::constant("b")]);
+        r
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = rel();
+        assert_eq!(r.len(), 3);
+        assert!(!r.insert(vec![Term::constant("a"), Term::constant("b")]));
+        assert_eq!(r.len(), 3);
+        assert!(r.insert(vec![Term::constant("x"), Term::constant("y")]));
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn contains_after_insert() {
+        let r = rel();
+        assert!(r.contains(&[Term::constant("a"), Term::constant("c")]));
+        assert!(!r.contains(&[Term::constant("c"), Term::constant("a")]));
+    }
+
+    #[test]
+    fn positional_index_finds_rows() {
+        let r = rel();
+        assert_eq!(r.rows_with(0, Term::constant("a")).len(), 2);
+        assert_eq!(r.rows_with(1, Term::constant("b")).len(), 2);
+        assert_eq!(r.rows_with(1, Term::constant("zzz")).len(), 0);
+    }
+
+    #[test]
+    fn select_honours_all_bindings() {
+        let r = rel();
+        let hits: Vec<_> = r
+            .select(&[(0, Term::constant("a")), (1, Term::constant("b"))])
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0], &[Term::constant("a"), Term::constant("b")][..]);
+        let empty: Vec<_> = r
+            .select(&[(0, Term::constant("d")), (1, Term::constant("c"))])
+            .collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn select_with_no_bindings_scans_everything() {
+        let r = rel();
+        assert_eq!(r.select(&[]).count(), 3);
+    }
+
+    #[test]
+    fn distinct_counts() {
+        let r = rel();
+        assert_eq!(r.distinct_at(0), 2);
+        assert_eq!(r.distinct_at(1), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(intern("R"), 2);
+        r.insert(vec![Term::constant("a")]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Lightweight summary statistics for instances, used by experiment reports.
+
+use std::fmt;
+
+/// Summary statistics of an [`crate::Instance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstanceStats {
+    /// Total number of atoms.
+    pub atoms: usize,
+    /// Number of distinct predicates.
+    pub predicates: usize,
+    /// Size of the active domain (distinct terms).
+    pub domain_size: usize,
+    /// Number of distinct labelled nulls in the active domain.
+    pub nulls: usize,
+    /// Maximum predicate arity.
+    pub max_arity: usize,
+}
+
+impl fmt::Display for InstanceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} atoms over {} predicates (domain {}, nulls {}, max arity {})",
+            self.atoms, self.predicates, self.domain_size, self.nulls, self.max_arity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = InstanceStats {
+            atoms: 10,
+            predicates: 3,
+            domain_size: 7,
+            nulls: 2,
+            max_arity: 4,
+        };
+        let out = format!("{s}");
+        for needle in ["10", "3", "7", "2", "4"] {
+            assert!(out.contains(needle), "missing {needle} in {out}");
+        }
+    }
+}

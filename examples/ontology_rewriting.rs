@@ -1,0 +1,54 @@
+//! Ontology-style reasoning: UCQ rewriting under non-recursive and sticky
+//! tgds (Section 5), stickiness classification (Figure 1), and the
+//! exponential rewriting height of Example 3.
+//!
+//! Run with `cargo run --release --example ontology_rewriting`.
+
+use sac::prelude::*;
+
+fn main() {
+    // 1. Figure 1: the sticky marking procedure in action.
+    let sticky_set = sac::gen::figure1_sticky();
+    let non_sticky_set = sac::gen::figure1_non_sticky();
+    println!("Figure 1 (a) sticky set:");
+    for t in &sticky_set {
+        println!("    {t}");
+    }
+    println!("    -> sticky? {}", is_sticky(&sticky_set));
+    println!("Figure 1 (b) variant:");
+    for t in &non_sticky_set {
+        println!("    {t}");
+    }
+    let marking = sticky_marking(&non_sticky_set);
+    println!(
+        "    -> sticky? {}   (violations: {:?})",
+        is_sticky(&non_sticky_set),
+        marking
+            .violations(&non_sticky_set)
+            .iter()
+            .map(|(i, v)| format!("tgd {i}, variable {v}"))
+            .collect::<Vec<_>>()
+    );
+
+    // 2. A small HR ontology: containment through rewriting.
+    let tgds = vec![
+        parse_tgd("Employee(X, D) -> Dept(D).").unwrap(),
+        parse_tgd("Dept(D) -> Manages(M, D).").unwrap(),
+    ];
+    let q = parse_query("q() :- Manages(M, D).").unwrap();
+    let rw = rewrite(&q, &tgds, RewriteBudget::small());
+    println!("\nrewriting of `{q}` under the HR ontology:");
+    for d in &rw.ucq.disjuncts {
+        println!("    ∨ {d}");
+    }
+    println!("    complete: {}, height: {}", rw.complete, rw.height());
+
+    // 3. Example 3: the rewriting height grows exponentially with the arity.
+    println!("\nExample 3 (sticky family): rewriting height vs arity");
+    println!("{:>6} {:>10} {:>10}", "n", "disjuncts", "height");
+    for n in 2..=4 {
+        let (tgds, q) = sac::gen::example3_sticky_family(n);
+        let rw = rewrite(&q, &tgds, RewriteBudget::large());
+        println!("{:>6} {:>10} {:>10}", n, rw.ucq.len(), rw.height());
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration tests for the evaluation pipelines (Section 7).
+
+use sac::prelude::*;
+
+#[test]
+fn all_evaluation_strategies_agree_on_the_music_workload() {
+    let q = sac::gen::example1_triangle();
+    let tgds = vec![sac::gen::collector_tgd()];
+    let db = sac::gen::music_database(60, 120, 8);
+
+    let naive = evaluate_semantically_acyclic(
+        &q,
+        &tgds,
+        &db,
+        EvaluationStrategy::Naive,
+        SemAcConfig::default(),
+    );
+    let fpt = evaluate_semantically_acyclic(
+        &q,
+        &tgds,
+        &db,
+        EvaluationStrategy::RewriteThenYannakakis,
+        SemAcConfig::default(),
+    );
+    assert_eq!(naive, fpt);
+    assert!(!naive.is_empty());
+}
+
+#[test]
+fn cover_game_evaluation_matches_naive_on_boolean_queries() {
+    let q = ConjunctiveQuery::boolean(sac::gen::example1_triangle().body).unwrap();
+    let tgds = vec![sac::gen::collector_tgd()];
+    for customers in [5usize, 20] {
+        let db = sac::gen::music_database(customers, customers * 2, 3);
+        let game = evaluate_semantically_acyclic(
+            &q,
+            &tgds,
+            &db,
+            EvaluationStrategy::CoverGame,
+            SemAcConfig::default(),
+        );
+        let naive = evaluate(&q, &db);
+        assert_eq!(game, naive);
+    }
+}
+
+#[test]
+fn yannakakis_matches_naive_on_star_schema_joins() {
+    let db = sac::gen::star_schema_database(500, 20, 20, 11);
+    let q = parse_query("q(A) :- Fact(F, D1, D2), Dim1(D1, A), Dim2(D2, B).").unwrap();
+    assert!(is_acyclic_query(&q));
+    let fast = yannakakis_evaluate(&q, &db).unwrap();
+    let slow = evaluate(&q, &db);
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn approximations_give_sound_quick_answers() {
+    let q = parse_query("q() :- E(X, Y), E(Y, Z), E(Z, X).").unwrap();
+    let report = acyclic_approximations(&q, &[], ChaseBudget::small());
+    assert!(!report.maximal.is_empty());
+    for seed in 0..5u64 {
+        let db = sac::gen::random_graph_database(30, 120, seed);
+        let exact = evaluate_boolean(&q, &db);
+        let quick = report.maximal.iter().any(|a| evaluate_boolean(a, &db));
+        // Soundness: quick ⇒ exact.
+        assert!(!quick || exact, "approximation produced a false positive");
+    }
+}
+
+#[test]
+fn fpt_evaluation_scales_linearly_in_the_database_in_answer_counts() {
+    // Not a timing test (that's the benchmark's job): checks that answer
+    // counts and agreement hold as |D| grows.
+    let q = sac::gen::example1_triangle();
+    let tgds = vec![sac::gen::collector_tgd()];
+    let mut last = 0usize;
+    for customers in [20usize, 40, 80] {
+        let db = sac::gen::music_database(customers, customers, 10);
+        let answers = evaluate_semantically_acyclic(
+            &q,
+            &tgds,
+            &db,
+            EvaluationStrategy::RewriteThenYannakakis,
+            SemAcConfig::default(),
+        );
+        assert!(answers.len() >= last);
+        last = answers.len();
+    }
+    assert!(last > 0);
+}
