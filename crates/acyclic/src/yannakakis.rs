@@ -123,7 +123,6 @@ pub fn yannakakis_evaluate(
     let order = topological_order(&tree);
     let mut answers = BTreeSet::new();
     enumerate(
-        &tree,
         &matches,
         &order,
         0,
@@ -173,9 +172,7 @@ fn topological_order(tree: &JoinTree) -> Vec<usize> {
     order
 }
 
-#[allow(clippy::too_many_arguments)]
 fn enumerate(
-    tree: &JoinTree,
     matches: &[NodeMatches],
     order: &[usize],
     depth: usize,
@@ -202,7 +199,7 @@ fn enumerate(
                 continue 'tuple;
             }
         }
-        enumerate(tree, matches, order, depth + 1, &mut local, head, answers);
+        enumerate(matches, order, depth + 1, &mut local, head, answers);
     }
 }
 

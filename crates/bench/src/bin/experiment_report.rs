@@ -8,7 +8,7 @@ use sac::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    println!("{:<6} {:<52} {}", "exp", "artifact", "outcome");
+    println!("{:<6} {:<52} outcome", "exp", "artifact");
     println!("{}", "-".repeat(110));
 
     // E1 — Example 1.

@@ -250,7 +250,7 @@ mod tests {
                     let a_in_b = contained_under_tgds(a, b, &[], ChaseBudget::small());
                     let b_in_a = contained_under_tgds(b, a, &[], ChaseBudget::small());
                     assert!(
-                        !(a_in_b.holds() && !b_in_a.holds()),
+                        !a_in_b.holds() || b_in_a.holds(),
                         "approximation {i} is strictly dominated by {j}"
                     );
                 }

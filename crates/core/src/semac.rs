@@ -12,6 +12,7 @@
 //!      satisfy `q ⊆Σ q'`, and
 //!   3. acyclic Lemma 9 compactions of homomorphisms of the query into its
 //!      (acyclic) chase when the chase is acyclic —
+//!
 //!   and verify candidates with the exact containment tests of
 //!   [`crate::containment`].  A positive answer always comes with a verified
 //!   witness.  A negative answer means the bounded candidate space was

@@ -231,7 +231,7 @@ mod tests {
             sac_common::intern("v"),
         )
         .unwrap();
-        assert!(classify_egds(&[narrow.clone()]).unary_binary_schema);
+        assert!(classify_egds(std::slice::from_ref(&narrow)).unary_binary_schema);
         assert!(!classify_egds(&[narrow, wide]).unary_binary_schema);
     }
 }

@@ -136,9 +136,9 @@ pub fn random_inclusion_dependencies(count: usize, num_predicates: usize, seed: 
         let swap = rng.gen_bool(0.5);
         let (b1, b2) = (var(format!("u{i}")), var(format!("v{i}")));
         let head_args = if swap {
-            vec![b2.clone(), b1.clone()]
+            vec![b2, b1]
         } else {
-            vec![b1.clone(), b2.clone()]
+            vec![b1, b2]
         };
         out.push(
             Tgd::new(

@@ -33,10 +33,8 @@ impl FrozenQuery {
     /// [`Instance::max_null_label`] to stay clear, so `0` is always safe).
     pub fn freeze_with_base(query: &ConjunctiveQuery, first_label: u64) -> FrozenQuery {
         let mut var_map: BTreeMap<Symbol, Term> = BTreeMap::new();
-        let mut next = first_label;
-        for v in query.body_variables() {
+        for (next, v) in (first_label..).zip(query.body_variables()) {
             var_map.insert(v, Term::Null(next));
-            next += 1;
         }
         let mut instance = Instance::new();
         for atom in &query.body {

@@ -25,11 +25,8 @@ use std::collections::BTreeSet;
 /// its variables, and has a body that cannot be further folded.
 pub fn core_of(query: &ConjunctiveQuery) -> ConjunctiveQuery {
     let mut current: Vec<Atom> = query.dedup_atoms().body;
-    loop {
-        match fold_step(&query.head, &current) {
-            Some(smaller) => current = smaller,
-            None => break,
-        }
+    while let Some(smaller) = fold_step(&query.head, &current) {
+        current = smaller;
     }
     ConjunctiveQuery {
         name: query.name.clone(),

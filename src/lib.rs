@@ -1,0 +1,7 @@
+//! Workspace umbrella crate.
+//!
+//! Exists so the repository root can host the cross-crate integration tests
+//! (`tests/`) and runnable examples (`examples/`), all of which go through
+//! the [`sac`] facade. Use the `sac` crate directly as a library consumer.
+
+pub use sac;

@@ -1,0 +1,299 @@
+//! Minimal, API-compatible stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: strategies over
+//! integer ranges and booleans, tuple strategies, `prop_map`, the
+//! `proptest!` macro (with an optional `#![proptest_config(..)]` header),
+//! `ProptestConfig::with_cases`, and the `prop_assert!` / `prop_assert_eq!`
+//! assertion macros. Case generation is deterministic (seeded per test by a
+//! fixed constant) and there is **no shrinking** — a failing case reports its
+//! inputs via `Debug` where available and otherwise the case index.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Deterministic SplitMix64 generator driving test-case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x5AC0_5EED_0000_0001,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A recoverable test-case failure, produced by `prop_assert!`.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// How many cases each property runs, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values, mirroring `proptest::strategy::Strategy` minus
+/// shrinking.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// Namespaced built-in strategies, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// Uniformly random booleans.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    pub mod num {
+        pub use crate::Strategy;
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Mirrors `proptest::prop_assert!`: on failure, aborts the *case* (not the
+/// whole process) with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Mirrors `proptest::proptest!`: wraps each property fn in a loop that draws
+/// inputs from the given strategies and reports the failing case index.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic();
+                for case in 0..config.cases {
+                    $( let $arg = $crate::Strategy::generate(&($strategy), &mut rng); )+
+                    let outcome: $crate::TestCaseResult = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property `{}` failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, err,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $( $arg in $strategy ),+ ) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, flag in prop::bool::ANY) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert_eq!(flag, flag);
+        }
+
+        #[test]
+        fn tuple_and_map_strategies_compose(
+            pair in (1usize..4, 10u64..20).prop_map(|(a, b)| (a * 2, b + 1)),
+        ) {
+            prop_assert!(pair.0 >= 2 && pair.0 <= 6);
+            prop_assert_eq!(pair.1, pair.1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed at case 1/8")]
+    fn failing_case_reports_its_index() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(n in 0usize..10) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+}
