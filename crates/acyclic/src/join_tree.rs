@@ -37,7 +37,9 @@ impl JoinTree {
 
     /// The root node ids (nodes without a parent).
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|i| self.parent[*i].is_none()).collect()
+        (0..self.len())
+            .filter(|i| self.parent[*i].is_none())
+            .collect()
     }
 
     /// The children of node `i`.

@@ -132,8 +132,11 @@ mod tests {
     fn path_instance(n: u64) -> Instance {
         let mut inst = Instance::new();
         for i in 0..n {
-            inst.insert(Atom::from_parts("E", vec![Term::Null(i), Term::Null(i + 1)]))
-                .unwrap();
+            inst.insert(Atom::from_parts(
+                "E",
+                vec![Term::Null(i), Term::Null(i + 1)],
+            ))
+            .unwrap();
         }
         inst
     }
@@ -200,12 +203,10 @@ mod tests {
         let n = 40;
         let mut inst = path_instance(n);
         inst.insert(atom!("Start", null 0)).unwrap();
-        inst.insert(Atom::from_parts("End", vec![Term::Null(n)])).unwrap();
-        let q = ConjunctiveQuery::boolean(vec![
-            atom!("Start", var "s"),
-            atom!("End", var "e"),
-        ])
-        .unwrap();
+        inst.insert(Atom::from_parts("End", vec![Term::Null(n)]))
+            .unwrap();
+        let q = ConjunctiveQuery::boolean(vec![atom!("Start", var "s"), atom!("End", var "e")])
+            .unwrap();
         let hom = sac_query::find_homomorphism(&q.body, &inst).unwrap();
         let w = compact_acyclic_witness(&q, &inst, &hom).unwrap();
         assert!(is_acyclic_query(&w));

@@ -25,9 +25,7 @@ impl NodeMatches {
     fn of_atom(atom: &Atom, instance: &Instance) -> NodeMatches {
         let vars: Vec<Symbol> = {
             let mut seen = BTreeSet::new();
-            atom.variables_iter()
-                .filter(|v| seen.insert(*v))
-                .collect()
+            atom.variables_iter().filter(|v| seen.insert(*v)).collect()
         };
         let mut tuples = HashSet::new();
         if let Some(rel) = instance.relation(atom.predicate) {
@@ -251,10 +249,8 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(yannakakis_boolean(&q, &music_db()), Some(true));
-        let q2 = ConjunctiveQuery::boolean(vec![
-            atom!("Interest", var "x", cst "classical"),
-        ])
-        .unwrap();
+        let q2 =
+            ConjunctiveQuery::boolean(vec![atom!("Interest", var "x", cst "classical")]).unwrap();
         assert_eq!(yannakakis_boolean(&q2, &music_db()), Some(false));
     }
 
@@ -281,10 +277,7 @@ mod tests {
         .unwrap();
         let q = ConjunctiveQuery::new(
             vec![intern("u")],
-            vec![
-                atom!("E", var "u", var "v"),
-                atom!("E", var "v", var "w"),
-            ],
+            vec![atom!("E", var "u", var "v"), atom!("E", var "v", var "w")],
         )
         .unwrap();
         let res = yannakakis_evaluate(&q, &db).unwrap();
@@ -307,8 +300,8 @@ mod tests {
             atom!("R", cst "a", cst "b"),
         ])
         .unwrap();
-        let q = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("R", var "x", var "x")])
-            .unwrap();
+        let q =
+            ConjunctiveQuery::new(vec![intern("x")], vec![atom!("R", var "x", var "x")]).unwrap();
         let res = yannakakis_evaluate(&q, &db).unwrap();
         assert_eq!(res.len(), 1);
         assert!(res.contains(&vec![Term::constant("a")]));

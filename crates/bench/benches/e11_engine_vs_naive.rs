@@ -1,0 +1,82 @@
+//! E11 — the execution engine against its baselines.  Three evaluators on
+//! the same query/database pairs at growing database sizes:
+//!
+//! * `naive` — homomorphism enumeration (`sac_query::evaluate`);
+//! * `yannakakis_scan` — the scan-based Yannakakis of `sac-acyclic`
+//!   (re-derives the join tree and re-scans relations every call);
+//! * `engine` — `sac-engine` serving from its plan and index caches, the way
+//!   repeated traffic hits it.
+//!
+//! Section A: an acyclic star query over random graphs.  Section B: the
+//! semantically acyclic Example 1 triangle under the collector tgd, where the
+//! engine's cached witness plan amortizes the reformulation the baselines
+//! cannot use at all (naive pays the cyclic-join cost every call).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sac::prelude::*;
+
+fn bench_acyclic(c: &mut Criterion) {
+    let q = sac::gen::star_query(3);
+    let mut group = c.benchmark_group("e11_acyclic_star");
+    for nodes in [50usize, 200, 800] {
+        let db = sac::gen::random_graph_database(nodes, nodes * 4, 11);
+        group.throughput(Throughput::Elements(db.len() as u64));
+        group.bench_with_input(BenchmarkId::new("naive", db.len()), &db, |b, db| {
+            b.iter(|| evaluate(&q, db).len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis_scan", db.len()),
+            &db,
+            |b, db| b.iter(|| yannakakis_evaluate(&q, db).expect("star is acyclic").len()),
+        );
+        let mut engine = Engine::new(db.clone());
+        engine.run(&q); // warm the plan and index caches
+        group.bench_with_input(BenchmarkId::new("engine", db.len()), &db, |b, _| {
+            b.iter(|| engine.run(&q).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_semantically_acyclic(c: &mut Criterion) {
+    let q = sac::gen::example1_triangle();
+    let tgds = vec![sac::gen::collector_tgd()];
+    // The acyclic witness the engine plans through, precomputed once so the
+    // scan-based baseline can run Yannakakis on it too.
+    let witness = semantic_acyclicity_under_tgds(&q, &tgds, SemAcConfig::default())
+        .witness()
+        .expect("Example 1 is semantically acyclic under the collector tgd")
+        .clone();
+    let mut group = c.benchmark_group("e11_semac_triangle");
+    for customers in [50usize, 200, 800] {
+        let db = sac::gen::music_database(customers, customers * 2, 10);
+        group.throughput(Throughput::Elements(db.len() as u64));
+        group.bench_with_input(BenchmarkId::new("naive", db.len()), &db, |b, db| {
+            b.iter(|| evaluate(&q, db).len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis_scan_witness", db.len()),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    yannakakis_evaluate(&witness, db)
+                        .expect("witness is acyclic")
+                        .len()
+                })
+            },
+        );
+        let mut engine = Engine::new(db.clone()).with_tgds(tgds.clone());
+        engine.run(&q); // pay the witness search once, outside the timing
+        group.bench_with_input(BenchmarkId::new("engine", db.len()), &db, |b, _| {
+            b.iter(|| engine.run(&q).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench_acyclic, bench_semantically_acyclic
+}
+criterion_main!(benches);

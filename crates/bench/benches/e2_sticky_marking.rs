@@ -12,12 +12,16 @@ fn bench(c: &mut Criterion) {
     assert!(is_sticky(&sticky) && !is_sticky(&non_sticky));
 
     group.bench_function("figure1_sticky_set", |b| b.iter(|| is_sticky(&sticky)));
-    group.bench_function("figure1_non_sticky_set", |b| b.iter(|| is_sticky(&non_sticky)));
+    group.bench_function("figure1_non_sticky_set", |b| {
+        b.iter(|| is_sticky(&non_sticky))
+    });
     for n in [10usize, 40, 160] {
         let tgds = sac::gen::random_inclusion_dependencies(n, 5, 7);
-        group.bench_with_input(BenchmarkId::new("random_linear_set", n), &tgds, |b, tgds| {
-            b.iter(|| classify_tgds(tgds))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("random_linear_set", n),
+            &tgds,
+            |b, tgds| b.iter(|| classify_tgds(tgds)),
+        );
     }
     group.finish();
 }

@@ -12,11 +12,8 @@ fn bench(c: &mut Criterion) {
         let q = sac::gen::example2_query(n);
         group.bench_with_input(BenchmarkId::new("chase_and_probe", n), &q, |b, q| {
             b.iter(|| {
-                let probe = chase_preserves_acyclicity(
-                    q,
-                    std::slice::from_ref(&tgd),
-                    ChaseBudget::large(),
-                );
+                let probe =
+                    chase_preserves_acyclicity(q, std::slice::from_ref(&tgd), ChaseBudget::large());
                 assert!(!probe.output_acyclic);
                 probe.clique_lower_bound
             })

@@ -19,13 +19,17 @@ fn bench(c: &mut Criterion) {
             })
         });
         let star = sac::gen::star_query(n);
-        group.bench_with_input(BenchmarkId::new("star_binary_key_chase", n), &star, |b, q| {
-            b.iter(|| {
-                let probe = sac::chase::probe::egd_chase_preserves_acyclicity(q, &binary_key);
-                assert!(probe.preserved());
-                probe.output_atoms
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("star_binary_key_chase", n),
+            &star,
+            |b, q| {
+                b.iter(|| {
+                    let probe = sac::chase::probe::egd_chase_preserves_acyclicity(q, &binary_key);
+                    assert!(probe.preserved());
+                    probe.output_atoms
+                })
+            },
+        );
     }
     group.finish();
 }

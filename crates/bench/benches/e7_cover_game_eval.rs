@@ -22,9 +22,11 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive", customers), &db, |b, db| {
             b.iter(|| evaluate_boolean(&q, db))
         });
-        group.bench_with_input(BenchmarkId::new("yannakakis_witness", customers), &db, |b, db| {
-            b.iter(|| yannakakis_boolean(&witness, db).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("yannakakis_witness", customers),
+            &db,
+            |b, db| b.iter(|| yannakakis_boolean(&witness, db).unwrap()),
+        );
     }
     group.finish();
 }

@@ -9,13 +9,19 @@ fn bench(c: &mut Criterion) {
     for n in [3usize, 4, 5] {
         let q = sac::gen::cycle_query(n);
         group.bench_with_input(BenchmarkId::new("compute_approximation", n), &q, |b, q| {
-            b.iter(|| acyclic_approximations(q, &[], ChaseBudget::small()).maximal.len())
+            b.iter(|| {
+                acyclic_approximations(q, &[], ChaseBudget::small())
+                    .maximal
+                    .len()
+            })
         });
     }
     let q = sac::gen::cycle_query(3);
     let report = acyclic_approximations(&q, &[], ChaseBudget::small());
     let db = sac::gen::random_graph_database(150, 700, 3);
-    group.bench_function("exact_triangle_eval", |b| b.iter(|| evaluate_boolean(&q, &db)));
+    group.bench_function("exact_triangle_eval", |b| {
+        b.iter(|| evaluate_boolean(&q, &db))
+    });
     group.bench_function("quick_approx_eval", |b| {
         b.iter(|| report.maximal.iter().any(|a| evaluate_boolean(a, &db)))
     });

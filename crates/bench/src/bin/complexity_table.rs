@@ -74,12 +74,19 @@ fn main() {
     let suite = vec![
         ("triangle", sac::gen::cycle_query(3)),
         ("path4", sac::gen::path_query(4)),
-        ("example1", ConjunctiveQuery::boolean(sac::gen::example1_triangle().body).unwrap()),
+        (
+            "example1",
+            ConjunctiveQuery::boolean(sac::gen::example1_triangle().body).unwrap(),
+        ),
     ];
 
     println!(
         "{:<24} {:<14} {:<34} {:<22} {:>12}",
-        "class", "containment", "semantic acyclicity (paper)", "classification (ours)", "decide (ms)"
+        "class",
+        "containment",
+        "semantic acyclicity (paper)",
+        "classification (ours)",
+        "decide (ms)"
     );
     println!("{}", "-".repeat(110));
     for row in rows {
@@ -108,10 +115,6 @@ fn main() {
     println!(
         "\nSuite: {} queries ({}).  Times are end-to-end decision wall-clock for the whole suite.",
         suite.len(),
-        suite
-            .iter()
-            .map(|(n, _)| *n)
-            .collect::<Vec<_>>()
-            .join(", ")
+        suite.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
     );
 }

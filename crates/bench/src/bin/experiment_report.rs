@@ -29,7 +29,11 @@ fn main() {
                 let t_fast = t1.elapsed();
                 format!(
                     "witness of size {} found; answers {}={} ; naive {:?} vs yannakakis {:?}",
-                    w.size(), slow, fast, t_naive, t_fast
+                    w.size(),
+                    slow,
+                    fast,
+                    t_naive,
+                    t_fast
                 )
             }
             None => "NO WITNESS (unexpected)".to_string(),
@@ -56,7 +60,12 @@ fn main() {
             let res = semantic_acyclicity_under_tgds(&q, &tgds, SemAcConfig::default());
             cells.push(format!("n={n}:{}/{:?}", res.is_acyclic(), t.elapsed()));
         }
-        println!("{:<6} {:<52} {}", "E3", "SemAc(G) scaling on cycles", cells.join("  "));
+        println!(
+            "{:<6} {:<52} {}",
+            "E3",
+            "SemAc(G) scaling on cycles",
+            cells.join("  ")
+        );
     }
 
     // E4 — Example 2.
@@ -73,7 +82,12 @@ fn main() {
                 probe.output_atoms, probe.clique_lower_bound, probe.output_acyclic
             ));
         }
-        println!("{:<6} {:<52} {}", "E4", "Example 2 clique growth", cells.join("  "));
+        println!(
+            "{:<6} {:<52} {}",
+            "E4",
+            "Example 2 clique growth",
+            cells.join("  ")
+        );
     }
 
     // E5 — Example 3.
@@ -84,7 +98,12 @@ fn main() {
             let rw = rewrite(&q, &tgds, RewriteBudget::large());
             cells.push(format!("n={n}: height={} (2^n={})", rw.height(), 1 << n));
         }
-        println!("{:<6} {:<52} {}", "E5", "Example 3 rewriting height", cells.join("  "));
+        println!(
+            "{:<6} {:<52} {}",
+            "E5",
+            "Example 3 rewriting height",
+            cells.join("  ")
+        );
     }
 
     // E6 — Examples 4/5.
@@ -98,7 +117,12 @@ fn main() {
             );
             cells.push(format!("n={n}: acyclic={}", probe.output_acyclic));
         }
-        println!("{:<6} {:<52} {}", "E6", "Example 4/5 key chase (ring family)", cells.join("  "));
+        println!(
+            "{:<6} {:<52} {}",
+            "E6",
+            "Example 4/5 key chase (ring family)",
+            cells.join("  ")
+        );
     }
 
     // E7 — cover game.
@@ -113,7 +137,11 @@ fn main() {
         let t_naive = t1.elapsed();
         println!(
             "{:<6} {:<52} game={game} exact={exact} agree={} ; game {:?} vs naive {:?}",
-            "E7", "Theorem 25 cover-game evaluation", game == exact, t_game, t_naive
+            "E7",
+            "Theorem 25 cover-game evaluation",
+            game == exact,
+            t_game,
+            t_naive
         );
     }
 
@@ -133,9 +161,19 @@ fn main() {
                 SemAcConfig::default(),
             )
             .len();
-            cells.push(format!("|D|={}: {} answers in {:?}", db.len(), n, t.elapsed()));
+            cells.push(format!(
+                "|D|={}: {} answers in {:?}",
+                db.len(),
+                n,
+                t.elapsed()
+            ));
         }
-        println!("{:<6} {:<52} {}", "E8", "Prop 24 FPT evaluation scaling", cells.join("  "));
+        println!(
+            "{:<6} {:<52} {}",
+            "E8",
+            "Prop 24 FPT evaluation scaling",
+            cells.join("  ")
+        );
     }
 
     // E9 — approximations.
@@ -153,15 +191,20 @@ fn main() {
 
     // E10 — PCP reduction.
     {
-        let inst = PcpInstance::new(vec!["a", "ab"], vec!["aa", "b"]).unwrap().normalize_even();
+        let inst = PcpInstance::new(vec!["a", "ab"], vec!["aa", "b"])
+            .unwrap()
+            .normalize_even();
         let sol = inst.find_solution(3).unwrap();
         let (q, tgds) = sac::core::build_pcp_reduction(&inst);
         let path = solution_path_query(&inst, &sol).unwrap();
         let ok = equivalent_under_tgds(&q, &path, &tgds, ChaseBudget::new(5_000, 100_000)).holds();
-        let bad_inst = PcpInstance::new(vec!["a"], vec!["b"]).unwrap().normalize_even();
+        let bad_inst = PcpInstance::new(vec!["a"], vec!["b"])
+            .unwrap()
+            .normalize_even();
         let (q2, tgds2) = sac::core::build_pcp_reduction(&bad_inst);
         let bad_path = solution_path_query(&bad_inst, &[0]).unwrap();
-        let bad = equivalent_under_tgds(&q2, &bad_path, &tgds2, ChaseBudget::new(5_000, 100_000)).holds();
+        let bad =
+            equivalent_under_tgds(&q2, &bad_path, &tgds2, ChaseBudget::new(5_000, 100_000)).holds();
         println!(
             "{:<6} {:<52} solvable instance equivalent={ok}, unsolvable instance equivalent={bad}",
             "E10", "Theorem 7 PCP reduction"

@@ -150,12 +150,7 @@ fn orient(a: Term, b: Term) -> Result<(Term, Term)> {
 
 /// Convenience: returns the substitution form of the cumulative renaming.
 pub fn renaming_substitution(result: &EgdChaseResult) -> Substitution {
-    Substitution::from_pairs(
-        result
-            .renaming()
-            .keys()
-            .map(|k| (*k, result.resolve(*k))),
-    )
+    Substitution::from_pairs(result.renaming().keys().map(|k| (*k, result.resolve(*k))))
 }
 
 #[cfg(test)]

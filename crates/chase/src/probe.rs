@@ -83,7 +83,9 @@ pub fn chase_preserves_acyclicity(
 pub fn egd_chase_preserves_acyclicity(query: &ConjunctiveQuery, egds: &[Egd]) -> AcyclicityProbe {
     let input_acyclic = sac_acyclic::is_acyclic_query(query);
     match egd_chase_query(query, egds) {
-        Ok((result, _frozen)) => AcyclicityProbe::of_instance(input_acyclic, true, &result.instance),
+        Ok((result, _frozen)) => {
+            AcyclicityProbe::of_instance(input_acyclic, true, &result.instance)
+        }
         Err(_) => AcyclicityProbe {
             input_acyclic,
             output_acyclic: true,
@@ -180,7 +182,10 @@ mod tests {
         let key = FunctionalDependency::key("R", 2, [1]).unwrap();
         let probe = egd_chase_preserves_acyclicity(&q, &key.to_egds());
         assert!(probe.input_acyclic);
-        assert!(!probe.output_acyclic, "Example 4's chase result must be cyclic");
+        assert!(
+            !probe.output_acyclic,
+            "Example 4's chase result must be cyclic"
+        );
         assert!(!probe.preserved());
     }
 

@@ -79,10 +79,7 @@ pub fn tgd_chase_query(
 
 /// Finds an *active* trigger: a tgd and a homomorphism of its body into the
 /// instance that cannot be extended to satisfy the head.
-fn find_applicable_trigger(
-    instance: &Instance,
-    tgds: &[Tgd],
-) -> Option<(usize, Substitution)> {
+fn find_applicable_trigger(instance: &Instance, tgds: &[Tgd]) -> Option<(usize, Substitution)> {
     for (i, tgd) in tgds.iter().enumerate() {
         let mut found: Option<Substitution> = None;
         HomomorphismSearch::new(&tgd.body, instance).for_each(|h| {
@@ -299,10 +296,7 @@ mod tests {
     fn multiple_head_atoms_are_all_added() {
         let tgd = Tgd::new(
             vec![atom!("A", var "x")],
-            vec![
-                atom!("B", var "x", var "z"),
-                atom!("C", var "z"),
-            ],
+            vec![atom!("B", var "x", var "z"), atom!("C", var "z")],
         )
         .unwrap();
         let db = Instance::from_atoms(vec![atom!("A", cst "a")]).unwrap();

@@ -126,7 +126,11 @@ mod tests {
     fn sample() -> Atom {
         Atom::from_parts(
             "R",
-            vec![Term::variable("x"), Term::constant("a"), Term::variable("x")],
+            vec![
+                Term::variable("x"),
+                Term::constant("a"),
+                Term::variable("x"),
+            ],
         )
     }
 
@@ -164,7 +168,13 @@ mod tests {
     #[test]
     fn map_args_preserves_predicate() {
         let a = sample();
-        let b = a.map_args(|t| if t.is_variable() { Term::constant("c") } else { t });
+        let b = a.map_args(|t| {
+            if t.is_variable() {
+                Term::constant("c")
+            } else {
+                t
+            }
+        });
         assert_eq!(b.predicate, a.predicate);
         assert!(b.is_ground());
     }

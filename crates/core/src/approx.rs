@@ -59,10 +59,7 @@ pub fn acyclic_approximations(
 
     // Candidate source 2: collapses of q by identifying pairs of existential
     // variables (one and two rounds).
-    let vars: Vec<Symbol> = query
-        .existential_variables()
-        .into_iter()
-        .collect();
+    let vars: Vec<Symbol> = query.existential_variables().into_iter().collect();
     let mut collapses: Vec<ConjunctiveQuery> = Vec::new();
     for i in 0..vars.len() {
         for j in (i + 1)..vars.len() {

@@ -96,7 +96,11 @@ pub fn equivalent_under_tgds(
 }
 
 /// Decides `q ⊆Σ q'` for a set of egds (exact; the egd chase terminates).
-pub fn contained_under_egds(q: &ConjunctiveQuery, q_prime: &ConjunctiveQuery, egds: &[Egd]) -> bool {
+pub fn contained_under_egds(
+    q: &ConjunctiveQuery,
+    q_prime: &ConjunctiveQuery,
+    egds: &[Egd],
+) -> bool {
     if q.head.len() != q_prime.head.len() {
         return false;
     }
@@ -110,7 +114,11 @@ pub fn contained_under_egds(q: &ConjunctiveQuery, q_prime: &ConjunctiveQuery, eg
 }
 
 /// Decides `q ≡Σ q'` for a set of egds.
-pub fn equivalent_under_egds(q: &ConjunctiveQuery, q_prime: &ConjunctiveQuery, egds: &[Egd]) -> bool {
+pub fn equivalent_under_egds(
+    q: &ConjunctiveQuery,
+    q_prime: &ConjunctiveQuery,
+    egds: &[Egd],
+) -> bool {
     contained_under_egds(q, q_prime, egds) && contained_under_egds(q_prime, q, egds)
 }
 
@@ -166,7 +174,10 @@ mod tests {
             ChaseBudget::small()
         )
         .holds());
-        assert!(!sac_query::equivalent(&example1_triangle(), &example1_acyclic()));
+        assert!(!sac_query::equivalent(
+            &example1_triangle(),
+            &example1_acyclic()
+        ));
     }
 
     #[test]
@@ -201,11 +212,9 @@ mod tests {
         )
         .unwrap()];
         let q = ConjunctiveQuery::new(vec![intern("d")], vec![atom!("Dept", var "d")]).unwrap();
-        let q_prime = ConjunctiveQuery::new(
-            vec![intern("d")],
-            vec![atom!("Manages", var "m", var "d")],
-        )
-        .unwrap();
+        let q_prime =
+            ConjunctiveQuery::new(vec![intern("d")], vec![atom!("Manages", var "m", var "d")])
+                .unwrap();
         assert!(contained_under_tgds(&q, &q_prime, &tgds, ChaseBudget::small()).holds());
         assert_eq!(
             contained_under_tgds(&q_prime, &q, &tgds, ChaseBudget::small()),
@@ -231,11 +240,9 @@ mod tests {
             .unwrap(),
         ];
         let q = ConjunctiveQuery::new(vec![intern("p")], vec![atom!("Person", var "p")]).unwrap();
-        let q_prime = ConjunctiveQuery::new(
-            vec![intern("p")],
-            vec![atom!("Parent", var "p", var "z")],
-        )
-        .unwrap();
+        let q_prime =
+            ConjunctiveQuery::new(vec![intern("p")], vec![atom!("Parent", var "p", var "z")])
+                .unwrap();
         let answer = contained_under_tgds(&q, &q_prime, &tgds, ChaseBudget::new(50, 500));
         assert!(answer.holds());
     }
@@ -262,11 +269,9 @@ mod tests {
             atom!("S", var "z"),
         ])
         .unwrap();
-        let q_prime = ConjunctiveQuery::boolean(vec![
-            atom!("R", var "x", var "y"),
-            atom!("S", var "y"),
-        ])
-        .unwrap();
+        let q_prime =
+            ConjunctiveQuery::boolean(vec![atom!("R", var "x", var "y"), atom!("S", var "y")])
+                .unwrap();
         assert!(contained_under_egds(&q, &q_prime, &key));
         assert!(contained_under_egds(&q_prime, &q, &key));
         assert!(equivalent_under_egds(&q, &q_prime, &key));

@@ -111,8 +111,8 @@ pub fn cover_game_evaluate(query: &ConjunctiveQuery, database: &Instance) -> BTr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sac_common::{atom, intern, Atom};
     use sac_chase::{tgd_chase, ChaseBudget};
+    use sac_common::{atom, intern, Atom};
 
     fn collector_tgd() -> Vec<Tgd> {
         vec![Tgd::new(

@@ -34,7 +34,7 @@ pub use containment::{
     contained_under_egds, contained_under_tgds, equivalent_under_egds, equivalent_under_tgds,
     ContainmentAnswer,
 };
-pub use eval::{evaluate_semantically_acyclic, cover_game_evaluate, EvaluationStrategy};
+pub use eval::{cover_game_evaluate, evaluate_semantically_acyclic, EvaluationStrategy};
 pub use pcp::{build_pcp_reduction, solution_path_query, PcpInstance};
 pub use semac::{
     is_semantically_acyclic_no_constraints, semantic_acyclicity_under_egds,

@@ -52,11 +52,7 @@ impl PcpInstance {
     /// The even-length normalization used by the appendix proof (`a ↦ aa`,
     /// `b ↦ bb`), which does not change solvability.
     pub fn normalize_even(&self) -> PcpInstance {
-        let double = |w: &String| {
-            w.chars()
-                .flat_map(|c| [c, c])
-                .collect::<String>()
-        };
+        let double = |w: &String| w.chars().flat_map(|c| [c, c]).collect::<String>();
         PcpInstance {
             top: self.top.iter().map(double).collect(),
             bottom: self.bottom.iter().map(double).collect(),
@@ -285,7 +281,9 @@ mod tests {
 
     #[test]
     fn reduction_produces_full_body_connected_tgds_and_a_cyclic_query() {
-        let inst = PcpInstance::new(vec!["a"], vec!["a"]).unwrap().normalize_even();
+        let inst = PcpInstance::new(vec!["a"], vec!["a"])
+            .unwrap()
+            .normalize_even();
         let (q, tgds) = build_pcp_reduction(&inst);
         let classification = classify_tgds(&tgds);
         assert!(classification.full, "Theorem 7 uses full tgds");
@@ -301,7 +299,9 @@ mod tests {
     #[test]
     fn solvable_instance_yields_an_equivalent_acyclic_path_query() {
         // w1 = aa, w1' = aa: solution [0].
-        let inst = PcpInstance::new(vec!["a"], vec!["a"]).unwrap().normalize_even();
+        let inst = PcpInstance::new(vec!["a"], vec!["a"])
+            .unwrap()
+            .normalize_even();
         let solution = inst.find_solution(2).expect("trivially solvable");
         let (q, tgds) = build_pcp_reduction(&inst);
         let path = solution_path_query(&inst, &solution).unwrap();
@@ -316,7 +316,9 @@ mod tests {
     #[test]
     fn path_query_of_a_non_solution_is_not_equivalent() {
         // Unsolvable instance: a / b.
-        let inst = PcpInstance::new(vec!["a"], vec!["b"]).unwrap().normalize_even();
+        let inst = PcpInstance::new(vec!["a"], vec!["b"])
+            .unwrap()
+            .normalize_even();
         let (q, tgds) = build_pcp_reduction(&inst);
         // A candidate path spelling the top word of index 0 (not a solution).
         let path = solution_path_query(&inst, &[0]).unwrap();
@@ -333,7 +335,9 @@ mod tests {
     fn the_gadget_query_always_contains_the_path_query() {
         // Direction that holds regardless of solvability: q ⊆Σ path, because
         // the path maps homomorphically into q (wrap around the triangle).
-        let inst = PcpInstance::new(vec!["ab"], vec!["ba"]).unwrap().normalize_even();
+        let inst = PcpInstance::new(vec!["ab"], vec!["ba"])
+            .unwrap()
+            .normalize_even();
         let (q, tgds) = build_pcp_reduction(&inst);
         let path = solution_path_query(&inst, &[0]).unwrap();
         assert!(contained_under_tgds(&q, &path, &tgds, budget()).holds());

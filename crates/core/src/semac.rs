@@ -90,7 +90,9 @@ impl SemAcResult {
 
 /// The constraint-free baseline: a CQ is semantically acyclic iff its core is
 /// acyclic.  Returns the acyclic core as a witness when it is.
-pub fn is_semantically_acyclic_no_constraints(query: &ConjunctiveQuery) -> Option<ConjunctiveQuery> {
+pub fn is_semantically_acyclic_no_constraints(
+    query: &ConjunctiveQuery,
+) -> Option<ConjunctiveQuery> {
     let core = core_of(query);
     is_acyclic_query(&core).then_some(core)
 }
@@ -238,11 +240,7 @@ pub fn semantic_acyclicity_under_egds(
 /// null (chase-invented) to a fresh variable.
 fn unfreeze_with(frozen: &sac_query::FrozenQuery, instance: &sac_storage::Instance) -> Vec<Atom> {
     use std::collections::BTreeMap;
-    let reverse: BTreeMap<Term, Symbol> = frozen
-        .var_map
-        .iter()
-        .map(|(v, t)| (*t, *v))
-        .collect();
+    let reverse: BTreeMap<Term, Symbol> = frozen.var_map.iter().map(|(v, t)| (*t, *v)).collect();
     instance
         .to_atoms()
         .into_iter()

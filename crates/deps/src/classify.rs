@@ -214,10 +214,7 @@ mod tests {
     #[test]
     fn egd_classification_checks_arities() {
         let narrow = Egd::new(
-            vec![
-                atom!("R", var "x", var "y"),
-                atom!("R", var "x", var "z"),
-            ],
+            vec![atom!("R", var "x", var "y"), atom!("R", var "x", var "z")],
             sac_common::intern("y"),
             sac_common::intern("z"),
         )

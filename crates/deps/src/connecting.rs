@@ -137,11 +137,8 @@ mod tests {
     fn left_query_stays_acyclic_and_connected() {
         use sac_acyclic_check::*;
         // q is a disconnected acyclic query; c(q) must be connected and acyclic.
-        let q = ConjunctiveQuery::boolean(vec![
-            atom!("R", var "a", var "b"),
-            atom!("T", var "u"),
-        ])
-        .unwrap();
+        let q = ConjunctiveQuery::boolean(vec![atom!("R", var "a", var "b"), atom!("T", var "u")])
+            .unwrap();
         let cq = connect_left_query(&q);
         assert!(cq.is_connected());
         assert!(is_acyclic(&cq));
@@ -213,12 +210,7 @@ mod tests {
             let mut edges: Vec<BTreeSet<Term>> = q
                 .body
                 .iter()
-                .map(|a| {
-                    a.terms()
-                        .into_iter()
-                        .filter(|t| t.is_variable())
-                        .collect()
-                })
+                .map(|a| a.terms().into_iter().filter(|t| t.is_variable()).collect())
                 .collect();
             loop {
                 let mut changed = false;

@@ -131,12 +131,7 @@ mod tests {
 
     #[test]
     fn trivial_egd_detection() {
-        let e = Egd::new(
-            vec![atom!("R", var "x", var "y")],
-            intern("x"),
-            intern("x"),
-        )
-        .unwrap();
+        let e = Egd::new(vec![atom!("R", var "x", var "y")], intern("x"), intern("x")).unwrap();
         assert!(e.is_trivial());
     }
 

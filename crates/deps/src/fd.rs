@@ -55,7 +55,11 @@ impl FunctionalDependency {
     }
 
     /// The key `R : A → {1..n} \ A`.
-    pub fn key(predicate: &str, arity: usize, lhs: impl IntoIterator<Item = usize>) -> Result<FunctionalDependency> {
+    pub fn key(
+        predicate: &str,
+        arity: usize,
+        lhs: impl IntoIterator<Item = usize>,
+    ) -> Result<FunctionalDependency> {
         let lhs: BTreeSet<usize> = lhs.into_iter().collect();
         let rhs: BTreeSet<usize> = (1..=arity).filter(|i| !lhs.contains(i)).collect();
         FunctionalDependency::new(intern(predicate), arity, lhs, rhs)

@@ -41,7 +41,10 @@ impl PredicateGraph {
 
     /// Successors of a node.
     pub fn successors(&self, p: Symbol) -> impl Iterator<Item = Symbol> + '_ {
-        self.edges.get(&p).into_iter().flat_map(|s| s.iter().copied())
+        self.edges
+            .get(&p)
+            .into_iter()
+            .flat_map(|s| s.iter().copied())
     }
 
     /// Whether the graph contains a directed cycle.
@@ -60,11 +63,8 @@ impl PredicateGraph {
                 continue;
             }
             // (node, iterator index over successors)
-            let mut stack: Vec<(Symbol, Vec<Symbol>, usize)> = vec![(
-                start,
-                self.successors(start).collect(),
-                0,
-            )];
+            let mut stack: Vec<(Symbol, Vec<Symbol>, usize)> =
+                vec![(start, self.successors(start).collect(), 0)];
             colour.insert(start, Colour::Grey);
             while let Some((node, succs, idx)) = stack.last_mut() {
                 if *idx < succs.len() {
@@ -116,7 +116,10 @@ pub fn is_weakly_acyclic(tgds: &[Tgd]) -> bool {
         for atom in &tgd.body {
             for (i, t) in atom.args.iter().enumerate() {
                 if let Term::Variable(v) = t {
-                    body_positions.entry(*v).or_default().push((atom.predicate, i));
+                    body_positions
+                        .entry(*v)
+                        .or_default()
+                        .push((atom.predicate, i));
                     nodes.insert((atom.predicate, i));
                 }
             }
@@ -129,7 +132,11 @@ pub fn is_weakly_acyclic(tgds: &[Tgd]) -> bool {
                     if existential.contains(v) {
                         // Special edges from every body position of every
                         // frontier variable.
-                        for positions in tgd.frontier_variables().iter().filter_map(|f| body_positions.get(f)) {
+                        for positions in tgd
+                            .frontier_variables()
+                            .iter()
+                            .filter_map(|f| body_positions.get(f))
+                        {
                             for &p in positions {
                                 special.entry(p).or_default().insert((atom.predicate, i));
                             }
@@ -193,14 +200,20 @@ mod tests {
     fn non_recursive_detection() {
         // R → S → T is acyclic.
         let tgds = vec![
-            tgd(vec![atom!("R", var "x", var "y")], vec![atom!("S", var "x")]),
+            tgd(
+                vec![atom!("R", var "x", var "y")],
+                vec![atom!("S", var "x")],
+            ),
             tgd(vec![atom!("S", var "x")], vec![atom!("T", var "x")]),
         ];
         assert!(is_non_recursive(&tgds));
 
         // Adding T → R closes a cycle.
         let mut cyclic = tgds.clone();
-        cyclic.push(tgd(vec![atom!("T", var "x")], vec![atom!("R", var "x", var "x")]));
+        cyclic.push(tgd(
+            vec![atom!("T", var "x")],
+            vec![atom!("R", var "x", var "x")],
+        ));
         assert!(!is_non_recursive(&cyclic));
     }
 

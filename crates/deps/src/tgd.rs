@@ -217,7 +217,10 @@ mod tests {
         // No single body atom contains x, y and z: not guarded.
         assert!(!t.is_guarded());
         let guarded = Tgd::new(
-            vec![atom!("G", var "x", var "y", var "z"), atom!("R", var "x", var "y")],
+            vec![
+                atom!("G", var "x", var "y", var "z"),
+                atom!("R", var "x", var "y"),
+            ],
             vec![atom!("S", var "x")],
         )
         .unwrap();
@@ -273,11 +276,7 @@ mod tests {
     fn validation_rejects_malformed_tgds() {
         assert!(Tgd::new(vec![], vec![atom!("R", var "x")]).is_err());
         assert!(Tgd::new(vec![atom!("R", var "x")], vec![]).is_err());
-        assert!(Tgd::new(
-            vec![atom!("R", null 1)],
-            vec![atom!("S", var "x")]
-        )
-        .is_err());
+        assert!(Tgd::new(vec![atom!("R", null 1)], vec![atom!("S", var "x")]).is_err());
         assert!(Tgd::new(
             vec![atom!("R", var "x")],
             vec![atom!("R", var "x", var "y")]

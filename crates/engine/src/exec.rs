@@ -1,0 +1,596 @@
+//! The executor: run a compiled [`Plan`] over an indexed [`Instance`].
+//!
+//! The Yannakakis path is the full three-phase algorithm, with every phase a
+//! hash operation rather than a scan:
+//!
+//! 1. **match sets** — each join-tree node's atom is matched against its
+//!    relation; atoms with constant positions probe a cached multi-column
+//!    index instead of scanning;
+//! 2. **semijoin reduction** — an upward (leaf-to-root) sweep removes
+//!    dangling tuples, then for non-Boolean queries a downward sweep makes
+//!    every node consistent with its parent; both are hash semijoins;
+//! 3. **join-back-up** — non-Boolean answers are produced by hash-joining
+//!    each subtree bottom-up, projecting eagerly onto the node's carry set
+//!    (its subtree's head variables plus the join key with the parent), so
+//!    intermediate tables stay output-bounded instead of exploding into the
+//!    cross-product walk the scan-based evaluator performs.
+//!
+//! The fallback path executes the planner's fixed atom order, fetching the
+//! candidates of each step from a cached hash index on exactly the step's
+//! bound columns.
+
+use crate::index::IndexCache;
+use crate::plan::{ExecPlan, IndexedPlan, NodeShape, Plan, YannakakisPlan};
+use sac_common::{Substitution, Symbol, Term};
+use sac_storage::{Instance, Relation};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Executes `plan` over `db`, building (and caching) indexes as needed.
+pub(crate) fn execute(plan: &Plan, db: &Instance, cache: &mut IndexCache) -> BTreeSet<Vec<Term>> {
+    match &plan.exec {
+        ExecPlan::Yannakakis(yp) => run_yannakakis(yp, db, cache),
+        ExecPlan::Indexed(ip) => run_indexed(ip, db, cache),
+    }
+}
+
+/// An intermediate relation over query variables.
+#[derive(Debug, Clone)]
+struct Table {
+    vars: Vec<Symbol>,
+    tuples: HashSet<Vec<Term>>,
+}
+
+impl Table {
+    /// The relation holding exactly the empty tuple (join identity).
+    fn unit() -> Table {
+        Table {
+            vars: Vec::new(),
+            tuples: HashSet::from([Vec::new()]),
+        }
+    }
+
+    fn positions_of(&self, vars: &[Symbol]) -> Vec<usize> {
+        vars.iter()
+            .map(|v| {
+                self.vars
+                    .iter()
+                    .position(|u| u == v)
+                    .expect("variable present in table")
+            })
+            .collect()
+    }
+
+    /// Projects onto `keep` (must be a subset of the table's variables),
+    /// deduplicating.
+    fn project(&self, keep: &[Symbol]) -> Table {
+        let positions = self.positions_of(keep);
+        Table {
+            vars: keep.to_vec(),
+            tuples: self
+                .tuples
+                .iter()
+                .map(|t| positions.iter().map(|p| t[*p]).collect())
+                .collect(),
+        }
+    }
+
+    /// Hash semijoin: keeps only tuples agreeing with some tuple of `other`
+    /// on the shared variables.  With no shared variables this is "keep all
+    /// iff `other` is non-empty".
+    fn semijoin(&mut self, other: &Table) {
+        let shared: Vec<Symbol> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.vars.contains(v))
+            .collect();
+        if shared.is_empty() {
+            if other.tuples.is_empty() {
+                self.tuples.clear();
+            }
+            return;
+        }
+        let my_pos = self.positions_of(&shared);
+        let other_pos = other.positions_of(&shared);
+        let keys: HashSet<Vec<Term>> = other
+            .tuples
+            .iter()
+            .map(|t| other_pos.iter().map(|p| t[*p]).collect())
+            .collect();
+        self.tuples
+            .retain(|t| keys.contains(&my_pos.iter().map(|p| t[*p]).collect::<Vec<_>>()));
+    }
+
+    /// Hash join on the shared variables; the output's variables are
+    /// `self.vars` followed by `other`'s non-shared variables.  With no
+    /// shared variables this is the cross product.
+    fn join(&self, other: &Table) -> Table {
+        let shared: Vec<Symbol> = self
+            .vars
+            .iter()
+            .copied()
+            .filter(|v| other.vars.contains(v))
+            .collect();
+        let my_pos = self.positions_of(&shared);
+        let other_pos = other.positions_of(&shared);
+        let extra_pos: Vec<usize> = (0..other.vars.len())
+            .filter(|p| !other_pos.contains(p))
+            .collect();
+
+        let mut vars = self.vars.clone();
+        vars.extend(extra_pos.iter().map(|p| other.vars[*p]));
+
+        // Index the smaller operand's tuples by join key and probe with the
+        // larger; either way, emitted tuples are `self`'s columns followed by
+        // `other`'s extras.
+        let emit = |mine: &Vec<Term>, theirs: &Vec<Term>| -> Vec<Term> {
+            let mut combined = mine.clone();
+            combined.extend(extra_pos.iter().map(|p| theirs[*p]));
+            combined
+        };
+        let mut tuples = HashSet::new();
+        if self.tuples.len() <= other.tuples.len() {
+            let mut by_key: HashMap<Vec<Term>, Vec<&Vec<Term>>> = HashMap::new();
+            for t in &self.tuples {
+                let key: Vec<Term> = my_pos.iter().map(|p| t[*p]).collect();
+                by_key.entry(key).or_default().push(t);
+            }
+            for t in &other.tuples {
+                let key: Vec<Term> = other_pos.iter().map(|p| t[*p]).collect();
+                if let Some(matches) = by_key.get(&key) {
+                    for m in matches {
+                        tuples.insert(emit(m, t));
+                    }
+                }
+            }
+        } else {
+            let mut by_key: HashMap<Vec<Term>, Vec<&Vec<Term>>> = HashMap::new();
+            for t in &other.tuples {
+                let key: Vec<Term> = other_pos.iter().map(|p| t[*p]).collect();
+                by_key.entry(key).or_default().push(t);
+            }
+            for t in &self.tuples {
+                let key: Vec<Term> = my_pos.iter().map(|p| t[*p]).collect();
+                if let Some(matches) = by_key.get(&key) {
+                    for m in matches {
+                        tuples.insert(emit(t, m));
+                    }
+                }
+            }
+        }
+        Table { vars, tuples }
+    }
+}
+
+/// Computes a node's match set: the projection onto its distinct variables of
+/// the relation tuples matching the atom's constants and repeated variables.
+/// Constant positions are served by a cached index; variable-only atoms scan.
+fn node_matches(
+    shape: &NodeShape,
+    predicate: sac_common::Symbol,
+    arity: usize,
+    db: &Instance,
+    cache: &mut IndexCache,
+) -> Table {
+    let mut table = Table {
+        vars: shape.vars.clone(),
+        tuples: HashSet::new(),
+    };
+    let Some(rel) = db.relation(predicate) else {
+        return table;
+    };
+    if rel.arity() != arity {
+        return table;
+    }
+    let project =
+        |tuple: &[Term]| -> Vec<Term> { shape.var_first.iter().map(|p| tuple[*p]).collect() };
+    let consistent =
+        |tuple: &[Term]| -> bool { shape.eq_checks.iter().all(|(a, b)| tuple[*a] == tuple[*b]) };
+    match shape.const_positions.len() {
+        0 => {
+            for tuple in rel.iter() {
+                if consistent(tuple) {
+                    table.tuples.insert(project(tuple));
+                }
+            }
+        }
+        // One constant: the storage layer already maintains this index
+        // incrementally — no cached copy needed.
+        1 => {
+            for &row in rel.rows_with(shape.const_positions[0], shape.const_key[0]) {
+                let tuple = rel.row(row).expect("indexed row exists");
+                if consistent(tuple) {
+                    table.tuples.insert(project(tuple));
+                }
+            }
+        }
+        _ => {
+            if !cache.ensure(db, predicate, &shape.const_positions) {
+                return table;
+            }
+            let index = cache
+                .get(predicate, &shape.const_positions)
+                .expect("just ensured");
+            for &row in index.rows(&shape.const_key) {
+                let tuple = rel.row(row).expect("indexed row exists");
+                if consistent(tuple) {
+                    table.tuples.insert(project(tuple));
+                }
+            }
+        }
+    }
+    table
+}
+
+fn run_yannakakis(
+    plan: &YannakakisPlan,
+    db: &Instance,
+    cache: &mut IndexCache,
+) -> BTreeSet<Vec<Term>> {
+    let n = plan.tree.len();
+    let mut answers = BTreeSet::new();
+    if n == 0 {
+        // The empty conjunction holds vacuously, with the empty answer tuple.
+        answers.insert(Vec::new());
+        return answers;
+    }
+
+    // Phase 1: match sets.
+    let mut tables: Vec<Table> = (0..n)
+        .map(|i| {
+            let atom = &plan.tree.atoms[i];
+            node_matches(&plan.shapes[i], atom.predicate, atom.arity(), db, cache)
+        })
+        .collect();
+
+    // Phase 2a: upward semijoin sweep (children into parents, leaves first).
+    for &node in plan.order.iter().rev() {
+        for &child in &plan.children[node] {
+            let child_table = std::mem::replace(&mut tables[child], Table::unit());
+            tables[node].semijoin(&child_table);
+            tables[child] = child_table;
+        }
+        if tables[node].tuples.is_empty() {
+            return answers; // no homomorphism covers this node
+        }
+    }
+    if plan.query.head.is_empty() {
+        answers.insert(Vec::new());
+        return answers;
+    }
+
+    // Phase 2b: downward sweep (parents into children, roots first).
+    for &node in &plan.order {
+        if let Some(parent) = plan.tree.parent[node] {
+            let parent_table = std::mem::replace(&mut tables[parent], Table::unit());
+            tables[node].semijoin(&parent_table);
+            tables[parent] = parent_table;
+        }
+    }
+
+    // Phase 3: bottom-up hash join, projecting each subtree onto its carry
+    // set as soon as it is joined.
+    let mut joined: Vec<Option<Table>> = vec![None; n];
+    for &node in plan.order.iter().rev() {
+        let mut t = std::mem::replace(&mut tables[node], Table::unit());
+        for &child in &plan.children[node] {
+            let child_table = joined[child].take().expect("children joined first");
+            t = t.join(&child_table);
+        }
+        joined[node] = Some(t.project(&plan.carry[node]));
+    }
+    let mut acc = Table::unit();
+    for root in plan.tree.roots() {
+        let root_table = joined[root].take().expect("roots joined last");
+        acc = acc.join(&root_table);
+    }
+
+    // Materialize answers in head order (head variables may repeat).
+    let head_pos = acc.positions_of(&plan.query.head);
+    for t in &acc.tuples {
+        answers.insert(head_pos.iter().map(|p| t[*p]).collect());
+    }
+    answers
+}
+
+fn run_indexed(plan: &IndexedPlan, db: &Instance, cache: &mut IndexCache) -> BTreeSet<Vec<Term>> {
+    // Prebuild every step's multi-column index so the recursion can borrow
+    // the cache immutably.  Single-column keys are served by the storage
+    // layer's own incremental indexes and need no cached copy.
+    for (step, &atom_idx) in plan.order.iter().enumerate() {
+        let bp = &plan.bound_positions[step];
+        if bp.len() > 1 {
+            cache.ensure(db, plan.query.body[atom_idx].predicate, bp);
+        }
+    }
+    let mut answers = BTreeSet::new();
+    let mut state = Substitution::new();
+    indexed_step(plan, db, cache, 0, &mut state, &mut answers);
+    answers
+}
+
+fn indexed_step(
+    plan: &IndexedPlan,
+    db: &Instance,
+    cache: &IndexCache,
+    depth: usize,
+    state: &mut Substitution,
+    answers: &mut BTreeSet<Vec<Term>>,
+) {
+    if depth == plan.order.len() {
+        let tuple: Vec<Term> = plan
+            .query
+            .head
+            .iter()
+            .map(|v| state.apply(Term::Variable(*v)))
+            .collect();
+        if tuple.iter().all(|t| !t.is_variable()) {
+            answers.insert(tuple);
+        }
+        return;
+    }
+    let atom_idx = plan.order[depth];
+    let atom = &plan.query.body[atom_idx];
+    let Some(rel) = db.relation(atom.predicate) else {
+        return;
+    };
+    if rel.arity() != atom.arity() {
+        return;
+    }
+    let bp = &plan.bound_positions[depth];
+
+    let try_tuple =
+        |tuple: &[Term], state: &mut Substitution, answers: &mut BTreeSet<Vec<Term>>| {
+            let target = sac_common::Atom::new(atom.predicate, tuple.to_vec());
+            let mut extended = state.clone();
+            if extended.match_atom(atom, &target) {
+                std::mem::swap(state, &mut extended);
+                indexed_step(plan, db, cache, depth + 1, state, answers);
+                std::mem::swap(state, &mut extended);
+            }
+        };
+
+    if bp.is_empty() {
+        for tuple in rel.iter() {
+            try_tuple(tuple, state, answers);
+        }
+        return;
+    }
+    let key: Vec<Term> = bp.iter().map(|&pos| state.apply(atom.args[pos])).collect();
+    if key.iter().any(|t| t.is_variable()) {
+        // The planner guarantees bound positions are bound; fall back to a
+        // filtered scan if that invariant is ever violated.
+        for tuple in scan_candidates(rel, atom, state) {
+            try_tuple(&tuple, state, answers);
+        }
+        return;
+    }
+    if bp.len() == 1 {
+        // Single bound column: the storage layer's incremental index serves
+        // the lookup directly.
+        for &row in rel.rows_with(bp[0], key[0]) {
+            let tuple = rel.row(row).expect("indexed row exists").to_vec();
+            try_tuple(&tuple, state, answers);
+        }
+        return;
+    }
+    match cache.get(atom.predicate, bp) {
+        Some(index) => {
+            for &row in index.rows(&key) {
+                let tuple = rel.row(row).expect("indexed row exists").to_vec();
+                try_tuple(&tuple, state, answers);
+            }
+        }
+        None => {
+            for tuple in scan_candidates(rel, atom, state) {
+                try_tuple(&tuple, state, answers);
+            }
+        }
+    }
+}
+
+/// Fallback candidate enumeration through the storage layer's single-column
+/// indexes (used only if a cached multi-column index is unavailable).
+fn scan_candidates(
+    rel: &Relation,
+    atom: &sac_common::Atom,
+    state: &Substitution,
+) -> Vec<Vec<Term>> {
+    let bound: Vec<(usize, Term)> = atom
+        .args
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| {
+            let image = state.apply(*t);
+            (!image.is_variable()).then_some((i, image))
+        })
+        .collect();
+    rel.select(&bound).map(|t| t.to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::plan::plan_query;
+    use sac_common::{atom, intern, Atom};
+    use sac_query::{evaluate, ConjunctiveQuery};
+
+    fn run(q: &ConjunctiveQuery, db: &Instance) -> BTreeSet<Vec<Term>> {
+        let plan = plan_query(q, &[], db, &EngineConfig::default());
+        let mut cache = IndexCache::new(db);
+        execute(&plan, db, &mut cache)
+    }
+
+    fn music_db() -> Instance {
+        Instance::from_atoms(vec![
+            atom!("Interest", cst "alice", cst "jazz"),
+            atom!("Interest", cst "bob", cst "rock"),
+            atom!("Class", cst "kind_of_blue", cst "jazz"),
+            atom!("Class", cst "nevermind", cst "rock"),
+            atom!("Owns", cst "alice", cst "kind_of_blue"),
+            atom!("Owns", cst "bob", cst "kind_of_blue"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn acyclic_query_matches_naive_evaluation() {
+        let q = ConjunctiveQuery::new(
+            vec![intern("x"), intern("y")],
+            vec![
+                atom!("Interest", var "x", var "z"),
+                atom!("Class", var "y", var "z"),
+            ],
+        )
+        .unwrap();
+        let db = music_db();
+        assert_eq!(run(&q, &db), evaluate(&q, &db));
+    }
+
+    #[test]
+    fn cyclic_query_matches_naive_evaluation() {
+        let q = ConjunctiveQuery::new(
+            vec![intern("x"), intern("y")],
+            vec![
+                atom!("Interest", var "x", var "z"),
+                atom!("Class", var "y", var "z"),
+                atom!("Owns", var "x", var "y"),
+            ],
+        )
+        .unwrap();
+        let db = music_db();
+        assert_eq!(run(&q, &db), evaluate(&q, &db));
+    }
+
+    #[test]
+    fn constants_in_atoms_probe_indexes() {
+        let q = ConjunctiveQuery::new(
+            vec![intern("y")],
+            vec![
+                atom!("Interest", cst "alice", var "z"),
+                atom!("Class", var "y", var "z"),
+            ],
+        )
+        .unwrap();
+        let db = music_db();
+        let res = run(&q, &db);
+        assert_eq!(res, evaluate(&q, &db));
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&vec![Term::constant("kind_of_blue")]));
+    }
+
+    #[test]
+    fn repeated_variables_within_atoms_are_honoured() {
+        let db = Instance::from_atoms(vec![
+            atom!("R", cst "a", cst "a"),
+            atom!("R", cst "a", cst "b"),
+        ])
+        .unwrap();
+        let q =
+            ConjunctiveQuery::new(vec![intern("x")], vec![atom!("R", var "x", var "x")]).unwrap();
+        assert_eq!(run(&q, &db), evaluate(&q, &db));
+    }
+
+    #[test]
+    fn disconnected_queries_cross_product() {
+        let db = Instance::from_atoms(vec![
+            atom!("A", cst "1"),
+            atom!("A", cst "2"),
+            atom!("B", cst "x"),
+        ])
+        .unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![intern("u"), intern("v")],
+            vec![atom!("A", var "u"), atom!("B", var "v")],
+        )
+        .unwrap();
+        assert_eq!(run(&q, &db), evaluate(&q, &db));
+    }
+
+    #[test]
+    fn boolean_queries_and_empty_databases() {
+        let q = ConjunctiveQuery::boolean(vec![atom!("Owns", var "x", var "y")]).unwrap();
+        assert_eq!(run(&q, &music_db()).len(), 1);
+        assert!(run(&q, &Instance::new()).is_empty());
+        // The empty conjunction holds vacuously.
+        let empty_q = ConjunctiveQuery::boolean(vec![]).unwrap();
+        assert_eq!(run(&empty_q, &Instance::new()).len(), 1);
+    }
+
+    #[test]
+    fn repeated_head_variables_produce_repeated_columns() {
+        let db = music_db();
+        let q = ConjunctiveQuery::new(
+            vec![intern("x"), intern("x")],
+            vec![atom!("Owns", var "x", var "y")],
+        )
+        .unwrap();
+        let res = run(&q, &db);
+        assert_eq!(res, evaluate(&q, &db));
+        assert!(res.iter().all(|t| t[0] == t[1]));
+    }
+
+    #[test]
+    fn dangling_tuples_are_filtered_by_the_semijoin_sweeps() {
+        let db = Instance::from_atoms(vec![
+            atom!("E", cst "a", cst "b"),
+            atom!("E", cst "b", cst "c"),
+            atom!("E", cst "x", cst "y"),
+        ])
+        .unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![intern("u")],
+            vec![atom!("E", var "u", var "v"), atom!("E", var "v", var "w")],
+        )
+        .unwrap();
+        let res = run(&q, &db);
+        assert_eq!(res.len(), 1);
+        assert!(res.contains(&vec![Term::constant("a")]));
+    }
+
+    #[test]
+    fn projection_stays_output_bounded_on_star_joins() {
+        // A star with many rays per hub: the carry projection keeps the
+        // intermediate tables at hub-cardinality instead of ray^rays.
+        let mut db = Instance::new();
+        for h in 0..3 {
+            for l in 0..20 {
+                db.insert(Atom::from_parts(
+                    "E",
+                    vec![
+                        Term::constant(&format!("h{h}")),
+                        Term::constant(&format!("l{h}_{l}")),
+                    ],
+                ))
+                .unwrap();
+            }
+        }
+        let q = ConjunctiveQuery::new(
+            vec![intern("c")],
+            vec![
+                atom!("E", var "c", var "l1"),
+                atom!("E", var "c", var "l2"),
+                atom!("E", var "c", var "l3"),
+            ],
+        )
+        .unwrap();
+        let res = run(&q, &db);
+        assert_eq!(res.len(), 3);
+        assert_eq!(res, evaluate(&q, &db));
+    }
+
+    #[test]
+    fn larger_agreement_sweep_on_random_style_graphs() {
+        let db = sac_gen::random_graph_database(12, 40, 7);
+        for q in [
+            sac_gen::path_query(3),
+            sac_gen::star_query(3),
+            sac_gen::cycle_query(3),
+            sac_gen::cycle_query(4),
+            sac_gen::clique_query(3),
+        ] {
+            assert_eq!(run(&q, &db), evaluate(&q, &db), "disagreement on {q}");
+        }
+    }
+}

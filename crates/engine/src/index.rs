@@ -1,0 +1,210 @@
+//! Lazily built, epoch-validated join-key indexes over an [`Instance`].
+//!
+//! `sac-storage` maintains single-column positional indexes incrementally on
+//! every insert.  Multi-column (join-key) indexes are too numerous to build
+//! eagerly — which column sets matter depends on the queries — so the engine
+//! builds them **on demand** through [`sac_storage::Relation::project_index`]
+//! and caches them here, keyed by `(predicate, column set)`.
+//!
+//! Staleness is tracked with the instance's mutation [`Instance::epoch`]:
+//! the cache remembers the epoch it was built against, and
+//! [`IndexCache::note_insert`] lets the owner (the [`crate::Engine`], which
+//! routes every mutation) advance the epoch while dropping only the indexes
+//! of the one predicate that actually changed.  If the cache ever observes an
+//! epoch it was not told about, it clears itself entirely — correctness never
+//! depends on the owner's diligence.
+
+use sac_common::{Symbol, Term};
+use sac_storage::Instance;
+use std::collections::HashMap;
+
+/// A hash index over the projection of one relation onto a set of columns:
+/// key tuple → row ids sharing it.
+#[derive(Debug, Clone)]
+pub struct JoinIndex {
+    positions: Vec<usize>,
+    map: HashMap<Vec<Term>, Vec<usize>>,
+}
+
+impl JoinIndex {
+    /// The indexed column positions, in key order.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Row ids whose projection onto the indexed columns equals `key`.
+    pub fn rows(&self, key: &[Term]) -> &[usize] {
+        self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// An epoch-validated cache of [`JoinIndex`]es for one instance.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    epoch: u64,
+    indexes: HashMap<(Symbol, Vec<usize>), JoinIndex>,
+    built: usize,
+}
+
+impl IndexCache {
+    /// Creates an empty cache synchronized with `db`'s current epoch.
+    pub fn new(db: &Instance) -> IndexCache {
+        IndexCache {
+            epoch: db.epoch(),
+            indexes: HashMap::new(),
+            built: 0,
+        }
+    }
+
+    /// Number of indexes currently cached.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Whether the cache holds no indexes.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+
+    /// Total number of indexes built over the cache's lifetime (cache misses).
+    pub fn built(&self) -> usize {
+        self.built
+    }
+
+    /// Records that `db` gained one new atom for `predicate` (an
+    /// [`Instance::insert`] that returned `true`): only that predicate's
+    /// indexes are dropped, everything else stays warm.
+    pub fn note_insert(&mut self, db: &Instance, predicate: Symbol) {
+        self.indexes.retain(|(p, _), _| *p != predicate);
+        self.epoch = db.epoch();
+    }
+
+    /// Drops every cached index and resynchronizes with `db`'s epoch.
+    pub fn invalidate_all(&mut self, db: &Instance) {
+        self.indexes.clear();
+        self.epoch = db.epoch();
+    }
+
+    /// Ensures the index for `(predicate, positions)` exists and is current,
+    /// building it from `db` if needed.  Returns `false` when `db` has no
+    /// relation for `predicate` (nothing to index).
+    pub fn ensure(&mut self, db: &Instance, predicate: Symbol, positions: &[usize]) -> bool {
+        if db.epoch() != self.epoch {
+            // Unannounced mutation: discard everything rather than risk
+            // serving stale rows.
+            self.invalidate_all(db);
+        }
+        let Some(rel) = db.relation(predicate) else {
+            return false;
+        };
+        if positions.iter().any(|p| *p >= rel.arity()) {
+            return false;
+        }
+        let key = (predicate, positions.to_vec());
+        if !self.indexes.contains_key(&key) {
+            let index = JoinIndex {
+                positions: positions.to_vec(),
+                map: rel.project_index(positions),
+            };
+            self.built += 1;
+            self.indexes.insert(key, index);
+        }
+        true
+    }
+
+    /// The cached index for `(predicate, positions)`, if [`IndexCache::ensure`]
+    /// built one.
+    pub fn get(&self, predicate: Symbol, positions: &[usize]) -> Option<&JoinIndex> {
+        self.indexes.get(&(predicate, positions.to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::{atom, intern};
+
+    fn db() -> Instance {
+        Instance::from_atoms(vec![
+            atom!("R", cst "a", cst "b"),
+            atom!("R", cst "a", cst "c"),
+            atom!("R", cst "d", cst "b"),
+            atom!("S", cst "a"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ensure_builds_once_and_serves_lookups() {
+        let db = db();
+        let mut cache = IndexCache::new(&db);
+        assert!(cache.ensure(&db, intern("R"), &[0]));
+        assert!(cache.ensure(&db, intern("R"), &[0]));
+        assert_eq!(cache.built(), 1);
+        let idx = cache.get(intern("R"), &[0]).unwrap();
+        assert_eq!(idx.rows(&[Term::constant("a")]).len(), 2);
+        assert_eq!(idx.rows(&[Term::constant("zzz")]).len(), 0);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn missing_predicate_or_bad_positions_are_rejected() {
+        let db = db();
+        let mut cache = IndexCache::new(&db);
+        assert!(!cache.ensure(&db, intern("Missing"), &[0]));
+        assert!(!cache.ensure(&db, intern("S"), &[1]));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn precise_invalidation_drops_only_the_touched_predicate() {
+        let mut db = db();
+        let mut cache = IndexCache::new(&db);
+        cache.ensure(&db, intern("R"), &[0]);
+        cache.ensure(&db, intern("S"), &[0]);
+        assert_eq!(cache.len(), 2);
+
+        assert!(db.insert(atom!("R", cst "e", cst "f")).unwrap());
+        cache.note_insert(&db, intern("R"));
+        assert_eq!(cache.len(), 1, "only R's index is dropped");
+        assert!(cache.get(intern("S"), &[0]).is_some());
+
+        // Rebuilding R's index picks up the new row.
+        cache.ensure(&db, intern("R"), &[0]);
+        let idx = cache.get(intern("R"), &[0]).unwrap();
+        assert_eq!(idx.rows(&[Term::constant("e")]).len(), 1);
+    }
+
+    #[test]
+    fn unannounced_mutations_clear_the_whole_cache() {
+        let mut db = db();
+        let mut cache = IndexCache::new(&db);
+        cache.ensure(&db, intern("R"), &[0]);
+        cache.ensure(&db, intern("S"), &[0]);
+        // Mutate without telling the cache; the next ensure detects the epoch
+        // mismatch and starts from scratch.
+        assert!(db.insert(atom!("T", cst "x")).unwrap());
+        assert!(cache.ensure(&db, intern("T"), &[0]));
+        assert_eq!(cache.len(), 1);
+        let idx = cache.get(intern("T"), &[0]).unwrap();
+        assert_eq!(idx.rows(&[Term::constant("x")]).len(), 1);
+    }
+
+    #[test]
+    fn multi_column_keys_join_on_full_tuples() {
+        let db = db();
+        let mut cache = IndexCache::new(&db);
+        cache.ensure(&db, intern("R"), &[0, 1]);
+        let idx = cache.get(intern("R"), &[0, 1]).unwrap();
+        assert_eq!(idx.distinct_keys(), 3);
+        assert_eq!(
+            idx.rows(&[Term::constant("a"), Term::constant("c")]).len(),
+            1
+        );
+    }
+}

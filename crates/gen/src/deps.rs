@@ -135,11 +135,7 @@ pub fn random_inclusion_dependencies(count: usize, num_predicates: usize, seed: 
         let to = rng.gen_range(0..num_predicates);
         let swap = rng.gen_bool(0.5);
         let (b1, b2) = (var(format!("u{i}")), var(format!("v{i}")));
-        let head_args = if swap {
-            vec![b2, b1]
-        } else {
-            vec![b1, b2]
-        };
+        let head_args = if swap { vec![b2, b1] } else { vec![b1, b2] };
         out.push(
             Tgd::new(
                 vec![Atom::from_parts(&format!("E{from}"), vec![b1, b2])],

@@ -78,8 +78,8 @@ mod tests {
 
     #[test]
     fn head_arity_mismatch_is_never_contained() {
-        let unary = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "x", var "y")])
-            .unwrap();
+        let unary =
+            ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "x", var "y")]).unwrap();
         let boolean = path(1);
         assert!(!contained_in(&unary, &boolean));
         assert!(!contained_in(&boolean, &unary));
@@ -88,27 +88,21 @@ mod tests {
     #[test]
     fn head_variables_constrain_containment() {
         // q1(x) :- E(x,y)   vs   q2(x) :- E(y,x): not comparable.
-        let q1 = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "x", var "y")])
-            .unwrap();
-        let q2 = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "y", var "x")])
-            .unwrap();
+        let q1 =
+            ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "x", var "y")]).unwrap();
+        let q2 =
+            ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "y", var "x")]).unwrap();
         assert!(!contained_in(&q1, &q2));
         assert!(!contained_in(&q2, &q1));
     }
 
     #[test]
     fn redundant_atoms_do_not_change_equivalence() {
-        let q1 = ConjunctiveQuery::new(
-            vec![intern("x")],
-            vec![atom!("E", var "x", var "y")],
-        )
-        .unwrap();
+        let q1 =
+            ConjunctiveQuery::new(vec![intern("x")], vec![atom!("E", var "x", var "y")]).unwrap();
         let q2 = ConjunctiveQuery::new(
             vec![intern("x")],
-            vec![
-                atom!("E", var "x", var "y"),
-                atom!("E", var "x", var "y2"),
-            ],
+            vec![atom!("E", var "x", var "y"), atom!("E", var "x", var "y2")],
         )
         .unwrap();
         assert!(equivalent(&q1, &q2));
@@ -116,8 +110,7 @@ mod tests {
 
     #[test]
     fn constants_affect_containment() {
-        let q_const =
-            ConjunctiveQuery::boolean(vec![atom!("E", cst "a", var "y")]).unwrap();
+        let q_const = ConjunctiveQuery::boolean(vec![atom!("E", cst "a", var "y")]).unwrap();
         let q_var = ConjunctiveQuery::boolean(vec![atom!("E", var "x", var "y")]).unwrap();
         // Having E(a, y) implies having E(x, y); not conversely.
         assert!(contained_in(&q_const, &q_var));

@@ -172,7 +172,10 @@ impl ConjunctiveQuery {
         // Variable-free atoms form singleton components.
         for (i, atom) in self.body.iter().enumerate() {
             if !used[i] {
-                out.push(ConjunctiveQuery::new_unchecked(Vec::new(), vec![atom.clone()]));
+                out.push(ConjunctiveQuery::new_unchecked(
+                    Vec::new(),
+                    vec![atom.clone()],
+                ));
             }
         }
         out
@@ -287,10 +290,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_unsafe_head() {
-        let bad = ConjunctiveQuery::new(
-            vec![intern("w")],
-            vec![atom!("R", var "x", var "y")],
-        );
+        let bad = ConjunctiveQuery::new(vec![intern("w")], vec![atom!("R", var "x", var "y")]);
         assert!(bad.is_err());
     }
 
@@ -302,10 +302,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_inconsistent_arities() {
-        let bad = ConjunctiveQuery::boolean(vec![
-            atom!("R", var "x"),
-            atom!("R", var "x", var "y"),
-        ]);
+        let bad =
+            ConjunctiveQuery::boolean(vec![atom!("R", var "x"), atom!("R", var "x", var "y")]);
         assert!(bad.is_err());
     }
 
@@ -331,11 +329,8 @@ mod tests {
 
     #[test]
     fn variable_free_atoms_are_their_own_components() {
-        let q = ConjunctiveQuery::boolean(vec![
-            atom!("R", cst "a", cst "b"),
-            atom!("S", var "x"),
-        ])
-        .unwrap();
+        let q = ConjunctiveQuery::boolean(vec![atom!("R", cst "a", cst "b"), atom!("S", var "x")])
+            .unwrap();
         assert_eq!(q.connected_components().len(), 2);
     }
 

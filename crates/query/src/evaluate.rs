@@ -155,8 +155,8 @@ mod tests {
             ))
             .unwrap();
         }
-        let q = ConjunctiveQuery::new(vec![intern("x")], vec![atom!("R", var "x", var "y")])
-            .unwrap();
+        let q =
+            ConjunctiveQuery::new(vec![intern("x")], vec![atom!("R", var "x", var "y")]).unwrap();
         assert_eq!(evaluate(&q, &inst).len(), 1);
     }
 }

@@ -61,11 +61,7 @@ impl FrozenQuery {
 
     /// The substitution sending each query variable to its frozen term.
     pub fn as_substitution(&self) -> Substitution {
-        Substitution::from_pairs(
-            self.var_map
-                .iter()
-                .map(|(v, t)| (Term::Variable(*v), *t)),
-        )
+        Substitution::from_pairs(self.var_map.iter().map(|(v, t)| (Term::Variable(*v), *t)))
     }
 
     /// Maps a frozen term back to the variable it came from, if any.
@@ -89,10 +85,7 @@ mod tests {
     fn query() -> ConjunctiveQuery {
         ConjunctiveQuery::new(
             vec![intern("x")],
-            vec![
-                atom!("R", var "x", var "y"),
-                atom!("S", var "y", cst "a"),
-            ],
+            vec![atom!("R", var "x", var "y"), atom!("S", var "y", cst "a")],
         )
         .unwrap()
     }

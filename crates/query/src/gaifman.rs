@@ -179,11 +179,8 @@ mod tests {
 
     #[test]
     fn disconnected_components_are_detected() {
-        let q = ConjunctiveQuery::boolean(vec![
-            atom!("R", var "x", var "y"),
-            atom!("S", var "u"),
-        ])
-        .unwrap();
+        let q = ConjunctiveQuery::boolean(vec![atom!("R", var "x", var "y"), atom!("S", var "u")])
+            .unwrap();
         let g = q.gaifman_graph();
         assert!(!g.is_connected());
         assert_eq!(g.components().len(), 2);

@@ -206,10 +206,7 @@ mod tests {
     #[test]
     fn two_step_path_pattern() {
         let db = path_db(4);
-        let pattern = vec![
-            atom!("E", var "x", var "y"),
-            atom!("E", var "y", var "z"),
-        ];
+        let pattern = vec![atom!("E", var "x", var "y"), atom!("E", var "y", var "z")];
         // Paths of length 2 in a 4-edge path: 3.
         assert_eq!(all_homomorphisms(&pattern, &db).len(), 3);
     }
@@ -218,10 +215,7 @@ mod tests {
     fn unsatisfiable_pattern_has_no_homomorphism() {
         let db = path_db(2);
         // A cycle of length 2 does not embed into a directed path.
-        let pattern = vec![
-            atom!("E", var "x", var "y"),
-            atom!("E", var "y", var "x"),
-        ];
+        let pattern = vec![atom!("E", var "x", var "y"), atom!("E", var "y", var "x")];
         assert!(find_homomorphism(&pattern, &db).is_none());
     }
 
@@ -231,10 +225,7 @@ mod tests {
         let pattern = vec![atom!("E", cst "a0", var "y")];
         let homs = all_homomorphisms(&pattern, &db);
         assert_eq!(homs.len(), 1);
-        assert_eq!(
-            homs[0].get_var(intern("y")),
-            Some(Term::constant("a1"))
-        );
+        assert_eq!(homs[0].get_var(intern("y")), Some(Term::constant("a1")));
     }
 
     #[test]

@@ -48,8 +48,7 @@ pub fn is_core(query: &ConjunctiveQuery) -> bool {
 /// own variables appearing as target values.
 fn fold_step(head: &[sac_common::Symbol], body: &[Atom]) -> Option<Vec<Atom>> {
     // Freeze every variable of the body to a dedicated null.
-    let variables: BTreeSet<sac_common::Symbol> =
-        body.iter().flat_map(|a| a.variables()).collect();
+    let variables: BTreeSet<sac_common::Symbol> = body.iter().flat_map(|a| a.variables()).collect();
     let var_to_null: std::collections::BTreeMap<sac_common::Symbol, Term> = variables
         .iter()
         .enumerate()
@@ -73,10 +72,7 @@ fn fold_step(head: &[sac_common::Symbol], body: &[Atom]) -> Option<Vec<Atom>> {
     };
     // Free variables must be fixed pointwise (mapped to their own frozen
     // image).
-    let fixed = Substitution::from_pairs(
-        head.iter()
-            .map(|v| (Term::Variable(*v), var_to_null[v])),
-    );
+    let fixed = Substitution::from_pairs(head.iter().map(|v| (Term::Variable(*v), var_to_null[v])));
 
     for dropped in body {
         // Look for an endomorphism avoiding `dropped`, i.e. into body \ {dropped}.
@@ -195,10 +191,7 @@ mod tests {
         // atoms cannot be identified even though their existential parts could.
         let q = ConjunctiveQuery::new(
             vec![intern("x"), intern("xp")],
-            vec![
-                atom!("E", var "x", var "y"),
-                atom!("E", var "xp", var "y"),
-            ],
+            vec![atom!("E", var "x", var "y"), atom!("E", var "xp", var "y")],
         )
         .unwrap();
         let c = core_of(&q);

@@ -157,11 +157,8 @@ mod tests {
     #[test]
     fn evaluation_is_union_of_disjuncts() {
         let ucq = UnionOfConjunctiveQueries::new(vec![edge_query(), vertex_query()]).unwrap();
-        let db = Instance::from_atoms(vec![
-            atom!("E", cst "a", cst "b"),
-            atom!("V", cst "c"),
-        ])
-        .unwrap();
+        let db =
+            Instance::from_atoms(vec![atom!("E", cst "a", cst "b"), atom!("V", cst "c")]).unwrap();
         let answers = ucq.evaluate(&db);
         assert_eq!(answers.len(), 2);
         assert!(answers.contains(&vec![Term::constant("a")]));
@@ -188,10 +185,7 @@ mod tests {
     fn cq_containment_in_ucq() {
         let two_step = ConjunctiveQuery::new(
             vec![intern("x")],
-            vec![
-                atom!("E", var "x", var "y"),
-                atom!("E", var "y", var "z"),
-            ],
+            vec![atom!("E", var "x", var "y"), atom!("E", var "y", var "z")],
         )
         .unwrap();
         let ucq = UnionOfConjunctiveQueries::new(vec![edge_query(), vertex_query()]).unwrap();
@@ -215,10 +209,7 @@ mod tests {
     fn redundant_disjuncts_are_removed() {
         let two_step = ConjunctiveQuery::new(
             vec![intern("x")],
-            vec![
-                atom!("E", var "x", var "y"),
-                atom!("E", var "y", var "z"),
-            ],
+            vec![atom!("E", var "x", var "y"), atom!("E", var "y", var "z")],
         )
         .unwrap();
         let ucq =

@@ -35,7 +35,11 @@ impl RewriteBudget {
     }
 
     /// Custom budget.
-    pub fn new(max_disjuncts: usize, max_atoms_per_disjunct: usize, max_steps: usize) -> RewriteBudget {
+    pub fn new(
+        max_disjuncts: usize,
+        max_atoms_per_disjunct: usize,
+        max_steps: usize,
+    ) -> RewriteBudget {
         RewriteBudget {
             max_disjuncts,
             max_atoms_per_disjunct,

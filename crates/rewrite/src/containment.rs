@@ -55,8 +55,7 @@ mod tests {
 
     #[test]
     fn containment_through_two_tgd_steps() {
-        let q_left =
-            ConjunctiveQuery::boolean(vec![atom!("Employee", var "e", var "d")]).unwrap();
+        let q_left = ConjunctiveQuery::boolean(vec![atom!("Employee", var "e", var "d")]).unwrap();
         let q_right = ConjunctiveQuery::boolean(vec![atom!("Manages", var "m", var "d")]).unwrap();
         assert_eq!(
             contained_via_rewriting(&q_left, &q_right, &tgds(), RewriteBudget::small()),
@@ -89,26 +88,20 @@ mod tests {
 
     #[test]
     fn non_boolean_heads_are_compared_positionally() {
-        let q_left = ConjunctiveQuery::new(
-            vec![intern("d")],
-            vec![atom!("Employee", var "e", var "d")],
-        )
-        .unwrap();
-        let q_right = ConjunctiveQuery::new(
-            vec![intern("d")],
-            vec![atom!("Manages", var "m", var "d")],
-        )
-        .unwrap();
+        let q_left =
+            ConjunctiveQuery::new(vec![intern("d")], vec![atom!("Employee", var "e", var "d")])
+                .unwrap();
+        let q_right =
+            ConjunctiveQuery::new(vec![intern("d")], vec![atom!("Manages", var "m", var "d")])
+                .unwrap();
         assert_eq!(
             contained_via_rewriting(&q_left, &q_right, &tgds(), RewriteBudget::small()),
             Some(true)
         );
         // Swapped answer variable breaks containment.
-        let q_right_swapped = ConjunctiveQuery::new(
-            vec![intern("m")],
-            vec![atom!("Manages", var "m", var "d")],
-        )
-        .unwrap();
+        let q_right_swapped =
+            ConjunctiveQuery::new(vec![intern("m")], vec![atom!("Manages", var "m", var "d")])
+                .unwrap();
         assert_eq!(
             contained_via_rewriting(&q_left, &q_right_swapped, &tgds(), RewriteBudget::small()),
             Some(false)
@@ -117,11 +110,8 @@ mod tests {
 
     #[test]
     fn arity_mismatch_is_not_contained() {
-        let q_left = ConjunctiveQuery::new(
-            vec![intern("d")],
-            vec![atom!("Dept", var "d")],
-        )
-        .unwrap();
+        let q_left =
+            ConjunctiveQuery::new(vec![intern("d")], vec![atom!("Dept", var "d")]).unwrap();
         let q_right = ConjunctiveQuery::boolean(vec![atom!("Dept", var "d")]).unwrap();
         assert_eq!(
             contained_via_rewriting(&q_left, &q_right, &tgds(), RewriteBudget::small()),
@@ -136,8 +126,9 @@ mod tests {
             vec![atom!("S", var "y")],
         )
         .unwrap()];
-        let q_left = ConjunctiveQuery::boolean(vec![atom!("S", cst "a"), atom!("P", cst "a", cst "b")])
-            .unwrap();
+        let q_left =
+            ConjunctiveQuery::boolean(vec![atom!("S", cst "a"), atom!("P", cst "a", cst "b")])
+                .unwrap();
         let q_right = ConjunctiveQuery::boolean(vec![atom!("S", cst "b")]).unwrap();
         assert_eq!(
             contained_via_rewriting(&q_left, &q_right, &recursive, RewriteBudget::new(8, 8, 50)),

@@ -111,21 +111,18 @@ mod tests {
     #[test]
     fn unifying_matching_atoms_succeeds() {
         let mut u = Unifier::new();
-        assert!(u.unify_atoms(
-            &atom!("R", var "x", var "y"),
-            &atom!("R", var "a", cst "c")
-        ));
+        assert!(u.unify_atoms(&atom!("R", var "x", var "y"), &atom!("R", var "a", cst "c")));
         assert_eq!(u.resolve(Term::variable("y")), Term::constant("c"));
-        assert_eq!(u.resolve(Term::variable("x")), u.resolve(Term::variable("a")));
+        assert_eq!(
+            u.resolve(Term::variable("x")),
+            u.resolve(Term::variable("a"))
+        );
     }
 
     #[test]
     fn constant_clash_fails() {
         let mut u = Unifier::new();
-        assert!(!u.unify_atoms(
-            &atom!("R", cst "a", var "y"),
-            &atom!("R", cst "b", var "z")
-        ));
+        assert!(!u.unify_atoms(&atom!("R", cst "a", var "y"), &atom!("R", cst "b", var "z")));
     }
 
     #[test]
@@ -151,10 +148,7 @@ mod tests {
     #[test]
     fn repeated_variables_force_equalities() {
         let mut u = Unifier::new();
-        assert!(u.unify_atoms(
-            &atom!("R", var "x", var "x"),
-            &atom!("R", var "u", var "v")
-        ));
+        assert!(u.unify_atoms(&atom!("R", var "x", var "x"), &atom!("R", var "u", var "v")));
         assert_eq!(
             u.resolve(Term::variable("u")),
             u.resolve(Term::variable("v"))

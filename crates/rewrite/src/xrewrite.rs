@@ -98,8 +98,7 @@ pub fn rewrite(query: &ConjunctiveQuery, tgds: &[Tgd], budget: RewriteBudget) ->
 
 fn finish(disjuncts: Vec<ConjunctiveQuery>, complete: bool, steps: usize) -> UcqRewriting {
     UcqRewriting {
-        ucq: UnionOfConjunctiveQueries::new(disjuncts)
-            .expect("rewriting preserves the head arity"),
+        ucq: UnionOfConjunctiveQueries::new(disjuncts).expect("rewriting preserves the head arity"),
         complete,
         steps,
     }
@@ -453,14 +452,14 @@ mod tests {
 
     #[test]
     fn rewriting_result_always_contains_the_original_query() {
-        let tgds = vec![Tgd::new(
-            vec![atom!("A", var "x")],
-            vec![atom!("B", var "x")],
-        )
-        .unwrap()];
+        let tgds = vec![Tgd::new(vec![atom!("A", var "x")], vec![atom!("B", var "x")]).unwrap()];
         let q = ConjunctiveQuery::boolean(vec![atom!("B", var "u"), atom!("C", var "u")]).unwrap();
         let rw = rewrite(&q, &tgds, budget());
-        assert!(rw.ucq.disjuncts.iter().any(|d| contained_in(d, &q) && contained_in(&q, d)));
+        assert!(rw
+            .ucq
+            .disjuncts
+            .iter()
+            .any(|d| contained_in(d, &q) && contained_in(&q, d)));
         // And the rewritten disjunct A(u), C(u) is present too.
         assert!(rw
             .ucq
@@ -469,11 +468,8 @@ mod tests {
             .any(|d| d.predicates().contains(&intern("A"))));
         // Sanity: evaluating the rewriting on a database satisfying only the
         // rewritten disjunct succeeds.
-        let db = sac_storage::Instance::from_atoms(vec![
-            atom!("A", cst "k"),
-            atom!("C", cst "k"),
-        ])
-        .unwrap();
+        let db = sac_storage::Instance::from_atoms(vec![atom!("A", cst "k"), atom!("C", cst "k")])
+            .unwrap();
         assert!(rw.ucq.evaluate_boolean(&db));
         assert!(!evaluate_boolean(&q, &db));
     }

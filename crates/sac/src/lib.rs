@@ -32,6 +32,7 @@ pub use sac_chase as chase;
 pub use sac_common as common;
 pub use sac_core as core;
 pub use sac_deps as deps;
+pub use sac_engine as engine;
 pub use sac_gen as gen;
 pub use sac_parser as parser;
 pub use sac_query as query;
@@ -61,11 +62,17 @@ pub mod prelude {
         classify_tgds, connecting_operator, is_sticky, sticky_marking, Egd, FunctionalDependency,
         Tgd, TgdClassification,
     };
+    // The engine's `Strategy` is re-exported as `PlanStrategy`: the bare name
+    // collides with `proptest::Strategy` under double glob imports.
+    pub use sac_engine::Strategy as PlanStrategy;
+    pub use sac_engine::{
+        Engine, EngineConfig, EngineMetrics, Explain, IndexCache, JoinIndex, Plan,
+    };
     pub use sac_parser::{parse_database, parse_egd, parse_program, parse_query, parse_tgd};
     pub use sac_query::{
         contained_in, core_of, equivalent, evaluate, evaluate_boolean, ConjunctiveQuery,
         FrozenQuery, UnionOfConjunctiveQueries,
     };
     pub use sac_rewrite::{contained_via_rewriting, rewrite, RewriteBudget};
-    pub use sac_storage::Instance;
+    pub use sac_storage::{Instance, InstanceStats, RelationStats};
 }

@@ -25,6 +25,10 @@ pub struct Instance {
     /// Predicates in first-insertion order, for deterministic iteration.
     order: Vec<Symbol>,
     size: usize,
+    /// Mutation counter: incremented exactly when an insert actually adds a
+    /// new atom.  Derived structures (e.g. the `sac-engine` index cache) use
+    /// it to detect staleness without hashing the whole instance.
+    epoch: u64,
 }
 
 impl Instance {
@@ -68,8 +72,21 @@ impl Instance {
         let inserted = rel.insert(atom.args);
         if inserted {
             self.size += 1;
+            self.epoch += 1;
         }
         Ok(inserted)
+    }
+
+    /// The mutation epoch: starts at 0 and increments on every insert that
+    /// actually added a new atom (duplicate inserts leave it unchanged).
+    ///
+    /// Callers that cache per-relation derived structures can combine the
+    /// epoch with [`Instance::insert`]'s return value to invalidate precisely:
+    /// an unchanged epoch guarantees every cached index is still valid, and a
+    /// `true` insert result pinpoints the single predicate whose indexes went
+    /// stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Membership test.
@@ -114,7 +131,9 @@ impl Instance {
 
     /// The set of all terms occurring in the instance (the *active domain*).
     pub fn active_domain(&self) -> BTreeSet<Term> {
-        self.atoms().flat_map(|a| a.terms().into_iter().collect::<Vec<_>>()).collect()
+        self.atoms()
+            .flat_map(|a| a.terms().into_iter().collect::<Vec<_>>())
+            .collect()
     }
 
     /// The largest null label occurring in the instance, if any.
@@ -138,23 +157,25 @@ impl Instance {
         s
     }
 
-    /// Summary statistics, used by the experiment reports.
+    /// Summary statistics, used by the experiment reports and the
+    /// `sac-engine` planner (per-column distinct counts drive atom ordering).
     pub fn stats(&self) -> InstanceStats {
         InstanceStats {
             atoms: self.len(),
             predicates: self.order.len(),
             domain_size: self.active_domain().len(),
-            nulls: self
-                .active_domain()
-                .iter()
-                .filter(|t| t.is_null())
-                .count(),
+            nulls: self.active_domain().iter().filter(|t| t.is_null()).count(),
             max_arity: self
                 .relations
                 .values()
                 .map(|r| r.arity())
                 .max()
                 .unwrap_or(0),
+            relations: self
+                .order
+                .iter()
+                .map(|p| self.relations[p].stats())
+                .collect(),
         }
     }
 
@@ -307,11 +328,7 @@ mod tests {
     #[test]
     fn extend_from_counts_new_atoms() {
         let mut inst = sample();
-        let other = Instance::from_atoms(vec![
-            atom!("S", cst "a"),
-            atom!("S", cst "b"),
-        ])
-        .unwrap();
+        let other = Instance::from_atoms(vec![atom!("S", cst "a"), atom!("S", cst "b")]).unwrap();
         let added = inst.extend_from(&other).unwrap();
         assert_eq!(added, 1);
         assert_eq!(inst.len(), 4);
@@ -326,5 +343,25 @@ mod tests {
         assert_eq!(st.domain_size, 3);
         assert_eq!(st.max_arity, 2);
         assert_eq!(st.nulls, 0);
+        assert_eq!(st.relations.len(), 2);
+        let r = st.relation(intern("R")).unwrap();
+        assert_eq!(r.tuples, 2);
+        assert_eq!(r.distinct_per_column, vec![2, 2]);
+    }
+
+    #[test]
+    fn epoch_counts_only_real_insertions() {
+        let mut inst = Instance::new();
+        assert_eq!(inst.epoch(), 0);
+        assert!(inst.insert(atom!("R", cst "a", cst "b")).unwrap());
+        assert_eq!(inst.epoch(), 1);
+        // Duplicate insert: reported as not-new, epoch unchanged.
+        assert!(!inst.insert(atom!("R", cst "a", cst "b")).unwrap());
+        assert_eq!(inst.epoch(), 1);
+        assert!(inst.insert(atom!("S", cst "a")).unwrap());
+        assert_eq!(inst.epoch(), 2);
+        // Failed inserts (arity conflict) leave the epoch unchanged.
+        assert!(inst.insert(atom!("S", cst "a", cst "b")).is_err());
+        assert_eq!(inst.epoch(), 2);
     }
 }

@@ -29,4 +29,4 @@ pub mod stats;
 
 pub use instance::Instance;
 pub use relation::Relation;
-pub use stats::InstanceStats;
+pub use stats::{InstanceStats, RelationStats};

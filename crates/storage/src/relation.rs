@@ -1,6 +1,7 @@
 //! A single relation: a deduplicated, insertion-ordered set of tuples with
 //! per-position hash indexes.
 
+use crate::stats::RelationStats;
 use sac_common::{Symbol, Term};
 use std::collections::{HashMap, HashSet};
 
@@ -130,6 +131,44 @@ impl Relation {
     pub fn distinct_at(&self, pos: usize) -> usize {
         self.indexes.get(pos).map(|idx| idx.len()).unwrap_or(0)
     }
+
+    /// Builds a hash index over the projection of the relation onto
+    /// `positions`: each key is the tuple of terms at those positions, mapped
+    /// to the row ids sharing it.
+    ///
+    /// This is the building block for multi-column (join-key) indexes.  The
+    /// single-column case is already maintained incrementally (`rows_with`);
+    /// multi-column indexes are built on demand by this method and cached by
+    /// the caller — `sac-engine` keeps them in an epoch-validated cache so a
+    /// batch of queries builds each index at most once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any position is out of range for the relation's arity.
+    pub fn project_index(&self, positions: &[usize]) -> HashMap<Vec<Term>, Vec<usize>> {
+        assert!(
+            positions.iter().all(|p| *p < self.arity),
+            "projection position out of range for {}/{}",
+            self.predicate,
+            self.arity
+        );
+        let mut index: HashMap<Vec<Term>, Vec<usize>> = HashMap::new();
+        for (row, tuple) in self.tuples.iter().enumerate() {
+            let key: Vec<Term> = positions.iter().map(|p| tuple[*p]).collect();
+            index.entry(key).or_default().push(row);
+        }
+        index
+    }
+
+    /// Per-relation statistics: cardinality and distinct counts per column.
+    pub fn stats(&self) -> RelationStats {
+        RelationStats {
+            predicate: self.predicate,
+            arity: self.arity,
+            tuples: self.len(),
+            distinct_per_column: (0..self.arity).map(|p| self.distinct_at(p)).collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +234,41 @@ mod tests {
         let r = rel();
         assert_eq!(r.distinct_at(0), 2);
         assert_eq!(r.distinct_at(1), 2);
+    }
+
+    #[test]
+    fn project_index_groups_rows_by_key() {
+        let r = rel();
+        let by_first = r.project_index(&[0]);
+        assert_eq!(by_first.len(), 2);
+        assert_eq!(by_first[&vec![Term::constant("a")]].len(), 2);
+        let by_both = r.project_index(&[0, 1]);
+        assert_eq!(by_both.len(), 3);
+        // Reversed position order produces reversed keys.
+        let reversed = r.project_index(&[1, 0]);
+        assert!(reversed.contains_key(&vec![Term::constant("b"), Term::constant("a")]));
+    }
+
+    #[test]
+    fn project_index_on_no_positions_groups_everything() {
+        let r = rel();
+        let all = r.project_index(&[]);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[&Vec::new()].len(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn project_index_rejects_out_of_range_positions() {
+        rel().project_index(&[2]);
+    }
+
+    #[test]
+    fn stats_report_distinct_counts_per_column() {
+        let st = rel().stats();
+        assert_eq!(st.tuples, 3);
+        assert_eq!(st.arity, 2);
+        assert_eq!(st.distinct_per_column, vec![2, 2]);
     }
 
     #[test]

@@ -12,7 +12,10 @@ fn main() {
     println!("query: {q}");
     println!("acyclic? {}", is_acyclic_query(&q));
     let semac = semantic_acyclicity_under_tgds(&q, &[], SemAcConfig::default());
-    println!("semantically acyclic (no constraints)? {}", semac.is_acyclic());
+    println!(
+        "semantically acyclic (no constraints)? {}",
+        semac.is_acyclic()
+    );
 
     // Compute its acyclic approximations.
     let report = acyclic_approximations(&q, &[], ChaseBudget::small());
@@ -25,9 +28,9 @@ fn main() {
     }
 
     // Quick answers: the approximation never returns a false positive.
-    let db_with_loop = parse_database("Follows(ana, ana). Follows(ana, bo). Follows(bo, cy).").unwrap();
-    let db_triangle =
-        parse_database("Follows(a, b). Follows(b, c). Follows(c, a).").unwrap();
+    let db_with_loop =
+        parse_database("Follows(ana, ana). Follows(ana, bo). Follows(bo, cy).").unwrap();
+    let db_triangle = parse_database("Follows(a, b). Follows(b, c). Follows(c, a).").unwrap();
     let db_path = parse_database("Follows(a, b). Follows(b, c).").unwrap();
     for (name, db) in [
         ("self-loop", &db_with_loop),

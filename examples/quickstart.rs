@@ -23,7 +23,10 @@ fn main() {
     println!("query q:        {q}");
     println!("constraint Σ:   {}", tgds[0]);
     println!("classification: {}", classify_tgds(&tgds));
-    println!("q acyclic?                         {}", is_acyclic_query(&q));
+    println!(
+        "q acyclic?                         {}",
+        is_acyclic_query(&q)
+    );
     println!(
         "q semantically acyclic w/o Σ?      {}",
         is_semantically_acyclic_no_constraints(&q).is_some()

@@ -6,7 +6,8 @@ use sac::prelude::*;
 fn example2_chase_destroys_acyclicity_with_a_growing_clique() {
     for n in 3..=6 {
         let q = sac::gen::example2_query(n);
-        let probe = chase_preserves_acyclicity(&q, &[sac::gen::example2_tgd()], ChaseBudget::large());
+        let probe =
+            chase_preserves_acyclicity(&q, &[sac::gen::example2_tgd()], ChaseBudget::large());
         assert!(probe.input_acyclic);
         assert!(probe.chase_terminated);
         assert!(!probe.output_acyclic);
@@ -83,8 +84,7 @@ fn chase_based_containment_agrees_with_rewriting_based_containment() {
         let l = parse_query(left).unwrap();
         let r = parse_query(right).unwrap();
         let via_chase = contained_under_tgds(&l, &r, &tgds, ChaseBudget::small()).holds();
-        let via_rewriting =
-            contained_via_rewriting(&l, &r, &tgds, RewriteBudget::small()).unwrap();
+        let via_rewriting = contained_via_rewriting(&l, &r, &tgds, RewriteBudget::small()).unwrap();
         assert_eq!(via_chase, expected, "{left} vs {right}");
         assert_eq!(via_rewriting, expected, "{left} vs {right} (rewriting)");
     }

@@ -78,16 +78,22 @@ fn examples_4_and_5_keys() {
 /// concrete instances.
 #[test]
 fn theorem_7_pcp_reduction() {
-    let solvable = PcpInstance::new(vec!["a"], vec!["a"]).unwrap().normalize_even();
+    let solvable = PcpInstance::new(vec!["a"], vec!["a"])
+        .unwrap()
+        .normalize_even();
     let (q, tgds) = sac::core::build_pcp_reduction(&solvable);
     assert!(classify_tgds(&tgds).full);
     let path = solution_path_query(&solvable, &[0]).unwrap();
     assert!(equivalent_under_tgds(&q, &path, &tgds, ChaseBudget::new(5_000, 100_000)).holds());
 
-    let unsolvable = PcpInstance::new(vec!["a"], vec!["b"]).unwrap().normalize_even();
+    let unsolvable = PcpInstance::new(vec!["a"], vec!["b"])
+        .unwrap()
+        .normalize_even();
     let (q, tgds) = sac::core::build_pcp_reduction(&unsolvable);
     let candidate = solution_path_query(&unsolvable, &[0]).unwrap();
-    assert!(!equivalent_under_tgds(&q, &candidate, &tgds, ChaseBudget::new(5_000, 100_000)).holds());
+    assert!(
+        !equivalent_under_tgds(&q, &candidate, &tgds, ChaseBudget::new(5_000, 100_000)).holds()
+    );
 }
 
 /// Lemma 9 / Figure 3: compact acyclic witnesses of linear size.

@@ -72,12 +72,8 @@ fn ucq_semantic_acyclicity_follows_section_8_1() {
     let triangle = parse_query("q() :- E(X, Y), E(Y, Z), E(Z, X).").unwrap();
     let edge = parse_query("q() :- E(X, Y).").unwrap();
     let ucq = UnionOfConjunctiveQueries::new(vec![triangle.clone(), edge]).unwrap();
-    let result = ucq_semantic_acyclicity_under_tgds(
-        &ucq,
-        &[],
-        SemAcConfig::default(),
-        ChaseBudget::small(),
-    );
+    let result =
+        ucq_semantic_acyclicity_under_tgds(&ucq, &[], SemAcConfig::default(), ChaseBudget::small());
     assert!(result.is_acyclic(), "the triangle disjunct is redundant");
 
     let lone = UnionOfConjunctiveQueries::single(triangle);
