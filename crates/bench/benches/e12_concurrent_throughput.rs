@@ -1,0 +1,133 @@
+//! E12 — concurrent throughput of the `sac::Database` façade.
+//!
+//! One shared database, a cached-plan workload (plans and indexes warmed
+//! before timing), driven from N scoped threads through `&self`.  Two
+//! complementary reads on the same experiment:
+//!
+//! * the criterion rows time one *fixed-size* workload (512 queries) as the
+//!   thread count grows — wall-clock should **drop** from 1 → 4 threads;
+//! * the `queries/sec` summary printed afterwards reruns each configuration
+//!   for a fixed wall-clock window and reports aggregate throughput — it
+//!   should **rise** from 1 → 4 threads.
+//!
+//! The workload mixes the acyclic star (direct Yannakakis), a cyclic clique
+//! (indexed fallback) and the semantically acyclic Example 1 triangle
+//! (witness Yannakakis), so every strategy rung is exercised concurrently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sac::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKLOAD: usize = 512;
+
+fn build_database() -> Database {
+    let mut seed = sac::gen::music_database(120, 240, 8);
+    seed.extend_from(&sac::gen::random_graph_database(50, 300, 7))
+        .expect("disjoint schemas merge cleanly");
+    Database::from_instance(seed).with_tgds(vec![sac::gen::collector_tgd()])
+}
+
+fn shapes() -> Vec<ConjunctiveQuery> {
+    vec![
+        sac::gen::star_query(3),
+        sac::gen::path_query(3),
+        sac::gen::clique_query(3),
+        sac::gen::example1_triangle(),
+    ]
+}
+
+/// Executes `total` queries spread over `threads` threads, all against the
+/// shared prepared handles.
+fn drive(prepared: &[PreparedQuery<'_>], threads: usize, total: usize) {
+    thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                for i in 0..total / threads {
+                    std::hint::black_box(prepared[(t + i) % prepared.len()].execute().len());
+                }
+            });
+        }
+    });
+}
+
+fn bench_fixed_workload(c: &mut Criterion) {
+    let db = build_database();
+    let prepared: Vec<_> = shapes()
+        .iter()
+        .map(|q| db.prepare(q).expect("generated queries are valid"))
+        .collect();
+    drive(&prepared, 2, 64); // warm plans and indexes outside the timing
+
+    let mut group = c.benchmark_group("e12_fixed_workload");
+    group.throughput(Throughput::Elements(WORKLOAD as u64));
+    for threads in THREAD_COUNTS {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| b.iter(|| drive(&prepared, threads, WORKLOAD)),
+        );
+    }
+    group.finish();
+}
+
+/// The queries/sec view: fixed wall-clock window per thread count.
+fn report_throughput_scaling(_c: &mut Criterion) {
+    let db = build_database();
+    let prepared: Vec<_> = shapes()
+        .iter()
+        .map(|q| db.prepare(q).expect("generated queries are valid"))
+        .collect();
+    drive(&prepared, 2, 64);
+
+    let window = Duration::from_millis(250);
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\ne12 aggregate throughput (window {window:?}, {cores} core(s) available):");
+    if cores == 1 {
+        println!("  (single-core host: expect flat scaling; the interesting number is how");
+        println!("   little aggregate throughput drops under contention)");
+    }
+    println!(
+        "{:>8} {:>12} {:>14} {:>10}",
+        "threads", "queries", "queries/sec", "speedup"
+    );
+    let mut single = 0.0f64;
+    for threads in THREAD_COUNTS {
+        let done = AtomicUsize::new(0);
+        let start = Instant::now();
+        thread::scope(|scope| {
+            for t in 0..threads {
+                let prepared = &prepared;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut i = t;
+                    while start.elapsed() < window {
+                        std::hint::black_box(prepared[i % prepared.len()].execute().len());
+                        done.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+        });
+        let rate = done.load(Ordering::Relaxed) as f64 / start.elapsed().as_secs_f64();
+        if threads == 1 {
+            single = rate;
+        }
+        println!(
+            "{threads:>8} {:>12} {rate:>14.0} {:>9.2}x",
+            done.load(Ordering::Relaxed),
+            rate / single
+        );
+    }
+    let m = db.metrics();
+    println!("metrics: {m}\n");
+}
+
+criterion_group! {
+    name = benches;
+    config = sac_bench::quick_criterion();
+    targets = bench_fixed_workload, report_throughput_scaling
+}
+criterion_main!(benches);

@@ -4,12 +4,12 @@
 //! behind containment under constraints (Lemma 1) and all of the paper's
 //! decidability arguments.
 //!
-//! * [`tgd_chase`] implements the *restricted* (standard) chase: a tgd fires
+//! * [`tgd_chase()`] implements the *restricted* (standard) chase: a tgd fires
 //!   only when its head is not already satisfied by the trigger.  Because the
 //!   chase under guarded or sticky sets need not terminate, every entry point
 //!   takes a [`ChaseBudget`]; the result records whether the chase reached a
 //!   fixpoint or was truncated.
-//! * [`egd_chase`] implements the egd chase, which identifies terms (and can
+//! * [`egd_chase()`] implements the egd chase, which identifies terms (and can
 //!   *fail* when two distinct constants are equated).  It always terminates
 //!   and reports the cumulative renaming, which callers need to track where
 //!   the frozen head terms of a query went (Lemma 1 for egds).

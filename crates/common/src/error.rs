@@ -26,15 +26,53 @@ pub enum Error {
     /// A resource budget (chase steps, candidate count, …) was exhausted
     /// before the procedure could reach a definite answer.
     BudgetExhausted(String),
-    /// Parsing error with a human-readable message and byte offset.
+    /// Parsing error with a human-readable message and source position.
     Parse {
         /// Explanation of what went wrong.
         message: String,
         /// Byte offset into the input where the error was detected.
         offset: usize,
+        /// 1-based line of the error position.
+        line: usize,
+        /// 1-based column (in characters) of the error position.
+        column: usize,
     },
     /// A procedure was invoked on a dependency class it does not support.
     UnsupportedClass(String),
+}
+
+impl Error {
+    /// Builds a [`Error::Parse`] at `offset` into `input`, deriving the
+    /// 1-based line/column from the input text.
+    pub fn parse_at(message: impl Into<String>, input: &str, offset: usize) -> Error {
+        let (line, column) = position_of(input, offset);
+        Error::Parse {
+            message: message.into(),
+            offset,
+            line,
+            column,
+        }
+    }
+}
+
+/// The 1-based `(line, column)` of byte `offset` inside `input` (column
+/// counted in characters).  Offsets past the end report the end position.
+pub fn position_of(input: &str, offset: usize) -> (usize, usize) {
+    let offset = offset.min(input.len());
+    let mut line = 1;
+    let mut column = 1;
+    for (i, c) in input.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            column = 1;
+        } else {
+            column += 1;
+        }
+    }
+    (line, column)
 }
 
 impl fmt::Display for Error {
@@ -52,8 +90,13 @@ impl fmt::Display for Error {
             Error::Malformed(msg) => write!(f, "malformed input: {msg}"),
             Error::ChaseFailure(msg) => write!(f, "chase failure: {msg}"),
             Error::BudgetExhausted(msg) => write!(f, "budget exhausted: {msg}"),
-            Error::Parse { message, offset } => {
-                write!(f, "parse error at byte {offset}: {message}")
+            Error::Parse {
+                message,
+                line,
+                column,
+                ..
+            } => {
+                write!(f, "parse error at line {line}, column {column}: {message}")
             }
             Error::UnsupportedClass(msg) => write!(f, "unsupported dependency class: {msg}"),
         }
@@ -78,11 +121,20 @@ mod tests {
         assert!(msg.contains('2'));
         assert!(msg.contains('3'));
 
-        let p = Error::Parse {
-            message: "expected `)`".into(),
-            offset: 12,
-        };
-        assert!(format!("{p}").contains("12"));
+        let p = Error::parse_at("expected `)`", "q(X) :- R(X,\nS(", 13);
+        let text = format!("{p}");
+        assert!(text.contains("line 2"), "got {text}");
+        assert!(text.contains("column 1"), "got {text}");
+    }
+
+    #[test]
+    fn positions_count_lines_and_columns_from_one() {
+        assert_eq!(position_of("abc", 0), (1, 1));
+        assert_eq!(position_of("abc", 2), (1, 3));
+        assert_eq!(position_of("a\nbc", 2), (2, 1));
+        assert_eq!(position_of("a\nbc", 3), (2, 2));
+        // Past-the-end offsets clamp to the end position.
+        assert_eq!(position_of("a\nb", 99), (2, 2));
     }
 
     #[test]

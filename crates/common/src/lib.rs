@@ -16,6 +16,9 @@
 //! * [`Schema`] — a relational schema mapping predicate symbols to arities.
 //! * [`Substitution`] — finite mappings from terms to terms, used both as
 //!   homomorphisms and as most-general unifiers.
+//! * [`syntax`] — the shared Datalog-style surface syntax at the raw
+//!   (pre-semantic) level, so each crate can implement `FromStr` for its own
+//!   types by delegation.
 //!
 //! The crate is dependency free (aside from the Rust standard library) and is
 //! deliberately small: higher-level notions (queries, dependencies, storage)
@@ -27,6 +30,7 @@ pub mod fresh;
 pub mod schema;
 pub mod substitution;
 pub mod symbol;
+pub mod syntax;
 pub mod term;
 
 pub use atom::Atom;
@@ -35,4 +39,5 @@ pub use fresh::FreshSource;
 pub use schema::Schema;
 pub use substitution::Substitution;
 pub use symbol::{intern, resolve, Symbol};
+pub use syntax::RawStatement;
 pub use term::Term;

@@ -20,7 +20,8 @@
 //!   space contains a witness whenever one exists for every workload we
 //!   exercise (the paper's own examples and the generated families), but the
 //!   search is not a proof of absence in general — callers needing the
-//!   distinction can inspect [`SemAcResult::exhausted_candidates`].
+//!   distinction can inspect the `exhausted_candidates` flag of
+//!   [`SemAcResult::NoWitness`].
 //! * **Under egds** ([`semantic_acyclicity_under_egds`]): chase the query
 //!   with the egds (always terminating), then run the same witness search on
 //!   the chased query — for keys over unary/binary schemas this follows the

@@ -80,6 +80,41 @@ impl Egd {
     }
 }
 
+/// Builds an egd from a raw `body -> T = U.` statement (the semantic step
+/// shared by [`std::str::FromStr`] and `sac-parser`): both equated terms
+/// must be variables.
+impl TryFrom<sac_common::RawStatement> for Egd {
+    type Error = Error;
+
+    fn try_from(statement: sac_common::RawStatement) -> Result<Egd> {
+        match statement {
+            sac_common::RawStatement::Egd { body, left, right } => {
+                let as_var = |t: sac_common::Term| {
+                    t.as_variable().ok_or_else(|| {
+                        Error::Malformed(format!("egds equate variables, found `{t}`"))
+                    })
+                };
+                Egd::new(body, as_var(left)?, as_var(right)?)
+            }
+            other => Err(Error::Malformed(format!(
+                "expected an egd, found a {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Parses the textual form `atom, …, atom -> X = Y.` (see
+/// [`sac_common::syntax`]), so `"R(X, Y), R(X, Z) -> Y = Z.".parse::<Egd>()`
+/// works anywhere without going through `sac-parser`.
+impl std::str::FromStr for Egd {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Egd> {
+        sac_common::syntax::parse_statement(s)?.try_into()
+    }
+}
+
 impl fmt::Display for Egd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, a) in self.body.iter().enumerate() {
@@ -105,6 +140,17 @@ mod tests {
             intern("z"),
         )
         .unwrap()
+    }
+
+    #[test]
+    fn from_str_parses_egds_and_rejects_other_statements() {
+        let e: Egd = "R(X, Y), R(X, Z) -> Y = Z.".parse().unwrap();
+        assert_eq!(e.body.len(), 2);
+        assert_eq!(e.left, intern("Y"));
+        assert_eq!(e.right, intern("Z"));
+        assert!("R(X, Y) -> Y = z.".parse::<Egd>().is_err()); // constant rhs
+        assert!("R(X) -> S(X).".parse::<Egd>().is_err()); // tgd
+        assert!("R(X, Y) -> X = W.".parse::<Egd>().is_err()); // W not in body
     }
 
     #[test]

@@ -156,6 +156,33 @@ impl Tgd {
     }
 }
 
+/// Builds a tgd from a raw `body -> head.` statement (the semantic step
+/// shared by [`std::str::FromStr`] and `sac-parser`).
+impl TryFrom<sac_common::RawStatement> for Tgd {
+    type Error = Error;
+
+    fn try_from(statement: sac_common::RawStatement) -> Result<Tgd> {
+        match statement {
+            sac_common::RawStatement::Tgd { body, head } => Tgd::new(body, head),
+            other => Err(Error::Malformed(format!(
+                "expected a tgd, found a {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Parses the textual form `atom, …, atom -> atom, …, atom.` (see
+/// [`sac_common::syntax`]), so `"R(X) -> S(X).".parse::<Tgd>()` works
+/// anywhere without going through `sac-parser`.
+impl std::str::FromStr for Tgd {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Tgd> {
+        sac_common::syntax::parse_statement(s)?.try_into()
+    }
+}
+
 impl fmt::Display for Tgd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, a) in self.body.iter().enumerate() {
@@ -199,6 +226,21 @@ mod tests {
             vec![atom!("Owns", var "x", var "y")],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn from_str_parses_tgds_and_rejects_other_statements() {
+        let t: Tgd = "Interest(X, Z), Class(Y, Z) -> Owns(X, Y)."
+            .parse()
+            .unwrap();
+        assert!(t.is_full());
+        assert_eq!(t.body.len(), 2);
+        assert_eq!(t.frontier_variables().len(), 2);
+        let existential: Tgd = "Person(X) -> HasParent(X, Z).".parse().unwrap();
+        assert_eq!(existential.existential_variables().len(), 1);
+        assert!("R(a).".parse::<Tgd>().is_err());
+        assert!("R(X, Y) -> Y = Z.".parse::<Tgd>().is_err()); // egd, and bad one
+        assert!("q(X) :- R(X).".parse::<Tgd>().is_err());
     }
 
     #[test]

@@ -1,0 +1,880 @@
+//! [`Database`]: the concurrent, prepared-query service façade.
+//!
+//! Where the legacy [`crate::Engine`] was a single-owner session
+//! (`&mut self` everywhere), a `Database` is `Send + Sync` and serves every
+//! request through `&self`, so one instance behind an `Arc` — or plain
+//! borrows into scoped threads — can absorb traffic from many threads at
+//! once:
+//!
+//! * the **instance** sits behind an `RwLock`: queries share a read guard
+//!   for their whole execution, inserts take the write guard;
+//! * the **plan cache** sits behind its own `RwLock`: hits are shared reads,
+//!   planning happens outside any lock and the compiled [`Plan`] is
+//!   published with a brief write;
+//! * the **index cache** sits behind a `Mutex`, but is only locked for the
+//!   short moment a run snapshots (and lazily builds) exactly the indexes
+//!   its plan needs — execution itself works off the immutable
+//!   [`Arc`]-backed snapshot with no lock held;
+//! * **metrics** are atomics.
+//!
+//! Epoch-based invalidation is preserved exactly: inserts advance the
+//! instance epoch under the write guard and drop only the touched
+//! predicate's indexes before the guard is released, so a snapshot taken
+//! under any read guard is always consistent with the data it runs against.
+//!
+//! Lock order (outer to inner): `tgds` → `instance` → `indexes`, and
+//! `tgds` → `plans`; the plan cache is never held while acquiring another
+//! lock.  Planning publishes into the cache while still holding the tgds
+//! read guard, so [`Database::set_tgds`] (write guard held across its cache
+//! clear) can never observe — or be overtaken by — a plan compiled under
+//! constraints it just replaced.
+
+use crate::error::{SacError, SacResult};
+use crate::exec;
+use crate::index::IndexCache;
+use crate::plan::{plan_query, Explain, Plan, Strategy};
+use crate::result::ResultSet;
+use sac_common::{Atom, Symbol};
+use sac_core::SemAcConfig;
+use sac_deps::Tgd;
+use sac_query::ConjunctiveQuery;
+use sac_storage::{Instance, InstanceStats};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Planner knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Configuration for the semantic-acyclicity witness search.
+    pub semac: SemAcConfig,
+    /// Whether to look for acyclic reformulations of cyclic queries at all.
+    pub witness_search: bool,
+    /// Skip the (query-exponential) witness search under tgds for queries
+    /// with more body atoms than this.  The constraint-free core check is
+    /// cheap and always runs.
+    pub max_witness_atoms: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            semac: SemAcConfig::default(),
+            witness_search: true,
+            max_witness_atoms: 12,
+        }
+    }
+}
+
+/// Counters describing a session's workload so far.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineMetrics {
+    /// Queries executed (batch and single runs alike).
+    pub queries_run: usize,
+    /// Plans compiled from scratch (plan-cache misses, whether the request
+    /// came from [`Database::run`], [`Database::prepare`] or
+    /// [`Database::explain`]).
+    pub plans_built: usize,
+    /// Plan requests served from the cache.
+    pub plan_cache_hits: usize,
+    /// Runs executed with [`Strategy::YannakakisDirect`].
+    pub runs_yannakakis_direct: usize,
+    /// Runs executed with [`Strategy::YannakakisWitness`].
+    pub runs_yannakakis_witness: usize,
+    /// Runs executed with [`Strategy::IndexedSearch`].
+    pub runs_indexed_search: usize,
+    /// Join-key indexes built over the session's lifetime.
+    pub indexes_built: usize,
+}
+
+impl EngineMetrics {
+    /// Fraction of plan requests served from the cache: hits over hits plus
+    /// compilations (0 before the first request).  `prepare` and `explain`
+    /// requests count like `run` ones — each either hits the cache or builds.
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let requests = self.plan_cache_hits + self.plans_built;
+        if requests == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / requests as f64
+        }
+    }
+
+    /// Zeroes every counter, so a fresh measurement window can start without
+    /// recreating the session ([`Database::reset_metrics`] does this for a
+    /// live database).
+    pub fn reset(&mut self) {
+        *self = EngineMetrics::default();
+    }
+}
+
+impl fmt::Display for EngineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs ({} planned, {} cache hits, {:.0}% hit rate); strategies: {} direct / {} witness / {} fallback; {} indexes built",
+            self.queries_run,
+            self.plans_built,
+            self.plan_cache_hits,
+            100.0 * self.plan_cache_hit_rate(),
+            self.runs_yannakakis_direct,
+            self.runs_yannakakis_witness,
+            self.runs_indexed_search,
+            self.indexes_built,
+        )
+    }
+}
+
+/// Lock-free counters backing [`Database::metrics`].
+#[derive(Debug, Default)]
+struct MetricCounters {
+    queries_run: AtomicUsize,
+    plans_built: AtomicUsize,
+    plan_cache_hits: AtomicUsize,
+    runs_yannakakis_direct: AtomicUsize,
+    runs_yannakakis_witness: AtomicUsize,
+    runs_indexed_search: AtomicUsize,
+}
+
+impl MetricCounters {
+    fn record_run(&self, strategy: Strategy) {
+        self.queries_run.fetch_add(1, Ordering::Relaxed);
+        match strategy {
+            Strategy::YannakakisDirect => &self.runs_yannakakis_direct,
+            Strategy::YannakakisWitness => &self.runs_yannakakis_witness,
+            Strategy::IndexedSearch => &self.runs_indexed_search,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, indexes_built: usize) -> EngineMetrics {
+        EngineMetrics {
+            queries_run: self.queries_run.load(Ordering::Relaxed),
+            plans_built: self.plans_built.load(Ordering::Relaxed),
+            plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            runs_yannakakis_direct: self.runs_yannakakis_direct.load(Ordering::Relaxed),
+            runs_yannakakis_witness: self.runs_yannakakis_witness.load(Ordering::Relaxed),
+            runs_indexed_search: self.runs_indexed_search.load(Ordering::Relaxed),
+            indexes_built,
+        }
+    }
+
+    fn reset(&self) {
+        self.queries_run.store(0, Ordering::Relaxed);
+        self.plans_built.store(0, Ordering::Relaxed);
+        self.plan_cache_hits.store(0, Ordering::Relaxed);
+        self.runs_yannakakis_direct.store(0, Ordering::Relaxed);
+        self.runs_yannakakis_witness.store(0, Ordering::Relaxed);
+        self.runs_indexed_search.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plans are keyed by the query's semantic identity (head + body), ignoring
+/// its display name.
+type PlanKey = (Vec<Symbol>, Vec<Atom>);
+
+/// Anything [`Database::query`] and [`Database::prepare`] accept as a query:
+/// an owned or borrowed [`ConjunctiveQuery`], or query text in the
+/// workspace's Datalog-style syntax.
+pub trait QuerySource {
+    /// Converts the source into a validated query.
+    fn into_query(self) -> SacResult<ConjunctiveQuery>;
+}
+
+impl QuerySource for ConjunctiveQuery {
+    fn into_query(self) -> SacResult<ConjunctiveQuery> {
+        Ok(self)
+    }
+}
+
+impl QuerySource for &ConjunctiveQuery {
+    fn into_query(self) -> SacResult<ConjunctiveQuery> {
+        Ok(self.clone())
+    }
+}
+
+impl QuerySource for &str {
+    fn into_query(self) -> SacResult<ConjunctiveQuery> {
+        self.parse::<ConjunctiveQuery>().map_err(SacError::from)
+    }
+}
+
+impl QuerySource for &String {
+    fn into_query(self) -> SacResult<ConjunctiveQuery> {
+        self.as_str().into_query()
+    }
+}
+
+impl QuerySource for String {
+    fn into_query(self) -> SacResult<ConjunctiveQuery> {
+        self.as_str().into_query()
+    }
+}
+
+/// A concurrent query-serving session over one database.
+///
+/// See the [module docs](self) for the locking design.  The constraint
+/// contract is unchanged from the paper: when tgds are set
+/// ([`Database::with_tgds`] / [`Database::set_tgds`]), cyclic queries may be
+/// answered through a Σ-equivalent acyclic witness, which is only valid on
+/// databases satisfying the constraints — the promise of the paper's
+/// `SemAcEval` problem; the engine does not verify it.  Without tgds every
+/// strategy is unconditionally equivalent to naive evaluation.
+///
+/// ```
+/// use sac_engine::Database;
+///
+/// let db = Database::from_facts("E(a, b). E(b, c).").unwrap();
+/// let results = db.query("q(X) :- E(X, Y), E(Y, Z).").unwrap();
+/// assert_eq!(results.len(), 1);
+/// assert_eq!(results.rows()[0]["X"], sac_common::Term::constant("a"));
+/// ```
+#[derive(Debug)]
+pub struct Database {
+    instance: RwLock<Instance>,
+    tgds: RwLock<Vec<Tgd>>,
+    config: EngineConfig,
+    plans: RwLock<HashMap<PlanKey, Arc<Plan>>>,
+    indexes: Mutex<IndexCache>,
+    metrics: MetricCounters,
+}
+
+impl Default for Database {
+    fn default() -> Database {
+        Database::new()
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::from_instance(Instance::new())
+    }
+
+    /// Wraps an existing [`Instance`].
+    pub fn from_instance(instance: Instance) -> Database {
+        let indexes = Mutex::new(IndexCache::new(&instance));
+        Database {
+            instance: RwLock::new(instance),
+            tgds: RwLock::new(Vec::new()),
+            config: EngineConfig::default(),
+            plans: RwLock::new(HashMap::new()),
+            indexes,
+            metrics: MetricCounters::default(),
+        }
+    }
+
+    /// Parses a list of ground facts into a fresh database.
+    pub fn from_facts(text: &str) -> SacResult<Database> {
+        let instance: Instance = text.parse()?;
+        Ok(Database::from_instance(instance))
+    }
+
+    /// Sets the constraint set the planner may reformulate under
+    /// (builder-style).  See the type-level docs for the satisfaction
+    /// contract.
+    pub fn with_tgds(self, tgds: Vec<Tgd>) -> Database {
+        self.set_tgds(tgds);
+        self
+    }
+
+    /// Overrides the planner configuration (builder-style).
+    pub fn with_config(mut self, config: EngineConfig) -> Database {
+        self.config = config;
+        self.plans
+            .get_mut()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        self
+    }
+
+    /// Replaces the constraint set, invalidating every cached plan (their
+    /// witnesses were found under the old constraints).  Prepared queries
+    /// keep the plan they were compiled with — re-prepare after changing
+    /// constraints.
+    pub fn set_tgds(&self, tgds: Vec<Tgd>) {
+        // The tgds write guard is held across the clear, pairing with
+        // `plan_arc` (which publishes under the tgds read guard): no plan
+        // compiled under the old constraints can slip into the cache after
+        // this clear.
+        let mut guard = self.write_tgds();
+        *guard = tgds;
+        self.write_plans().clear();
+    }
+
+    /// The constraints the planner reformulates under.
+    pub fn tgds(&self) -> Vec<Tgd> {
+        self.read_tgds().clone()
+    }
+
+    /// The planner configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Consumes the database, returning the instance.
+    pub fn into_instance(self) -> Instance {
+        self.instance
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Runs `f` over the current instance under the read lock.  Keep `f`
+    /// short: inserts wait while it runs.
+    pub fn read<R>(&self, f: impl FnOnce(&Instance) -> R) -> R {
+        f(&self.read_instance())
+    }
+
+    /// A point-in-time copy of the stored instance.
+    pub fn snapshot(&self) -> Instance {
+        self.read_instance().clone()
+    }
+
+    /// Total number of stored atoms.
+    pub fn len(&self) -> usize {
+        self.read_instance().len()
+    }
+
+    /// Whether no atoms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.read_instance().is_empty()
+    }
+
+    /// Whether `atom` is stored.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.read_instance().contains(atom)
+    }
+
+    /// The instance's mutation epoch (see [`Instance::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.read_instance().epoch()
+    }
+
+    /// Summary statistics of the stored instance.
+    pub fn stats(&self) -> InstanceStats {
+        self.read_instance().stats()
+    }
+
+    /// Inserts an atom.  Returns whether it was new; only a genuinely new
+    /// atom invalidates (precisely, per predicate) the index cache.  Cached
+    /// plans survive — a plan's strategy choice never depends on the data,
+    /// only its fallback atom order does, and a stale order is a performance
+    /// matter, not a correctness one.
+    pub fn insert(&self, atom: Atom) -> SacResult<bool> {
+        Ok(self.insert_common(atom)?)
+    }
+
+    /// [`Database::insert`] with the workspace-internal error type, for the
+    /// legacy [`crate::Engine`] shim.
+    pub(crate) fn insert_common(&self, atom: Atom) -> sac_common::Result<bool> {
+        let predicate = atom.predicate;
+        let mut instance = self.write_instance();
+        let added = instance.insert(atom)?;
+        if added {
+            // Invalidate under the instance write guard, so no concurrent
+            // run can snapshot between the data change and the invalidation.
+            self.lock_indexes().note_insert(&instance, predicate);
+        }
+        Ok(added)
+    }
+
+    /// Bulk-inserts every atom of `other`; returns how many were new.
+    ///
+    /// The whole batch is applied under one instance write guard, so
+    /// concurrent queries observe either the pre-load or the post-load
+    /// state, never a half-loaded prefix, and the per-predicate index
+    /// invalidation happens once per touched predicate instead of once per
+    /// atom.  On error (e.g. an arity clash part-way through) the
+    /// already-inserted prefix **remains** — there is no rollback; the index
+    /// cache is resynchronized before the error is returned.
+    pub fn extend_from(&self, other: &Instance) -> SacResult<usize> {
+        Ok(self.extend_from_common(other)?)
+    }
+
+    /// [`Database::extend_from`] with the workspace-internal error type, for
+    /// the legacy [`crate::Engine`] shim.
+    pub(crate) fn extend_from_common(&self, other: &Instance) -> sac_common::Result<usize> {
+        let mut instance = self.write_instance();
+        let mut touched: Vec<Symbol> = Vec::new();
+        let mut added = 0;
+        for atom in other.atoms() {
+            let predicate = atom.predicate;
+            match instance.insert(atom) {
+                Ok(true) => {
+                    added += 1;
+                    if !touched.contains(&predicate) {
+                        touched.push(predicate);
+                    }
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    // Partial batch: resynchronize the index cache with
+                    // whatever was applied before surfacing the error.
+                    self.lock_indexes().invalidate_all(&instance);
+                    return Err(e);
+                }
+            }
+        }
+        let mut indexes = self.lock_indexes();
+        for predicate in touched {
+            indexes.note_insert(&instance, predicate);
+        }
+        Ok(added)
+    }
+
+    /// Parses `text` as ground facts and inserts them all; returns how many
+    /// were new.
+    pub fn load_facts(&self, text: &str) -> SacResult<usize> {
+        let parsed: Instance = text.parse()?;
+        self.extend_from(&parsed)
+    }
+
+    /// Compiles (or fetches from the plan cache) the plan for `query`.
+    pub(crate) fn plan_arc(&self, query: &ConjunctiveQuery) -> Arc<Plan> {
+        let key: PlanKey = (query.head.clone(), query.body.clone());
+        if let Some(plan) = self.read_plans().get(&key) {
+            self.metrics.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        // Plan outside the plan-cache lock: the witness search can be
+        // expensive and must not block concurrent cache hits.  Two threads
+        // racing on the same cold query both plan; the first publication
+        // wins and both count as builds (honest accounting).
+        //
+        // The tgds read guard is held across the publication below: this
+        // orders every publication of a plan compiled under the old
+        // constraints strictly before `set_tgds` can swap them and clear the
+        // cache — a stale witness plan can never be re-published after the
+        // invalidation.
+        let tgds = self.read_tgds();
+        let plan = {
+            let instance = self.read_instance();
+            Arc::new(plan_query(query, &tgds, &instance, &self.config))
+        };
+        self.metrics.plans_built.fetch_add(1, Ordering::Relaxed);
+        let published = Arc::clone(
+            self.write_plans()
+                .entry(key)
+                .or_insert_with(|| Arc::clone(&plan)),
+        );
+        drop(tgds);
+        published
+    }
+
+    /// The planner's decision for `query`, for inspection.
+    pub fn explain(&self, query: &ConjunctiveQuery) -> Explain {
+        self.plan_arc(query).explain().clone()
+    }
+
+    /// Prepares `source` for repeated execution: parse (if text), plan (or
+    /// hit the plan cache), and return a cheap, cloneable handle bound to
+    /// this database.
+    pub fn prepare<Q: QuerySource>(&self, source: Q) -> SacResult<PreparedQuery<'_>> {
+        let query = source.into_query()?;
+        let plan = self.plan_arc(&query);
+        Ok(PreparedQuery {
+            database: self,
+            query: Arc::new(query),
+            plan,
+        })
+    }
+
+    /// One-call text-to-results: parse (or take) a query, plan or reuse the
+    /// cached plan, execute, and return a typed [`ResultSet`].
+    pub fn query<Q: QuerySource>(&self, source: Q) -> SacResult<ResultSet> {
+        let query = source.into_query()?;
+        Ok(self.run(&query))
+    }
+
+    /// The Boolean reading of [`Database::query`].
+    pub fn query_boolean<Q: QuerySource>(&self, source: Q) -> SacResult<bool> {
+        Ok(self.query(source)?.is_true())
+    }
+
+    /// Evaluates an already-validated query.
+    pub fn run(&self, query: &ConjunctiveQuery) -> ResultSet {
+        let plan = self.plan_arc(query);
+        self.run_plan(&plan)
+    }
+
+    /// Evaluates a Boolean query (or the Boolean shadow of a non-Boolean
+    /// one): whether the answer set is non-empty.
+    pub fn run_boolean(&self, query: &ConjunctiveQuery) -> bool {
+        self.run(query).is_true()
+    }
+
+    /// Evaluates a batch of queries, amortizing planning and index building
+    /// across the whole workload.
+    pub fn run_batch(&self, queries: &[ConjunctiveQuery]) -> Vec<ResultSet> {
+        queries.iter().map(|q| self.run(q)).collect()
+    }
+
+    fn run_plan(&self, plan: &Plan) -> ResultSet {
+        self.metrics.record_run(plan.strategy());
+        let instance = self.read_instance();
+        // Short locked section: build/fetch exactly the plan's indexes…
+        let snapshot = self
+            .lock_indexes()
+            .snapshot(&instance, &exec::required_indexes(plan));
+        // …then execute lock-free (the instance read guard is still held, so
+        // the snapshot stays consistent with the data for the whole run).
+        let tuples = exec::execute_with(plan, &instance, &snapshot);
+        ResultSet::from_tuples(Arc::clone(plan.columns()), tuples)
+    }
+
+    /// Session counters (plan-cache hit rate, per-strategy runs, …).
+    pub fn metrics(&self) -> EngineMetrics {
+        let indexes_built = self.lock_indexes().built();
+        self.metrics.snapshot(indexes_built)
+    }
+
+    /// Zeroes every metric counter, including the index-build counter.  The
+    /// caches themselves are untouched (see [`Database::clear_caches`]).
+    pub fn reset_metrics(&self) {
+        self.metrics.reset();
+        self.lock_indexes().reset_built();
+    }
+
+    /// Maintenance hook: drops every cached plan and join index.  Subsequent
+    /// queries replan and rebuild from the live data — correctness never
+    /// depends on this, but it bounds memory after a schema or workload
+    /// shift.  Metrics are untouched (see [`Database::reset_metrics`]).
+    pub fn clear_caches(&self) {
+        self.write_plans().clear();
+        let instance = self.read_instance();
+        self.lock_indexes().invalidate_all(&instance);
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.read_plans().len()
+    }
+
+    /// Exclusive access to the instance, for single-owner callers (the
+    /// legacy [`crate::Engine`] shim).
+    pub(crate) fn instance_mut(&mut self) -> &Instance {
+        self.instance.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    // Lock plumbing.  Poisoning is not propagated: a panicking query thread
+    // leaves the structures it held in a consistent state (pure reads, or
+    // completed cache updates), so later callers simply continue.
+
+    fn read_instance(&self) -> std::sync::RwLockReadGuard<'_, Instance> {
+        self.instance.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_instance(&self) -> std::sync::RwLockWriteGuard<'_, Instance> {
+        self.instance.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_tgds(&self) -> std::sync::RwLockReadGuard<'_, Vec<Tgd>> {
+        self.tgds.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_tgds(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Tgd>> {
+        self.tgds.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn read_plans(&self) -> std::sync::RwLockReadGuard<'_, HashMap<PlanKey, Arc<Plan>>> {
+        self.plans.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_plans(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<PlanKey, Arc<Plan>>> {
+        self.plans.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn lock_indexes(&self) -> std::sync::MutexGuard<'_, IndexCache> {
+        self.indexes.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A compiled query bound to a [`Database`]: cheap to clone, freely shared
+/// across threads, and executed without ever touching the plan cache again.
+///
+/// The plan is pinned at [`Database::prepare`] time.  Data mutations are
+/// always visible to later executions (plans never capture data); constraint
+/// changes ([`Database::set_tgds`]) are **not** — re-prepare after changing
+/// constraints, exactly like any prepared statement outliving a schema
+/// change.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery<'db> {
+    database: &'db Database,
+    query: Arc<ConjunctiveQuery>,
+    plan: Arc<Plan>,
+}
+
+impl PreparedQuery<'_> {
+    /// Executes the prepared plan against the current data.
+    pub fn execute(&self) -> ResultSet {
+        self.database.run_plan(&self.plan)
+    }
+
+    /// The Boolean reading of [`PreparedQuery::execute`].
+    pub fn execute_boolean(&self) -> bool {
+        self.execute().is_true()
+    }
+
+    /// The strategy the pinned plan uses.
+    pub fn strategy(&self) -> Strategy {
+        self.plan.strategy()
+    }
+
+    /// The planner's decision, for inspection.
+    pub fn explain(&self) -> &Explain {
+        self.plan.explain()
+    }
+
+    /// The compiled query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The result columns every execution will produce.
+    pub fn columns(&self) -> &[String] {
+        self.plan.columns().as_ref()
+    }
+}
+
+// `Database` must stay shareable across threads: this is the compile-time
+// guarantee the service façade is built on (a `static_assertions`-style
+// check without the dependency).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<PreparedQuery<'static>>();
+    assert_send_sync::<ResultSet>();
+    assert_send_sync::<SacError>();
+    assert_send_sync::<EngineMetrics>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::{atom, Term};
+    use sac_query::evaluate;
+    use std::thread;
+
+    fn graph_database() -> Database {
+        Database::from_instance(sac_gen::random_graph_database(10, 30, 3))
+    }
+
+    #[test]
+    fn run_agrees_with_naive_evaluation_across_strategies() {
+        let db = graph_database();
+        let reference = db.snapshot();
+        for q in [
+            sac_gen::path_query(2),   // acyclic → direct
+            sac_gen::cycle_query(3),  // cyclic core → fallback
+            sac_gen::clique_query(3), // cyclic core → fallback
+        ] {
+            assert_eq!(
+                db.run(&q).into_tuples(),
+                evaluate(&q, &reference),
+                "disagreement on {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_queries_answer_in_one_call() {
+        let db = Database::from_facts("E(a, b). E(b, c).").unwrap();
+        let rs = db.query("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+        assert_eq!(rs.columns(), &["X".to_owned(), "Z".to_owned()]);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows()[0]["X"], Term::constant("a"));
+        assert_eq!(rs.rows()[0]["Z"], Term::constant("c"));
+        assert!(db.query_boolean("q() :- E(a, X).").unwrap());
+        assert!(!db.query_boolean("q() :- E(c, X).").unwrap());
+    }
+
+    #[test]
+    fn parse_and_schema_failures_fold_into_sac_error() {
+        let db = Database::from_facts("E(a, b).").unwrap();
+        match db.query("q(X) :- E(X,").unwrap_err() {
+            SacError::Parse { line, column, .. } => assert_eq!((line, column), (1, 12)),
+            other => panic!("expected a parse error, got {other}"),
+        }
+        match db.insert(atom!("E", cst "a")).unwrap_err() {
+            SacError::ArityMismatch {
+                expected, found, ..
+            } => assert_eq!((expected, found), (2, 1)),
+            other => panic!("expected an arity mismatch, got {other}"),
+        }
+        match db.query("q(a) :- E(a, X).").unwrap_err() {
+            SacError::InvalidInput { .. } => {}
+            other => panic!("expected invalid input, got {other}"),
+        }
+    }
+
+    #[test]
+    fn prepared_queries_are_cloneable_and_track_data() {
+        let db = Database::new();
+        db.load_facts("E(a, b).").unwrap();
+        let prepared = db.prepare("q(X) :- E(X, Y), E(Y, Z).").unwrap();
+        let again = prepared.clone();
+        assert!(!prepared.execute_boolean());
+        assert!(db.insert(atom!("E", cst "b", cst "c")).unwrap());
+        // Both clones see the new data without re-preparing.
+        assert!(prepared.execute_boolean());
+        assert_eq!(again.execute().rows()[0]["X"], Term::constant("a"));
+        assert_eq!(prepared.columns(), &["X".to_owned()]);
+        // The prepare and the executions hit the plan cache exactly once.
+        assert_eq!(db.metrics().plans_built, 1);
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_queries() {
+        let db = graph_database();
+        let q = sac_gen::path_query(3);
+        db.run(&q);
+        db.run(&q);
+        db.run(&q);
+        let m = db.metrics();
+        assert_eq!(m.queries_run, 3);
+        assert_eq!(m.plans_built, 1);
+        assert_eq!(m.plan_cache_hits, 2);
+        assert_eq!(m.runs_yannakakis_direct, 3);
+        assert_eq!(db.cached_plans(), 1);
+    }
+
+    #[test]
+    fn reset_metrics_and_clear_caches_are_independent() {
+        let db = graph_database();
+        let q = sac_gen::cycle_query(3); // fallback strategy → builds indexes
+        db.run(&q);
+        let before = db.metrics();
+        assert!(before.queries_run == 1 && before.plans_built == 1);
+        assert!(before.indexes_built > 0);
+
+        db.reset_metrics();
+        let zeroed = db.metrics();
+        assert_eq!(zeroed, EngineMetrics::default());
+        assert_eq!(db.cached_plans(), 1, "reset_metrics leaves caches alone");
+
+        db.run(&q);
+        assert_eq!(db.metrics().plan_cache_hits, 1, "cache still warm");
+
+        db.clear_caches();
+        assert_eq!(db.cached_plans(), 0);
+        db.run(&q);
+        let after = db.metrics();
+        assert_eq!(after.plans_built, 1, "replanned after the cache dropped");
+        assert!(after.indexes_built > 0, "indexes rebuilt after the drop");
+
+        // The snapshot type resets the same way.
+        let mut m = db.metrics();
+        m.reset();
+        assert_eq!(m, EngineMetrics::default());
+    }
+
+    #[test]
+    fn concurrent_runs_agree_with_naive_evaluation() {
+        let db = Database::from_instance(sac_gen::random_graph_database(12, 50, 11));
+        let reference = db.snapshot();
+        let queries = [
+            sac_gen::path_query(2),
+            sac_gen::star_query(3),
+            sac_gen::cycle_query(3),
+            sac_gen::clique_query(3),
+        ];
+        thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for q in &queries {
+                        assert_eq!(db.run(q).into_tuples(), evaluate(q, &reference));
+                    }
+                });
+            }
+        });
+        let m = db.metrics();
+        assert_eq!(m.queries_run, 16);
+        assert_eq!(
+            m.plans_built + m.plan_cache_hits,
+            16,
+            "every request either built or hit"
+        );
+    }
+
+    #[test]
+    fn concurrent_inserts_and_queries_stay_consistent() {
+        let db = Database::new();
+        db.load_facts("E(n0, n1).").unwrap();
+        let q = sac_gen::path_query(2);
+        let prepared = db.prepare(&q).unwrap();
+        thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 1..40 {
+                    db.insert(sac_common::Atom::from_parts(
+                        "E",
+                        vec![
+                            Term::constant(&format!("n{i}")),
+                            Term::constant(&format!("n{}", i + 1)),
+                        ],
+                    ))
+                    .unwrap();
+                }
+            });
+            scope.spawn(|| {
+                for _ in 0..40 {
+                    // Every observed answer must be a real path in some
+                    // prefix of the insert stream; final state is checked
+                    // below.
+                    let _ = prepared.execute();
+                }
+            });
+        });
+        let reference = db.snapshot();
+        assert_eq!(prepared.execute().into_tuples(), evaluate(&q, &reference));
+        assert_eq!(reference.len(), 40);
+    }
+
+    #[test]
+    fn witness_strategy_is_used_and_correct_on_constraint_closed_data() {
+        let q = sac_gen::example1_triangle();
+        let tgds = vec![sac_gen::collector_tgd()];
+        // music_database is closed under the collector tgd by construction.
+        let reference = sac_gen::music_database(30, 60, 5);
+        let db = Database::from_instance(reference.clone()).with_tgds(tgds);
+        assert_eq!(db.explain(&q).strategy, Strategy::YannakakisWitness);
+        assert_eq!(db.run(&q).into_tuples(), evaluate(&q, &reference));
+        assert_eq!(db.metrics().runs_yannakakis_witness, 1);
+    }
+
+    #[test]
+    fn changing_constraints_clears_cached_plans() {
+        let q = sac_gen::example1_triangle();
+        let db = Database::from_instance(sac_gen::music_database(5, 10, 2));
+        assert_eq!(db.explain(&q).strategy, Strategy::IndexedSearch);
+        db.set_tgds(vec![sac_gen::collector_tgd()]);
+        assert_eq!(db.explain(&q).strategy, Strategy::YannakakisWitness);
+    }
+
+    #[test]
+    fn run_batch_amortizes_planning() {
+        let db = graph_database();
+        let workload: Vec<_> = (0..4)
+            .flat_map(|_| [sac_gen::path_query(3), sac_gen::star_query(3)])
+            .collect();
+        let results = db.run_batch(&workload);
+        assert_eq!(results.len(), 8);
+        let m = db.metrics();
+        assert_eq!(m.queries_run, 8);
+        assert_eq!(m.plans_built, 2);
+        assert_eq!(m.plan_cache_hits, 6);
+        assert!(m.plan_cache_hit_rate() > 0.7);
+        // Identical queries return identical answers.
+        assert_eq!(results[0], results[2]);
+        assert_eq!(results[1], results[3]);
+    }
+
+    #[test]
+    fn metrics_display_is_informative() {
+        let db = graph_database();
+        db.run(&sac_gen::path_query(2));
+        let text = format!("{}", db.metrics());
+        assert!(text.contains("1 runs"));
+        assert!(text.contains("direct"));
+    }
+}

@@ -1,244 +1,132 @@
-//! The [`Engine`] session: a database plus plan and index caches, built for
-//! many-query workloads.
+//! The legacy [`Engine`] session: a thin single-owner shim over
+//! [`Database`].
+//!
+//! `Engine` was the crate's original `&mut self` API.  It survives as a
+//! deprecated wrapper so existing call sites keep compiling, but every call
+//! now routes through the concurrent [`Database`] core — the shim adds
+//! nothing but the old signatures (raw `BTreeSet<Vec<Term>>` answers,
+//! exclusive borrows), with two narrowings forced by the lock-protected
+//! core: [`Engine::database`] now takes `&mut self` (it bypasses the lock
+//! through exclusive access) and [`Engine::tgds`] returns an owned
+//! `Vec<Tgd>` instead of a slice.  New code should use [`Database`]
+//! directly:
+//!
+//! | old | new |
+//! |---|---|
+//! | `Engine::new(instance)` | [`Database::from_instance`] |
+//! | `engine.run(&q)` | [`Database::run`] (typed [`crate::ResultSet`]) |
+//! | `engine.run(&q)` raw tuples | `db.run(&q).into_tuples()` |
+//! | `engine.run_batch(&qs)` | [`Database::run_batch`] |
+//! | repeated runs of one query | [`Database::prepare`] |
 
-use crate::exec;
-use crate::index::IndexCache;
-use crate::plan::{plan_query, Explain, Plan, Strategy};
-use sac_common::{Atom, Result, Symbol, Term};
-use sac_core::SemAcConfig;
+use crate::database::{Database, EngineConfig, EngineMetrics};
+use crate::plan::{Explain, Plan};
+use sac_common::{Atom, Result, Term};
 use sac_deps::Tgd;
 use sac_query::ConjunctiveQuery;
 use sac_storage::Instance;
-use std::collections::{BTreeSet, HashMap};
-use std::fmt;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
-/// Planner knobs.
-#[derive(Debug, Clone, Copy)]
-pub struct EngineConfig {
-    /// Configuration for the semantic-acyclicity witness search.
-    pub semac: SemAcConfig,
-    /// Whether to look for acyclic reformulations of cyclic queries at all.
-    pub witness_search: bool,
-    /// Skip the (query-exponential) witness search under tgds for queries
-    /// with more body atoms than this.  The constraint-free core check is
-    /// cheap and always runs.
-    pub max_witness_atoms: usize,
-}
-
-impl Default for EngineConfig {
-    fn default() -> EngineConfig {
-        EngineConfig {
-            semac: SemAcConfig::default(),
-            witness_search: true,
-            max_witness_atoms: 12,
-        }
-    }
-}
-
-/// Counters describing an engine session's workload so far.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct EngineMetrics {
-    /// Queries executed (batch and single runs alike).
-    pub queries_run: usize,
-    /// Plans compiled from scratch (plan-cache misses, whether the request
-    /// came from [`Engine::run`], [`Engine::plan`] or [`Engine::explain`]).
-    pub plans_built: usize,
-    /// Plan requests served from the cache.
-    pub plan_cache_hits: usize,
-    /// Runs executed with [`Strategy::YannakakisDirect`].
-    pub runs_yannakakis_direct: usize,
-    /// Runs executed with [`Strategy::YannakakisWitness`].
-    pub runs_yannakakis_witness: usize,
-    /// Runs executed with [`Strategy::IndexedSearch`].
-    pub runs_indexed_search: usize,
-    /// Join-key indexes built over the session's lifetime.
-    pub indexes_built: usize,
-}
-
-impl EngineMetrics {
-    /// Fraction of plan requests served from the cache: hits over hits plus
-    /// compilations (0 before the first request).  `plan` and `explain`
-    /// requests count like `run` ones — each either hits the cache or builds.
-    pub fn plan_cache_hit_rate(&self) -> f64 {
-        let requests = self.plan_cache_hits + self.plans_built;
-        if requests == 0 {
-            0.0
-        } else {
-            self.plan_cache_hits as f64 / requests as f64
-        }
-    }
-}
-
-impl fmt::Display for EngineMetrics {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} runs ({} planned, {} cache hits, {:.0}% hit rate); strategies: {} direct / {} witness / {} fallback; {} indexes built",
-            self.queries_run,
-            self.plans_built,
-            self.plan_cache_hits,
-            100.0 * self.plan_cache_hit_rate(),
-            self.runs_yannakakis_direct,
-            self.runs_yannakakis_witness,
-            self.runs_indexed_search,
-            self.indexes_built,
-        )
-    }
-}
-
-/// Plans are keyed by the query's semantic identity (head + body), ignoring
-/// its display name.
-type PlanKey = (Vec<Symbol>, Vec<Atom>);
-
-/// A query execution session over one database.
+/// Deprecated single-owner façade over [`Database`].
 ///
-/// The engine owns its [`Instance`] so that every mutation flows through it:
-/// inserts invalidate exactly the touched predicate's cached indexes (using
-/// [`Instance::insert`]'s was-it-new result and the instance epoch) instead
-/// of rebuilding everything.  Plans are cached by query fingerprint, so
-/// repeated or batched queries amortize both planning and the
-/// semantic-acyclicity witness search.
-///
-/// **Constraint contract:** when the engine is given tgds
-/// ([`Engine::with_tgds`]), cyclic queries may be answered through a
-/// Σ-equivalent acyclic witness.  That reformulation is only valid on
-/// databases satisfying the constraints — the same promise as the paper's
-/// `SemAcEval` problem; the engine does not verify it.  Without tgds every
-/// strategy is unconditionally equivalent to naive evaluation.
-#[derive(Debug)]
+/// See the [module docs](self) for the migration table.  Semantics are
+/// identical to the pre-`Database` engine: same strategy lattice, same plan
+/// cache, same epoch-based index invalidation — the state simply lives in
+/// the shared core now.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Database`: it serves `&self` (thread-safe), returns typed `ResultSet`s and unifies errors as `SacError`"
+)]
+#[derive(Debug, Default)]
 pub struct Engine {
-    db: Instance,
-    tgds: Vec<Tgd>,
-    config: EngineConfig,
-    plans: HashMap<PlanKey, Arc<Plan>>,
-    indexes: IndexCache,
-    metrics: EngineMetrics,
+    core: Database,
 }
 
+#[allow(deprecated)]
 impl Engine {
     /// Creates an engine session over `db` with no constraints.
     pub fn new(db: Instance) -> Engine {
-        let indexes = IndexCache::new(&db);
         Engine {
-            db,
-            tgds: Vec::new(),
-            config: EngineConfig::default(),
-            plans: HashMap::new(),
-            indexes,
-            metrics: EngineMetrics::default(),
+            core: Database::from_instance(db),
         }
     }
 
     /// Sets the constraint set the planner may reformulate under
-    /// (builder-style).  See the type-level docs for the satisfaction
-    /// contract.
-    pub fn with_tgds(mut self, tgds: Vec<Tgd>) -> Engine {
-        self.set_tgds(tgds);
-        self
+    /// (builder-style).
+    pub fn with_tgds(self, tgds: Vec<Tgd>) -> Engine {
+        Engine {
+            core: self.core.with_tgds(tgds),
+        }
     }
 
     /// Overrides the planner configuration (builder-style).
-    pub fn with_config(mut self, config: EngineConfig) -> Engine {
-        self.config = config;
-        self.plans.clear();
-        self
+    pub fn with_config(self, config: EngineConfig) -> Engine {
+        Engine {
+            core: self.core.with_config(config),
+        }
     }
 
-    /// Replaces the constraint set, invalidating every cached plan (their
-    /// witnesses were found under the old constraints).
+    /// Replaces the constraint set, invalidating every cached plan.
     pub fn set_tgds(&mut self, tgds: Vec<Tgd>) {
-        self.tgds = tgds;
-        self.plans.clear();
+        self.core.set_tgds(tgds);
     }
 
     /// The underlying database.
-    pub fn database(&self) -> &Instance {
-        &self.db
+    pub fn database(&mut self) -> &Instance {
+        self.core.instance_mut()
     }
 
     /// Consumes the engine, returning the database.
     pub fn into_database(self) -> Instance {
-        self.db
+        self.core.into_instance()
     }
 
     /// The constraints the planner reformulates under.
-    pub fn tgds(&self) -> &[Tgd] {
-        &self.tgds
+    pub fn tgds(&self) -> Vec<Tgd> {
+        self.core.tgds()
     }
 
     /// Session counters (plan-cache hit rate, per-strategy runs, …).
     pub fn metrics(&self) -> EngineMetrics {
-        let mut m = self.metrics.clone();
-        m.indexes_built = self.indexes.built();
-        m
+        self.core.metrics()
     }
 
     /// Number of plans currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.plans.len()
+        self.core.cached_plans()
     }
 
-    /// Inserts an atom into the database.  Returns whether it was new; only
-    /// a genuinely new atom invalidates (precisely, per predicate) the index
-    /// cache.  Cached plans survive — a plan's strategy choice never depends
-    /// on the data, only its fallback atom order does, and a stale order is
-    /// a performance matter, not a correctness one.
+    /// Inserts an atom.  Returns whether it was new.
     pub fn insert(&mut self, atom: Atom) -> Result<bool> {
-        let predicate = atom.predicate;
-        let added = self.db.insert(atom)?;
-        if added {
-            self.indexes.note_insert(&self.db, predicate);
-        }
-        Ok(added)
+        self.core.insert_common(atom)
     }
 
     /// Bulk-inserts every atom of `other`; returns how many were new.
     pub fn extend_from(&mut self, other: &Instance) -> Result<usize> {
-        let mut added = 0;
-        for atom in other.atoms() {
-            if self.insert(atom)? {
-                added += 1;
-            }
-        }
-        Ok(added)
+        self.core.extend_from_common(other)
     }
 
     /// Plans `query` (or fetches the cached plan) without executing it.
     pub fn plan(&mut self, query: &ConjunctiveQuery) -> Arc<Plan> {
-        let key: PlanKey = (query.head.clone(), query.body.clone());
-        if let Some(plan) = self.plans.get(&key) {
-            self.metrics.plan_cache_hits += 1;
-            return Arc::clone(plan);
-        }
-        let plan = Arc::new(plan_query(query, &self.tgds, &self.db, &self.config));
-        self.metrics.plans_built += 1;
-        self.plans.insert(key, Arc::clone(&plan));
-        plan
+        self.core.plan_arc(query)
     }
 
     /// The planner's decision for `query`, for inspection.
     pub fn explain(&mut self, query: &ConjunctiveQuery) -> Explain {
-        self.plan(query).explain().clone()
+        self.core.explain(query)
     }
 
     /// Evaluates `query`, returning the answer set (for a Boolean query:
     /// `{()}` or `{}`).
     pub fn run(&mut self, query: &ConjunctiveQuery) -> BTreeSet<Vec<Term>> {
-        let plan = self.plan(query);
-        self.metrics.queries_run += 1;
-        match plan.strategy() {
-            Strategy::YannakakisDirect => self.metrics.runs_yannakakis_direct += 1,
-            Strategy::YannakakisWitness => self.metrics.runs_yannakakis_witness += 1,
-            Strategy::IndexedSearch => self.metrics.runs_indexed_search += 1,
-        }
-        exec::execute(&plan, &self.db, &mut self.indexes)
+        self.core.run(query).into_tuples()
     }
 
     /// Evaluates a Boolean query (or the Boolean shadow of a non-Boolean
     /// one): whether the answer set is non-empty.
     pub fn run_boolean(&mut self, query: &ConjunctiveQuery) -> bool {
-        !self.run(query).is_empty()
+        self.core.run_boolean(query)
     }
 
     /// Evaluates a batch of queries, amortizing planning and index building
@@ -249,63 +137,37 @@ impl Engine {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sac_common::atom;
     use sac_query::evaluate;
 
-    fn graph_engine() -> Engine {
-        Engine::new(sac_gen::random_graph_database(10, 30, 3))
-    }
+    // The deprecated shim must behave exactly like the core it wraps; the
+    // thorough behavioural suite lives in `crate::database::tests`.
 
     #[test]
-    fn run_agrees_with_naive_evaluation_across_strategies() {
-        let mut engine = graph_engine();
+    fn shim_round_trips_runs_metrics_and_mutations() {
+        let mut engine = Engine::new(sac_gen::random_graph_database(10, 30, 3));
         let db = engine.database().clone();
-        for q in [
-            sac_gen::path_query(2),   // acyclic → direct
-            sac_gen::cycle_query(3),  // cyclic core → fallback
-            sac_gen::clique_query(3), // cyclic core → fallback
-        ] {
-            assert_eq!(engine.run(&q), evaluate(&q, &db), "disagreement on {q}");
-        }
-    }
-
-    #[test]
-    fn plan_cache_hits_on_repeated_queries() {
-        let mut engine = graph_engine();
         let q = sac_gen::path_query(3);
-        engine.run(&q);
-        engine.run(&q);
+        assert_eq!(engine.run(&q), evaluate(&q, &db));
         engine.run(&q);
         let m = engine.metrics();
-        assert_eq!(m.queries_run, 3);
+        assert_eq!(m.queries_run, 2);
         assert_eq!(m.plans_built, 1);
-        assert_eq!(m.plan_cache_hits, 2);
-        assert_eq!(m.runs_yannakakis_direct, 3);
+        assert_eq!(m.plan_cache_hits, 1);
         assert_eq!(engine.cached_plans(), 1);
     }
 
     #[test]
-    fn query_names_do_not_fragment_the_plan_cache() {
-        let mut engine = graph_engine();
-        let q = sac_gen::path_query(3);
-        engine.run(&q.clone().named("first"));
-        engine.run(&q.named("second"));
-        assert_eq!(engine.metrics().plans_built, 1);
-    }
-
-    #[test]
-    fn inserts_invalidate_results_precisely() {
+    fn shim_inserts_invalidate_results_precisely() {
         let mut engine =
             Engine::new(Instance::from_atoms(vec![atom!("E", cst "a", cst "b")]).unwrap());
-        let q = sac_gen::path_query(2); // E(x0,x1), E(x1,x2)
+        let q = sac_gen::path_query(2);
         assert!(!engine.run_boolean(&q));
-        // Closing the path makes the query true; the engine must see the new
-        // atom even though a plan and indexes were already cached.
         assert!(engine.insert(atom!("E", cst "b", cst "c")).unwrap());
         assert!(engine.run_boolean(&q));
-        // Duplicate inserts are reported as such and invalidate nothing.
         let before = engine.metrics().indexes_built;
         assert!(!engine.insert(atom!("E", cst "b", cst "c")).unwrap());
         assert!(engine.run_boolean(&q));
@@ -313,51 +175,15 @@ mod tests {
     }
 
     #[test]
-    fn witness_strategy_is_used_and_correct_on_constraint_closed_data() {
+    fn shim_witness_strategy_matches_core() {
         let q = sac_gen::example1_triangle();
-        let tgds = vec![sac_gen::collector_tgd()];
-        // music_database is closed under the collector tgd by construction.
         let db = sac_gen::music_database(30, 60, 5);
-        let mut engine = Engine::new(db.clone()).with_tgds(tgds);
-        assert_eq!(engine.explain(&q).strategy, Strategy::YannakakisWitness);
+        let mut engine = Engine::new(db.clone()).with_tgds(vec![sac_gen::collector_tgd()]);
+        assert_eq!(
+            engine.explain(&q).strategy,
+            crate::plan::Strategy::YannakakisWitness
+        );
         assert_eq!(engine.run(&q), evaluate(&q, &db));
-        assert_eq!(engine.metrics().runs_yannakakis_witness, 1);
-    }
-
-    #[test]
-    fn changing_constraints_clears_cached_plans() {
-        let q = sac_gen::example1_triangle();
-        let db = sac_gen::music_database(5, 10, 2);
-        let mut engine = Engine::new(db);
-        assert_eq!(engine.explain(&q).strategy, Strategy::IndexedSearch);
-        engine.set_tgds(vec![sac_gen::collector_tgd()]);
-        assert_eq!(engine.explain(&q).strategy, Strategy::YannakakisWitness);
-    }
-
-    #[test]
-    fn run_batch_amortizes_planning() {
-        let mut engine = graph_engine();
-        let workload: Vec<_> = (0..4)
-            .flat_map(|_| [sac_gen::path_query(3), sac_gen::star_query(3)])
-            .collect();
-        let results = engine.run_batch(&workload);
-        assert_eq!(results.len(), 8);
-        let m = engine.metrics();
-        assert_eq!(m.queries_run, 8);
-        assert_eq!(m.plans_built, 2);
-        assert_eq!(m.plan_cache_hits, 6);
-        assert!(m.plan_cache_hit_rate() > 0.7);
-        // Identical queries return identical answers.
-        assert_eq!(results[0], results[2]);
-        assert_eq!(results[1], results[3]);
-    }
-
-    #[test]
-    fn metrics_display_is_informative() {
-        let mut engine = graph_engine();
-        engine.run(&sac_gen::path_query(2));
-        let text = format!("{}", engine.metrics());
-        assert!(text.contains("1 runs"));
-        assert!(text.contains("direct"));
+        assert_eq!(engine.into_database().len(), db.len());
     }
 }

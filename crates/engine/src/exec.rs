@@ -18,18 +18,57 @@
 //! The fallback path executes the planner's fixed atom order, fetching the
 //! candidates of each step from a cached hash index on exactly the step's
 //! bound columns.
+//!
+//! Execution itself is **read-only**: [`execute_with`] consumes an immutable
+//! [`PlanIndexes`] snapshot, so the concurrent [`crate::Database`] can run
+//! many queries at once without holding the index-cache lock — the snapshot
+//! is assembled (and any missing indexes built) in one short locked section
+//! beforehand.  Snapshot entries that could not be built degrade to filtered
+//! scans, never to wrong answers.
 
-use crate::index::IndexCache;
+use crate::index::PlanIndexes;
 use crate::plan::{ExecPlan, IndexedPlan, NodeShape, Plan, YannakakisPlan};
 use sac_common::{Substitution, Symbol, Term};
 use sac_storage::{Instance, Relation};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
-/// Executes `plan` over `db`, building (and caching) indexes as needed.
-pub(crate) fn execute(plan: &Plan, db: &Instance, cache: &mut IndexCache) -> BTreeSet<Vec<Term>> {
+/// The multi-column index keys `plan` probes during execution — exactly the
+/// entries [`IndexCache::snapshot`] must provide for an index-served run.
+pub(crate) fn required_indexes(plan: &Plan) -> Vec<(Symbol, Vec<usize>)> {
     match &plan.exec {
-        ExecPlan::Yannakakis(yp) => run_yannakakis(yp, db, cache),
-        ExecPlan::Indexed(ip) => run_indexed(ip, db, cache),
+        ExecPlan::Yannakakis(yp) => yp
+            .shapes
+            .iter()
+            .zip(&yp.query.body)
+            .filter(|(shape, _)| shape.const_positions.len() > 1)
+            .map(|(shape, atom)| (atom.predicate, shape.const_positions.clone()))
+            .collect(),
+        ExecPlan::Indexed(ip) => ip
+            .order
+            .iter()
+            .enumerate()
+            .filter(|(step, _)| ip.bound_positions[*step].len() > 1)
+            .map(|(step, &atom_idx)| {
+                (
+                    ip.query.body[atom_idx].predicate,
+                    ip.bound_positions[step].clone(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Executes `plan` over `db` against an immutable index snapshot (see
+/// [`required_indexes`]).  Missing snapshot entries fall back to scans.
+pub(crate) fn execute_with(
+    plan: &Plan,
+    db: &Instance,
+    indexes: &PlanIndexes,
+) -> BTreeSet<Vec<Term>> {
+    match &plan.exec {
+        ExecPlan::Yannakakis(yp) => run_yannakakis(yp, db, indexes),
+        ExecPlan::Indexed(ip) => run_indexed(ip, db, indexes),
     }
 }
 
@@ -164,13 +203,14 @@ impl Table {
 
 /// Computes a node's match set: the projection onto its distinct variables of
 /// the relation tuples matching the atom's constants and repeated variables.
-/// Constant positions are served by a cached index; variable-only atoms scan.
+/// Constant positions are served by a snapshot index when available; the
+/// fallback is a filtered scan.
 fn node_matches(
     shape: &NodeShape,
     predicate: sac_common::Symbol,
     arity: usize,
     db: &Instance,
-    cache: &mut IndexCache,
+    indexes: &PlanIndexes,
 ) -> Table {
     let mut table = Table {
         vars: shape.vars.clone(),
@@ -186,6 +226,13 @@ fn node_matches(
         |tuple: &[Term]| -> Vec<Term> { shape.var_first.iter().map(|p| tuple[*p]).collect() };
     let consistent =
         |tuple: &[Term]| -> bool { shape.eq_checks.iter().all(|(a, b)| tuple[*a] == tuple[*b]) };
+    let constants_match = |tuple: &[Term]| -> bool {
+        shape
+            .const_positions
+            .iter()
+            .zip(&shape.const_key)
+            .all(|(p, k)| tuple[*p] == *k)
+    };
     match shape.const_positions.len() {
         0 => {
             for tuple in rel.iter() {
@@ -204,20 +251,25 @@ fn node_matches(
                 }
             }
         }
-        _ => {
-            if !cache.ensure(db, predicate, &shape.const_positions) {
-                return table;
-            }
-            let index = cache
-                .get(predicate, &shape.const_positions)
-                .expect("just ensured");
-            for &row in index.rows(&shape.const_key) {
-                let tuple = rel.row(row).expect("indexed row exists");
-                if consistent(tuple) {
-                    table.tuples.insert(project(tuple));
+        _ => match indexes.get(&(predicate, shape.const_positions.clone())) {
+            Some(index) => {
+                for &row in index.rows(&shape.const_key) {
+                    let tuple = rel.row(row).expect("indexed row exists");
+                    if consistent(tuple) {
+                        table.tuples.insert(project(tuple));
+                    }
                 }
             }
-        }
+            // No snapshot index (e.g. the cache could not build one):
+            // degrade to a filtered scan.
+            None => {
+                for tuple in rel.iter() {
+                    if constants_match(tuple) && consistent(tuple) {
+                        table.tuples.insert(project(tuple));
+                    }
+                }
+            }
+        },
     }
     table
 }
@@ -225,7 +277,7 @@ fn node_matches(
 fn run_yannakakis(
     plan: &YannakakisPlan,
     db: &Instance,
-    cache: &mut IndexCache,
+    indexes: &PlanIndexes,
 ) -> BTreeSet<Vec<Term>> {
     let n = plan.tree.len();
     let mut answers = BTreeSet::new();
@@ -239,7 +291,7 @@ fn run_yannakakis(
     let mut tables: Vec<Table> = (0..n)
         .map(|i| {
             let atom = &plan.tree.atoms[i];
-            node_matches(&plan.shapes[i], atom.predicate, atom.arity(), db, cache)
+            node_matches(&plan.shapes[i], atom.predicate, atom.arity(), db, indexes)
         })
         .collect();
 
@@ -293,26 +345,32 @@ fn run_yannakakis(
     answers
 }
 
-fn run_indexed(plan: &IndexedPlan, db: &Instance, cache: &mut IndexCache) -> BTreeSet<Vec<Term>> {
-    // Prebuild every step's multi-column index so the recursion can borrow
-    // the cache immutably.  Single-column keys are served by the storage
-    // layer's own incremental indexes and need no cached copy.
-    for (step, &atom_idx) in plan.order.iter().enumerate() {
-        let bp = &plan.bound_positions[step];
-        if bp.len() > 1 {
-            cache.ensure(db, plan.query.body[atom_idx].predicate, bp);
-        }
-    }
+fn run_indexed(plan: &IndexedPlan, db: &Instance, indexes: &PlanIndexes) -> BTreeSet<Vec<Term>> {
+    // Resolve each step's snapshot index once, so the recursion below does no
+    // hashing on the (predicate, columns) key per visited node.
+    let step_indexes: Vec<Option<&Arc<crate::index::JoinIndex>>> = plan
+        .order
+        .iter()
+        .enumerate()
+        .map(|(step, &atom_idx)| {
+            let bp = &plan.bound_positions[step];
+            if bp.len() > 1 {
+                indexes.get(&(plan.query.body[atom_idx].predicate, bp.clone()))
+            } else {
+                None
+            }
+        })
+        .collect();
     let mut answers = BTreeSet::new();
     let mut state = Substitution::new();
-    indexed_step(plan, db, cache, 0, &mut state, &mut answers);
+    indexed_step(plan, db, &step_indexes, 0, &mut state, &mut answers);
     answers
 }
 
 fn indexed_step(
     plan: &IndexedPlan,
     db: &Instance,
-    cache: &IndexCache,
+    step_indexes: &[Option<&Arc<crate::index::JoinIndex>>],
     depth: usize,
     state: &mut Substitution,
     answers: &mut BTreeSet<Vec<Term>>,
@@ -345,7 +403,7 @@ fn indexed_step(
             let mut extended = state.clone();
             if extended.match_atom(atom, &target) {
                 std::mem::swap(state, &mut extended);
-                indexed_step(plan, db, cache, depth + 1, state, answers);
+                indexed_step(plan, db, step_indexes, depth + 1, state, answers);
                 std::mem::swap(state, &mut extended);
             }
         };
@@ -374,7 +432,7 @@ fn indexed_step(
         }
         return;
     }
-    match cache.get(atom.predicate, bp) {
+    match step_indexes[depth] {
         Some(index) => {
             for &row in index.rows(&key) {
                 let tuple = rel.row(row).expect("indexed row exists").to_vec();
@@ -390,7 +448,7 @@ fn indexed_step(
 }
 
 /// Fallback candidate enumeration through the storage layer's single-column
-/// indexes (used only if a cached multi-column index is unavailable).
+/// indexes (used only if a snapshot multi-column index is unavailable).
 fn scan_candidates(
     rel: &Relation,
     atom: &sac_common::Atom,
@@ -411,7 +469,8 @@ fn scan_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::database::EngineConfig;
+    use crate::index::IndexCache;
     use crate::plan::plan_query;
     use sac_common::{atom, intern, Atom};
     use sac_query::{evaluate, ConjunctiveQuery};
@@ -419,7 +478,8 @@ mod tests {
     fn run(q: &ConjunctiveQuery, db: &Instance) -> BTreeSet<Vec<Term>> {
         let plan = plan_query(q, &[], db, &EngineConfig::default());
         let mut cache = IndexCache::new(db);
-        execute(&plan, db, &mut cache)
+        let snapshot = cache.snapshot(db, &required_indexes(&plan));
+        execute_with(&plan, db, &snapshot)
     }
 
     fn music_db() -> Instance {
@@ -478,6 +538,33 @@ mod tests {
         assert_eq!(res, evaluate(&q, &db));
         assert_eq!(res.len(), 1);
         assert!(res.contains(&vec![Term::constant("kind_of_blue")]));
+    }
+
+    #[test]
+    fn execution_degrades_to_scans_without_a_snapshot() {
+        // Force the no-snapshot path: execute plans against an empty
+        // PlanIndexes map and check answers are still exact.
+        let db = music_db();
+        for q in [
+            ConjunctiveQuery::new(
+                vec![intern("y")],
+                vec![
+                    atom!("Owns", cst "alice", var "y"),
+                    atom!("Class", var "y", cst "jazz"),
+                ],
+            )
+            .unwrap(),
+            ConjunctiveQuery::boolean(vec![
+                atom!("Interest", var "x", var "z"),
+                atom!("Class", var "y", var "z"),
+                atom!("Owns", var "x", var "y"),
+            ])
+            .unwrap(),
+        ] {
+            let plan = plan_query(&q, &[], &db, &EngineConfig::default());
+            let empty = PlanIndexes::new();
+            assert_eq!(execute_with(&plan, &db, &empty), evaluate(&q, &db));
+        }
     }
 
     #[test]

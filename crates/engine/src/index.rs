@@ -8,15 +8,22 @@
 //!
 //! Staleness is tracked with the instance's mutation [`Instance::epoch`]:
 //! the cache remembers the epoch it was built against, and
-//! [`IndexCache::note_insert`] lets the owner (the [`crate::Engine`], which
+//! [`IndexCache::note_insert`] lets the owner (the [`crate::Database`], which
 //! routes every mutation) advance the epoch while dropping only the indexes
 //! of the one predicate that actually changed.  If the cache ever observes an
 //! epoch it was not told about, it clears itself entirely — correctness never
 //! depends on the owner's diligence.
+//!
+//! Indexes are stored behind [`Arc`] so the concurrent [`crate::Database`]
+//! can hand an executing query a cheap `PlanIndexes` snapshot of exactly
+//! the indexes its plan needs: the executor then runs without touching the
+//! cache (no lock held), while later invalidations simply drop the cache's
+//! `Arc`s and leave in-flight snapshots intact.
 
 use sac_common::{Symbol, Term};
 use sac_storage::Instance;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A hash index over the projection of one relation onto a set of columns:
 /// key tuple → row ids sharing it.
@@ -43,11 +50,15 @@ impl JoinIndex {
     }
 }
 
+/// The indexes one plan execution works from: an immutable snapshot taken
+/// from the [`IndexCache`] right before the run, keyed like the cache.
+pub(crate) type PlanIndexes = HashMap<(Symbol, Vec<usize>), Arc<JoinIndex>>;
+
 /// An epoch-validated cache of [`JoinIndex`]es for one instance.
 #[derive(Debug, Default)]
 pub struct IndexCache {
     epoch: u64,
-    indexes: HashMap<(Symbol, Vec<usize>), JoinIndex>,
+    indexes: HashMap<(Symbol, Vec<usize>), Arc<JoinIndex>>,
     built: usize,
 }
 
@@ -74,6 +85,11 @@ impl IndexCache {
     /// Total number of indexes built over the cache's lifetime (cache misses).
     pub fn built(&self) -> usize {
         self.built
+    }
+
+    /// Resets the lifetime build counter (the cached indexes stay).
+    pub fn reset_built(&mut self) {
+        self.built = 0;
     }
 
     /// Records that `db` gained one new atom for `predicate` (an
@@ -112,7 +128,7 @@ impl IndexCache {
                 map: rel.project_index(positions),
             };
             self.built += 1;
-            self.indexes.insert(key, index);
+            self.indexes.insert(key, Arc::new(index));
         }
         true
     }
@@ -120,7 +136,30 @@ impl IndexCache {
     /// The cached index for `(predicate, positions)`, if [`IndexCache::ensure`]
     /// built one.
     pub fn get(&self, predicate: Symbol, positions: &[usize]) -> Option<&JoinIndex> {
-        self.indexes.get(&(predicate, positions.to_vec()))
+        self.indexes
+            .get(&(predicate, positions.to_vec()))
+            .map(|arc| &**arc)
+    }
+
+    /// Ensures every index in `needed` and returns an immutable
+    /// [`PlanIndexes`] snapshot over them.  Entries that cannot be built
+    /// (missing relation, out-of-range positions) are simply absent — the
+    /// executor falls back to scans for those.
+    pub(crate) fn snapshot(
+        &mut self,
+        db: &Instance,
+        needed: &[(Symbol, Vec<usize>)],
+    ) -> PlanIndexes {
+        let mut out = PlanIndexes::with_capacity(needed.len());
+        for (predicate, positions) in needed {
+            if self.ensure(db, *predicate, positions) {
+                let key = (*predicate, positions.clone());
+                if let Some(arc) = self.indexes.get(&key) {
+                    out.insert(key, Arc::clone(arc));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -206,5 +245,34 @@ mod tests {
             idx.rows(&[Term::constant("a"), Term::constant("c")]).len(),
             1
         );
+    }
+
+    #[test]
+    fn snapshots_survive_invalidation() {
+        let mut db = db();
+        let mut cache = IndexCache::new(&db);
+        let needed = vec![(intern("R"), vec![0usize, 1]), (intern("Missing"), vec![0])];
+        let snapshot = cache.snapshot(&db, &needed);
+        assert_eq!(snapshot.len(), 1, "unbuildable entries are absent");
+        // Invalidate the cache: the snapshot's Arc keeps the index alive.
+        assert!(db.insert(atom!("R", cst "z", cst "z")).unwrap());
+        cache.note_insert(&db, intern("R"));
+        assert!(cache.get(intern("R"), &[0, 1]).is_none());
+        let idx = &snapshot[&(intern("R"), vec![0, 1])];
+        assert_eq!(
+            idx.rows(&[Term::constant("a"), Term::constant("b")]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn built_counter_resets_independently_of_contents() {
+        let db = db();
+        let mut cache = IndexCache::new(&db);
+        cache.ensure(&db, intern("R"), &[0]);
+        assert_eq!(cache.built(), 1);
+        cache.reset_built();
+        assert_eq!(cache.built(), 0);
+        assert_eq!(cache.len(), 1, "indexes stay cached");
     }
 }

@@ -5,10 +5,14 @@
 //! layer for heavy multi-query traffic.
 //!
 //! Everything else in the workspace answers one question about one query;
-//! this crate is a **session**: an [`Engine`] owns a database, compiles each
-//! incoming [`ConjunctiveQuery`](sac_query::ConjunctiveQuery) into a physical
-//! [`Plan`], caches the plan by query fingerprint, and executes it over
-//! lazily built, epoch-invalidated hash indexes.
+//! this crate is a **service**: a [`Database`] owns an instance, compiles
+//! each incoming [`ConjunctiveQuery`](sac_query::ConjunctiveQuery) (or query
+//! text) into a physical [`Plan`], caches the plan by query fingerprint, and
+//! executes it over lazily built, epoch-invalidated hash indexes.  The
+//! session is `Send + Sync` and serves every request through `&self`, so
+//! many threads can query one shared database concurrently; failures from
+//! every layer fold into the single [`SacError`] type, and answers come back
+//! as typed [`ResultSet`]s with named columns.
 //!
 //! ## The strategy lattice
 //!
@@ -29,36 +33,48 @@
 //! The point of the session structure is amortization: deciding semantic
 //! acyclicity is expensive in the query, but its cost is paid **once per
 //! distinct query shape**, after which every run is a linear-time indexed
-//! Yannakakis pass.  [`Engine::run_batch`] plus [`EngineMetrics`] make the
+//! Yannakakis pass.  [`PreparedQuery`] handles pin that amortized plan for
+//! repeated execution from any thread, and [`EngineMetrics`] makes the
 //! amortization observable (plan-cache hit rate, per-strategy counts,
 //! indexes built).
 //!
 //! ```
-//! use sac_engine::{Engine, Strategy};
-//! use sac_query::evaluate;
+//! use sac_engine::{Database, Strategy};
 //!
 //! // A database closed under Example 1's collector tgd, and the paper's
-//! // cyclic triangle query.
-//! let db = sac_gen::music_database(50, 100, 5);
-//! let q = sac_gen::example1_triangle();
+//! // cyclic triangle query, prepared once and served from two threads.
+//! let db = Database::from_instance(sac_gen::music_database(50, 100, 5))
+//!     .with_tgds(vec![sac_gen::collector_tgd()]);
+//! let q = db.prepare(sac_gen::example1_triangle()).unwrap();
 //!
-//! let mut engine = Engine::new(db.clone()).with_tgds(vec![sac_gen::collector_tgd()]);
-//! // The planner reformulates the cyclic triangle into an acyclic witness…
-//! assert_eq!(engine.explain(&q).strategy, Strategy::YannakakisWitness);
-//! // …and the indexed Yannakakis run returns exactly the naive answers.
-//! assert_eq!(engine.run(&q), evaluate(&q, &db));
-//! // Both the run and a repeat reuse the plan cached by `explain`: the
-//! // witness search ran exactly once.
-//! engine.run(&q);
-//! assert_eq!(engine.metrics().plans_built, 1);
-//! assert_eq!(engine.metrics().plan_cache_hits, 2);
+//! // The planner reformulated the cyclic triangle into an acyclic witness…
+//! assert_eq!(q.strategy(), Strategy::YannakakisWitness);
+//! // …and every thread executes the same cached plan through `&self`.
+//! let expected = q.execute();
+//! std::thread::scope(|scope| {
+//!     for _ in 0..2 {
+//!         scope.spawn(|| assert_eq!(q.execute(), expected));
+//!     }
+//! });
+//! // The witness search ran exactly once, at prepare time.
+//! assert_eq!(db.metrics().plans_built, 1);
 //! ```
+//!
+//! The legacy single-owner [`Engine`] survives as a deprecated shim over
+//! [`Database`]; see [`engine`] for the migration table.
 
+pub mod database;
 pub mod engine;
+mod error;
 mod exec;
 pub mod index;
 pub mod plan;
+mod result;
 
-pub use engine::{Engine, EngineConfig, EngineMetrics};
+pub use database::{Database, EngineConfig, EngineMetrics, PreparedQuery, QuerySource};
+#[allow(deprecated)]
+pub use engine::Engine;
+pub use error::{SacError, SacResult};
 pub use index::{IndexCache, JoinIndex};
 pub use plan::{Explain, Plan, Strategy};
+pub use result::{ResultSet, Row};

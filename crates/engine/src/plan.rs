@@ -20,7 +20,7 @@
 //!
 //! Every plan carries an [`Explain`] describing which rung was taken and why.
 
-use crate::engine::EngineConfig;
+use crate::database::EngineConfig;
 use sac_acyclic::{join_tree_of_atoms, JoinTree};
 use sac_common::{Atom, Symbol, Term};
 use sac_core::{
@@ -31,6 +31,7 @@ use sac_query::ConjunctiveQuery;
 use sac_storage::Instance;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Which execution strategy a plan uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -146,6 +147,9 @@ pub(crate) enum ExecPlan {
 pub struct Plan {
     pub(crate) exec: ExecPlan,
     pub(crate) explain: Explain,
+    /// Result column names, resolved once from the *input* query's head at
+    /// plan time so runs on a cached plan allocate nothing for them.
+    pub(crate) columns: Arc<[String]>,
 }
 
 impl Plan {
@@ -158,6 +162,23 @@ impl Plan {
     pub fn explain(&self) -> &Explain {
         &self.explain
     }
+
+    /// The result columns every execution produces (the input query's head
+    /// variables, repeats preserved).
+    pub fn columns(&self) -> &Arc<[String]> {
+        &self.columns
+    }
+}
+
+/// The result column names of `query`: its head variables, resolved to
+/// strings, repeats preserved.
+pub(crate) fn head_columns(query: &ConjunctiveQuery) -> Arc<[String]> {
+    query
+        .head
+        .iter()
+        .map(|v| v.as_str())
+        .collect::<Vec<String>>()
+        .into()
 }
 
 /// Why the planner chose what it chose — the inspectable side of a [`Plan`].
@@ -202,8 +223,18 @@ pub(crate) fn plan_query(
     db: &Instance,
     config: &EngineConfig,
 ) -> Plan {
+    // Result column names always follow the *input* head (a verified witness
+    // has the same head tuple, or it would not be answer-equivalent).
+    let columns = head_columns(query);
     let input_acyclic = if let Some(tree) = join_tree_of_atoms(&query.body) {
-        return yannakakis_plan(query.clone(), tree, Strategy::YannakakisDirect, None, db);
+        return yannakakis_plan(
+            query.clone(),
+            tree,
+            Strategy::YannakakisDirect,
+            None,
+            db,
+            columns,
+        );
     } else {
         false
     };
@@ -223,12 +254,19 @@ pub(crate) fn plan_query(
         };
         if let Some(w) = witness {
             if let Some(tree) = join_tree_of_atoms(&w.body) {
-                return yannakakis_plan(w.clone(), tree, Strategy::YannakakisWitness, Some(w), db);
+                return yannakakis_plan(
+                    w.clone(),
+                    tree,
+                    Strategy::YannakakisWitness,
+                    Some(w),
+                    db,
+                    columns,
+                );
             }
         }
     }
 
-    indexed_plan(query, db, input_acyclic)
+    indexed_plan(query, db, input_acyclic, columns)
 }
 
 fn yannakakis_plan(
@@ -237,6 +275,7 @@ fn yannakakis_plan(
     strategy: Strategy,
     witness: Option<ConjunctiveQuery>,
     db: &Instance,
+    columns: Arc<[String]>,
 ) -> Plan {
     let n = tree.len();
     let children: Vec<Vec<usize>> = (0..n).map(|i| tree.children(i)).collect();
@@ -305,6 +344,7 @@ fn yannakakis_plan(
             carry,
         }),
         explain,
+        columns,
     }
 }
 
@@ -327,7 +367,12 @@ fn preorder(tree: &JoinTree, children: &[Vec<usize>]) -> Vec<usize> {
 /// pick the unplanned atom with the smallest estimated candidate count given
 /// the variables bound so far (relation cardinality divided by the distinct
 /// count of every bound column), tie-breaking towards more bound positions.
-fn indexed_plan(query: &ConjunctiveQuery, db: &Instance, input_acyclic: bool) -> Plan {
+fn indexed_plan(
+    query: &ConjunctiveQuery,
+    db: &Instance,
+    input_acyclic: bool,
+    columns: Arc<[String]>,
+) -> Plan {
     let n = query.body.len();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut bound_vars: BTreeSet<Symbol> = BTreeSet::new();
@@ -399,13 +444,14 @@ fn indexed_plan(query: &ConjunctiveQuery, db: &Instance, input_acyclic: bool) ->
             bound_positions,
         }),
         explain,
+        columns,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::database::EngineConfig;
     use sac_common::{atom, intern};
 
     fn config() -> EngineConfig {

@@ -1,0 +1,266 @@
+//! Typed query results: [`ResultSet`] and [`Row`].
+//!
+//! The engine's internal answer representation is a `BTreeSet<Vec<Term>>` —
+//! precise, but positional and leaky.  [`ResultSet`] is the service-facing
+//! shape: it remembers the query head's **column names**, supports iteration
+//! and by-name access, and still converts back to the raw tuple set for
+//! interop with the rest of the workspace (`into_tuples`).
+//!
+//! Rows are stored in the sorted order the underlying `BTreeSet` produced,
+//! so iteration order is deterministic across runs and threads.
+
+use sac_common::Term;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Index;
+use std::sync::Arc;
+
+/// One answer tuple, with access by position or by column name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    columns: Arc<[String]>,
+    values: Vec<Term>,
+}
+
+impl Row {
+    /// The answer's terms, in head order.
+    pub fn values(&self) -> &[Term] {
+        &self.values
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the row has no columns (the Boolean "yes" tuple).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The term at position `index`, if in range.
+    pub fn get(&self, index: usize) -> Option<Term> {
+        self.values.get(index).copied()
+    }
+
+    /// The term under column `name` (the first matching column, if the head
+    /// repeats a variable).
+    pub fn get_named(&self, name: &str) -> Option<Term> {
+        let pos = self.columns.iter().position(|c| c == name)?;
+        self.values.get(pos).copied()
+    }
+
+    /// The column names, aligned with [`Row::values`].
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Term;
+
+    fn index(&self, index: usize) -> &Term {
+        &self.values[index]
+    }
+}
+
+impl Index<&str> for Row {
+    type Output = Term;
+
+    /// Panics when no column carries `name`; use [`Row::get_named`] for the
+    /// fallible variant.
+    fn index(&self, name: &str) -> &Term {
+        let pos = self
+            .columns
+            .iter()
+            .position(|c| c == name)
+            .unwrap_or_else(|| panic!("no column named `{name}`"));
+        &self.values[pos]
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The materialized answer set of one query run: named columns (from the
+/// query head, possibly with repetitions) over deterministically ordered
+/// rows.
+///
+/// For a Boolean query the column list is empty and the set holds either the
+/// single empty row (`true`) or nothing (`false`) — [`ResultSet::is_true`]
+/// reads that directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultSet {
+    columns: Arc<[String]>,
+    rows: Vec<Row>,
+}
+
+impl ResultSet {
+    /// Assembles a result set from the engine's raw answer tuples.  Tuples
+    /// must be in the head order described by `columns`.
+    pub(crate) fn from_tuples(columns: Arc<[String]>, tuples: BTreeSet<Vec<Term>>) -> ResultSet {
+        let rows = tuples
+            .into_iter()
+            .map(|values| Row {
+                columns: Arc::clone(&columns),
+                values,
+            })
+            .collect();
+        ResultSet { columns, rows }
+    }
+
+    /// The column names, one per head variable (repeats preserved).
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Number of answer rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the answer set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The Boolean reading: whether at least one answer exists.
+    pub fn is_true(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// The rows, in deterministic (sorted) order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// Whether `tuple` is one of the answers.
+    pub fn contains(&self, tuple: &[Term]) -> bool {
+        self.rows.iter().any(|r| r.values() == tuple)
+    }
+
+    /// Converts back to the workspace's raw representation (what
+    /// `sac_query::evaluate` returns), for interop and testing.
+    pub fn into_tuples(self) -> BTreeSet<Vec<Term>> {
+        self.rows.into_iter().map(|r| r.values).collect()
+    }
+
+    /// Borrows the answers as raw tuples, in deterministic order.
+    pub fn tuples(&self) -> impl Iterator<Item = &[Term]> + '_ {
+        self.rows.iter().map(|r| r.values())
+    }
+}
+
+impl<'a> IntoIterator for &'a ResultSet {
+    type Item = &'a Row;
+    type IntoIter = std::slice::Iter<'a, Row>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+impl IntoIterator for ResultSet {
+    type Item = Row;
+    type IntoIter = std::vec::IntoIter<Row>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.columns.is_empty() {
+            return write!(f, "{}", self.is_true());
+        }
+        write!(f, "[{}]", self.columns.join(", "))?;
+        for row in &self.rows {
+            write!(f, " {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultSet {
+        let columns: Arc<[String]> = vec!["X".to_owned(), "Y".to_owned()].into();
+        let tuples: BTreeSet<Vec<Term>> = [
+            vec![Term::constant("a"), Term::constant("b")],
+            vec![Term::constant("a"), Term::constant("c")],
+        ]
+        .into_iter()
+        .collect();
+        ResultSet::from_tuples(columns, tuples)
+    }
+
+    #[test]
+    fn named_and_positional_access_agree() {
+        let rs = sample();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.columns(), &["X".to_owned(), "Y".to_owned()]);
+        // Row order follows symbol interning order; find the (a, b) row by
+        // content instead of assuming a position.
+        let row = rs
+            .iter()
+            .find(|r| r.get(1) == Some(Term::constant("b")))
+            .expect("the (a, b) row exists");
+        assert_eq!(row.get(0), Some(Term::constant("a")));
+        assert_eq!(row.get_named("Y"), Some(Term::constant("b")));
+        assert_eq!(row["X"], Term::constant("a"));
+        assert_eq!(row[1], Term::constant("b"));
+        assert_eq!(row.get_named("Z"), None);
+        assert_eq!(row.get(5), None);
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_deterministic_and_round_trips() {
+        let rs = sample();
+        let tuples: Vec<&[Term]> = rs.tuples().collect();
+        assert!(tuples[0] < tuples[1], "rows keep the sorted tuple order");
+        let back = rs.clone().into_tuples();
+        assert_eq!(back.len(), 2);
+        assert!(rs.contains(&[Term::constant("a"), Term::constant("c")]));
+        assert!(!rs.contains(&[Term::constant("b"), Term::constant("b")]));
+        let collected: Vec<_> = (&rs).into_iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn boolean_shapes_read_as_truth_values() {
+        let yes = ResultSet::from_tuples(Arc::from(Vec::new()), BTreeSet::from([Vec::new()]));
+        assert!(yes.is_true());
+        assert_eq!(yes.len(), 1);
+        assert!(yes.rows()[0].is_empty());
+        assert_eq!(format!("{yes}"), "true");
+        let no = ResultSet::from_tuples(Arc::from(Vec::new()), BTreeSet::new());
+        assert!(!no.is_true());
+        assert_eq!(format!("{no}"), "false");
+    }
+
+    #[test]
+    fn display_lists_columns_then_rows() {
+        let text = format!("{}", sample());
+        assert!(text.starts_with("[X, Y]"));
+        assert!(text.contains("(a, b)"));
+    }
+}

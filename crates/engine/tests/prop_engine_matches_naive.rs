@@ -1,11 +1,11 @@
-//! Property tests: the engine is answer-for-answer identical to naive
+//! Property tests: the database is answer-for-answer identical to naive
 //! homomorphism enumeration on random query/database pairs from `sac-gen`,
 //! across every strategy the planner can pick, and stays identical as the
-//! database mutates underneath the caches.
+//! instance mutates underneath the caches.
 
 use proptest::prelude::*;
 use sac_common::{intern, Atom, Term};
-use sac_engine::Engine;
+use sac_engine::Database;
 use sac_query::{evaluate, ConjunctiveQuery};
 
 /// The generated query families, over the `E` graph schema of
@@ -38,7 +38,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn engine_matches_naive_evaluation(
+    fn database_matches_naive_evaluation(
         kind in 0usize..6,
         size in 1usize..5,
         nodes in 2usize..10,
@@ -46,9 +46,9 @@ proptest! {
         seed in 0u64..10_000,
     ) {
         let q = query_for(kind, size);
-        let db = sac_gen::random_graph_database(nodes, edges, seed);
-        let mut engine = Engine::new(db.clone());
-        prop_assert_eq!(engine.run(&q), evaluate(&q, &db));
+        let reference = sac_gen::random_graph_database(nodes, edges, seed);
+        let db = Database::from_instance(reference.clone());
+        prop_assert_eq!(db.run(&q).into_tuples(), evaluate(&q, &reference));
     }
 
     #[test]
@@ -59,16 +59,16 @@ proptest! {
         extra_src in 0usize..8,
         extra_dst in 0usize..8,
     ) {
-        let db = sac_gen::random_graph_database(nodes, edges, seed);
+        let start = sac_gen::random_graph_database(nodes, edges, seed);
         let workload = [
             sac_gen::path_query(2),
             sac_gen::cycle_query(3),
             sac_gen::star_query(2),
         ];
-        let mut engine = Engine::new(db.clone());
+        let db = Database::from_instance(start.clone());
         // First pass: plans and indexes warm up.
-        engine.run_batch(&workload);
-        // Mutate the database through the engine (precise invalidation)…
+        db.run_batch(&workload);
+        // Mutate the database through the session (precise invalidation)…
         let extra = Atom::from_parts(
             "E",
             vec![
@@ -76,24 +76,23 @@ proptest! {
                 Term::constant(&format!("n{extra_dst}")),
             ],
         );
-        let mut reference = db;
+        let mut reference = start;
         reference.insert(extra.clone()).unwrap();
-        engine.insert(extra).unwrap();
+        db.insert(extra).unwrap();
         // …then every cached plan must see the new fact.
         for q in &workload {
-            prop_assert_eq!(engine.run(q), evaluate(q, &reference));
+            prop_assert_eq!(db.run(q).into_tuples(), evaluate(q, &reference));
         }
     }
 }
 
-/// The deterministic end of the satellite requirement: the engine equals
-/// naive evaluation on the full generated family sweep (not just sampled
-/// cases), including the semantically-acyclic Example 1 workload under its
-/// constraint.
+/// The deterministic end of the sweep: the database equals naive evaluation
+/// on the full generated family sweep (not just sampled cases), including
+/// the semantically-acyclic Example 1 workload under its constraint.
 #[test]
 fn full_generated_family_sweep_matches_naive() {
-    let db = sac_gen::random_graph_database(14, 60, 42);
-    let mut engine = Engine::new(db.clone());
+    let reference = sac_gen::random_graph_database(14, 60, 42);
+    let db = Database::from_instance(reference.clone());
     let mut checked = 0;
     for n in 1..=4 {
         for q in [
@@ -102,14 +101,20 @@ fn full_generated_family_sweep_matches_naive() {
             sac_gen::cycle_query(n.max(2)),
             sac_gen::example2_query(n),
         ] {
-            assert_eq!(engine.run(&q), evaluate(&q, &db), "disagreement on {q}");
+            assert_eq!(
+                db.run(&q).into_tuples(),
+                evaluate(&q, &reference),
+                "disagreement on {q}"
+            );
             checked += 1;
         }
     }
     assert!(checked >= 16);
 
     let music = sac_gen::music_database(40, 80, 5);
-    let q = sac_gen::example1_triangle();
-    let mut engine = Engine::new(music.clone()).with_tgds(vec![sac_gen::collector_tgd()]);
-    assert_eq!(engine.run(&q), evaluate(&q, &music));
+    let db = Database::from_instance(music.clone()).with_tgds(vec![sac_gen::collector_tgd()]);
+    assert_eq!(
+        db.run(&sac_gen::example1_triangle()).into_tuples(),
+        evaluate(&sac_gen::example1_triangle(), &music)
+    );
 }

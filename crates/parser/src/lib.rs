@@ -17,6 +17,22 @@
 //! fact   :=  atom .                                     (all-constant atom)
 //! ```
 //!
+//! The tokenizer and raw statement grammar live in [`sac_common::syntax`],
+//! which also powers the `FromStr` impls on [`ConjunctiveQuery`],
+//! [`Tgd`], [`Egd`] and [`Instance`] — single statements parse with plain
+//! `str::parse`, while this crate assembles whole programs:
+//!
+//! ```
+//! use sac_query::ConjunctiveQuery;
+//! let q: ConjunctiveQuery = "q(X) :- R(X, Y).".parse().unwrap();
+//! assert_eq!(q.size(), 1);
+//! ```
+//!
+//! [`ConjunctiveQuery`]: sac_query::ConjunctiveQuery
+//! [`Tgd`]: sac_deps::Tgd
+//! [`Egd`]: sac_deps::Egd
+//! [`Instance`]: sac_storage::Instance
+//!
 //! ```
 //! use sac_parser::{parse_query, parse_tgd, parse_database};
 //! let q = parse_query("q(X, Y) :- Interest(X, Z), Class(Y, Z), Owns(X, Y).").unwrap();
@@ -27,7 +43,6 @@
 //! assert_eq!(db.len(), 2);
 //! ```
 
-mod lexer;
 mod parse;
 
 pub use parse::{parse_database, parse_egd, parse_program, parse_query, parse_tgd, Program};

@@ -1,7 +1,12 @@
-//! Recursive-descent parser for queries, dependencies and databases.
+//! Semantic assembly of parsed programs.
+//!
+//! The tokenizer and the raw statement grammar live in
+//! [`sac_common::syntax`]; this module applies the semantic rules of each
+//! statement kind (variables-only query heads, ground facts, dependency
+//! well-formedness) and collects the results into a [`Program`].
 
-use crate::lexer::{tokenize, Token};
-use sac_common::{intern, Atom, Error, Result, Term};
+use sac_common::syntax::{parse_statements_located, RawStatement};
+use sac_common::{Error, Result};
 use sac_deps::{Egd, Tgd};
 use sac_query::ConjunctiveQuery;
 use sac_storage::Instance;
@@ -19,214 +24,89 @@ pub struct Program {
     pub database: Instance,
 }
 
-struct Parser {
-    tokens: Vec<(Token, usize)>,
-    pos: usize,
-}
-
-impl Parser {
-    fn new(input: &str) -> Result<Parser> {
-        Ok(Parser {
-            tokens: tokenize(input)?,
-            pos: 0,
-        })
-    }
-
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos).map(|(t, _)| t)
-    }
-
-    fn offset(&self) -> usize {
-        self.tokens
-            .get(self.pos)
-            .or_else(|| self.tokens.last())
-            .map(|(_, o)| *o)
-            .unwrap_or(0)
-    }
-
-    fn error(&self, message: &str) -> Error {
-        Error::Parse {
-            message: message.to_owned(),
-            offset: self.offset(),
-        }
-    }
-
-    fn eat(&mut self, expected: &Token) -> Result<()> {
-        if self.peek() == Some(expected) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected {expected:?}")))
-        }
-    }
-
-    fn ident(&mut self) -> Result<String> {
-        match self.peek().cloned() {
-            Some(Token::Ident(s)) => {
-                self.pos += 1;
-                Ok(s)
+impl Program {
+    /// Adds one raw statement, delegating the semantic validation to the
+    /// same `TryFrom<RawStatement>` conversions that power the `FromStr`
+    /// impls — the program parser and `str::parse` can never diverge.
+    fn push(&mut self, statement: RawStatement) -> Result<()> {
+        match statement {
+            rule @ RawStatement::Rule { .. } => {
+                self.queries.push(ConjunctiveQuery::try_from(rule)?);
             }
-            _ => Err(self.error("expected an identifier")),
-        }
-    }
-
-    fn term_of(name: &str) -> Term {
-        let first = name.chars().next().unwrap_or('a');
-        if first.is_uppercase() || first == '_' {
-            Term::Variable(intern(name))
-        } else {
-            Term::Constant(intern(name))
-        }
-    }
-
-    /// Parses `Pred(arg, …, arg)`; the argument list may be empty.
-    fn atom(&mut self) -> Result<Atom> {
-        let predicate = self.ident()?;
-        self.eat(&Token::LParen)?;
-        let mut args = Vec::new();
-        if self.peek() != Some(&Token::RParen) {
-            loop {
-                let name = self.ident()?;
-                args.push(Self::term_of(&name));
-                if self.peek() == Some(&Token::Comma) {
-                    self.pos += 1;
-                } else {
-                    break;
+            tgd @ RawStatement::Tgd { .. } => {
+                self.tgds.push(Tgd::try_from(tgd)?);
+            }
+            egd @ RawStatement::Egd { .. } => {
+                self.egds.push(Egd::try_from(egd)?);
+            }
+            RawStatement::Fact(atom) => {
+                if !atom.is_ground() {
+                    return Err(Error::Malformed(format!(
+                        "facts must be ground (constants only), found `{atom}`"
+                    )));
                 }
+                self.database
+                    .insert(atom)
+                    .map_err(|e| Error::Malformed(format!("invalid fact: {e}")))?;
             }
         }
-        self.eat(&Token::RParen)?;
-        Ok(Atom::from_parts(&predicate, args))
-    }
-
-    fn atom_list(&mut self) -> Result<Vec<Atom>> {
-        let mut atoms = vec![self.atom()?];
-        while self.peek() == Some(&Token::Comma) {
-            self.pos += 1;
-            atoms.push(self.atom()?);
-        }
-        Ok(atoms)
-    }
-
-    /// Parses one statement ending with `.`.
-    fn statement(&mut self, program: &mut Program) -> Result<()> {
-        // Look ahead: a query starts with `name(args) :-`.
-        let start = self.pos;
-        let first_atom = self.atom()?;
-        match self.peek() {
-            Some(Token::ColonDash) => {
-                // Query: head variables come from the pseudo-atom.
-                self.pos += 1;
-                let head: Result<Vec<_>> = first_atom
-                    .args
-                    .iter()
-                    .map(|t| {
-                        t.as_variable()
-                            .ok_or_else(|| self.error("query heads may only contain variables"))
-                    })
-                    .collect();
-                let body = self.atom_list()?;
-                self.eat(&Token::Dot)?;
-                let query = ConjunctiveQuery::new(head?, body)
-                    .map_err(|e| self.error(&format!("invalid query: {e}")))?
-                    .named(&first_atom.predicate.as_str());
-                program.queries.push(query);
-                Ok(())
-            }
-            Some(Token::Dot) => {
-                // Ground fact.
-                self.pos += 1;
-                if !first_atom.is_ground() {
-                    return Err(self.error("facts must be ground (constants only)"));
-                }
-                program
-                    .database
-                    .insert(first_atom)
-                    .map_err(|e| self.error(&format!("invalid fact: {e}")))?;
-                Ok(())
-            }
-            Some(Token::Comma) | Some(Token::Arrow) => {
-                // Dependency: re-parse the body from `start`.
-                self.pos = start;
-                let body = self.atom_list()?;
-                self.eat(&Token::Arrow)?;
-                // Egd if the right-hand side is `V = W`.
-                let rhs_start = self.pos;
-                if let Ok(left_name) = self.ident() {
-                    if self.peek() == Some(&Token::Equals) {
-                        self.pos += 1;
-                        let right_name = self.ident()?;
-                        self.eat(&Token::Dot)?;
-                        let left = Self::term_of(&left_name)
-                            .as_variable()
-                            .ok_or_else(|| self.error("egd equates variables"))?;
-                        let right = Self::term_of(&right_name)
-                            .as_variable()
-                            .ok_or_else(|| self.error("egd equates variables"))?;
-                        let egd = Egd::new(body, left, right)
-                            .map_err(|e| self.error(&format!("invalid egd: {e}")))?;
-                        program.egds.push(egd);
-                        return Ok(());
-                    }
-                }
-                self.pos = rhs_start;
-                let head = self.atom_list()?;
-                self.eat(&Token::Dot)?;
-                let tgd =
-                    Tgd::new(body, head).map_err(|e| self.error(&format!("invalid tgd: {e}")))?;
-                program.tgds.push(tgd);
-                Ok(())
-            }
-            _ => Err(self.error("expected `.`, `:-`, `,` or `->`")),
-        }
-    }
-
-    fn program(&mut self) -> Result<Program> {
-        let mut program = Program::default();
-        while self.peek().is_some() {
-            self.statement(&mut program)?;
-        }
-        Ok(program)
+        Ok(())
     }
 }
 
 /// Parses a whole program (queries, dependencies and facts in any order).
+/// Semantic failures (constant query heads, non-ground facts, malformed
+/// dependencies) are reported as positioned parse errors at the offending
+/// statement.
 pub fn parse_program(input: &str) -> Result<Program> {
-    Parser::new(input)?.program()
+    let mut program = Program::default();
+    for (statement, offset) in parse_statements_located(input)? {
+        program
+            .push(statement)
+            .map_err(|e| Error::parse_at(e.to_string(), input, offset))?;
+    }
+    Ok(program)
 }
 
-/// Parses a single conjunctive query.
+/// Parses a single conjunctive query.  Equivalent to
+/// `input.parse::<ConjunctiveQuery>()` when the input holds exactly one
+/// statement.
 pub fn parse_query(input: &str) -> Result<ConjunctiveQuery> {
     let program = parse_program(input)?;
     program
         .queries
         .into_iter()
         .next()
-        .ok_or_else(|| Error::Parse {
-            message: "expected a query".into(),
-            offset: 0,
-        })
+        .ok_or_else(|| Error::parse_at("expected a query", input, 0))
 }
 
-/// Parses a single tgd.
+/// Parses a single tgd.  Equivalent to `input.parse::<Tgd>()` when the input
+/// holds exactly one statement.
 pub fn parse_tgd(input: &str) -> Result<Tgd> {
     let program = parse_program(input)?;
-    program.tgds.into_iter().next().ok_or_else(|| Error::Parse {
-        message: "expected a tgd".into(),
-        offset: 0,
-    })
+    program
+        .tgds
+        .into_iter()
+        .next()
+        .ok_or_else(|| Error::parse_at("expected a tgd", input, 0))
 }
 
-/// Parses a single egd.
+/// Parses a single egd.  Equivalent to `input.parse::<Egd>()` when the input
+/// holds exactly one statement.
 pub fn parse_egd(input: &str) -> Result<Egd> {
     let program = parse_program(input)?;
-    program.egds.into_iter().next().ok_or_else(|| Error::Parse {
-        message: "expected an egd".into(),
-        offset: 0,
-    })
+    program
+        .egds
+        .into_iter()
+        .next()
+        .ok_or_else(|| Error::parse_at("expected an egd", input, 0))
 }
 
-/// Parses a database (a list of ground facts).
+/// Parses a database (a list of ground facts).  Unlike
+/// `input.parse::<Instance>()`, valid non-fact statements (queries,
+/// dependencies) are parsed and discarded rather than rejected, so a full
+/// well-formed program can serve as a database source; statements that fail
+/// validation still error.
 pub fn parse_database(input: &str) -> Result<Instance> {
     Ok(parse_program(input)?.database)
 }
@@ -234,7 +114,7 @@ pub fn parse_database(input: &str) -> Result<Instance> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sac_common::atom;
+    use sac_common::{atom, intern};
 
     #[test]
     fn parses_example1_query() {
@@ -307,6 +187,28 @@ mod tests {
         assert!(parse_database("R(X).").is_err()); // non-ground fact
         assert!(parse_program("R(a) S(b).").is_err());
         assert!(parse_query("q(a) :- R(a).").is_err()); // constant in head
+
+        // Positions are line/column-accurate, not just byte offsets.
+        let err = parse_program("R(a).\nS(b) & T(c).").unwrap_err();
+        let sac_common::Error::Parse { line, column, .. } = err else {
+            panic!("expected a parse error, got {err:?}");
+        };
+        assert_eq!((line, column), (2, 6));
+
+        // Semantic failures point at the offending statement too.
+        let err = parse_program("R(a).\nq(a) :- R(a).").unwrap_err();
+        let sac_common::Error::Parse { line, message, .. } = err else {
+            panic!("expected a positioned error, got {err:?}");
+        };
+        assert_eq!(line, 2);
+        assert!(message.contains("variables"), "got {message}");
+    }
+
+    #[test]
+    fn parse_errors_are_std_errors_with_positions_in_the_message() {
+        let err = parse_program("q(X) :- R(X,").unwrap_err();
+        let dynamic: &dyn std::error::Error = &err;
+        assert!(dynamic.to_string().contains("line 1"));
     }
 
     #[test]

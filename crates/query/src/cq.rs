@@ -236,6 +236,47 @@ impl ConjunctiveQuery {
     }
 }
 
+/// Builds a query from a raw `head :- body.` statement (the semantic step
+/// shared by [`std::str::FromStr`] and `sac-parser`): head arguments must
+/// all be variables, and the head predicate becomes the display name.
+impl TryFrom<sac_common::RawStatement> for ConjunctiveQuery {
+    type Error = Error;
+
+    fn try_from(statement: sac_common::RawStatement) -> Result<ConjunctiveQuery> {
+        match statement {
+            sac_common::RawStatement::Rule { head, body } => {
+                let head_vars: Result<Vec<Symbol>> = head
+                    .args
+                    .iter()
+                    .map(|t| {
+                        t.as_variable().ok_or_else(|| {
+                            Error::Malformed(format!(
+                                "query heads may only contain variables, found `{t}`"
+                            ))
+                        })
+                    })
+                    .collect();
+                Ok(ConjunctiveQuery::new(head_vars?, body)?.named(&head.predicate.as_str()))
+            }
+            other => Err(Error::Malformed(format!(
+                "expected a query, found a {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// Parses the textual form `name(X, …) :- atom, …, atom.` (see
+/// [`sac_common::syntax`]), so `"q(X) :- R(X, Y).".parse::<ConjunctiveQuery>()`
+/// works anywhere without going through `sac-parser`.
+impl std::str::FromStr for ConjunctiveQuery {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<ConjunctiveQuery> {
+        sac_common::syntax::parse_statement(s)?.try_into()
+    }
+}
+
 impl fmt::Display for ConjunctiveQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = self.name.as_deref().unwrap_or("q");
@@ -261,6 +302,26 @@ impl fmt::Display for ConjunctiveQuery {
 mod tests {
     use super::*;
     use sac_common::{atom, intern};
+
+    #[test]
+    fn from_str_parses_and_names_queries() {
+        let q: ConjunctiveQuery = "q2(X, Y) :- Interest(X, Z), Class(Y, Z), Owns(X, Y)."
+            .parse()
+            .unwrap();
+        assert_eq!(q.size(), 3);
+        assert_eq!(q.head.len(), 2);
+        assert_eq!(q.name.as_deref(), Some("q2"));
+    }
+
+    #[test]
+    fn from_str_rejects_non_queries_and_constant_heads() {
+        assert!("R(a, b).".parse::<ConjunctiveQuery>().is_err());
+        assert!("R(X) -> S(X).".parse::<ConjunctiveQuery>().is_err());
+        assert!("q(a) :- R(a).".parse::<ConjunctiveQuery>().is_err());
+        assert!("q(X) :- R(X). q(Y) :- R(Y)."
+            .parse::<ConjunctiveQuery>()
+            .is_err());
+    }
 
     /// The cyclic triangle query of Example 1:
     /// `q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)`.

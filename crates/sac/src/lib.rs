@@ -6,15 +6,47 @@
 //! set of tgds or egds, and exploit the acyclic reformulation for
 //! guaranteed-tractable query evaluation.
 //!
-//! This facade crate re-exports the whole workspace under stable module
-//! names.  Quickstart (Example 1 of the paper):
+//! ## Quickstart: serving queries
+//!
+//! The service surface is [`Database`]: `Send + Sync`, every request through
+//! `&self`, text or typed queries, unified [`SacError`] failures, and typed
+//! [`ResultSet`] answers.
 //!
 //! ```
 //! use sac::prelude::*;
 //!
-//! // The cyclic triangle query and the "compulsive collector" constraint.
-//! let q = parse_query("q(X, Y) :- Interest(X, Z), Class(Y, Z), Owns(X, Y).").unwrap();
-//! let tgd = parse_tgd("Interest(X, Z), Class(Y, Z) -> Owns(X, Y).").unwrap();
+//! # fn main() -> Result<(), SacError> {
+//! let db = Database::from_facts("Parent(ann, bob). Parent(bob, cem).")?;
+//!
+//! // One call from text to typed results…
+//! let rows = db.query("q(X, Z) :- Parent(X, Y), Parent(Y, Z).")?;
+//! assert_eq!(rows.columns(), &["X".to_owned(), "Z".to_owned()]);
+//! assert_eq!(rows.rows()[0]["Z"], Term::constant("cem"));
+//!
+//! // …or prepare once and execute from many threads against `&db`.
+//! let grandparents = db.prepare("q(X) :- Parent(X, Y), Parent(Y, Z).")?;
+//! std::thread::scope(|scope| {
+//!     for _ in 0..2 {
+//!         scope.spawn(|| assert!(grandparents.execute_boolean()));
+//!     }
+//! });
+//! assert_eq!(db.metrics().plans_built, 2);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Quickstart: the paper's decision problem
+//!
+//! Example 1 of the paper — the cyclic "compulsive collector" triangle is
+//! semantically acyclic under a tgd:
+//!
+//! ```
+//! use sac::prelude::*;
+//!
+//! let q: ConjunctiveQuery = "q(X, Y) :- Interest(X, Z), Class(Y, Z), Owns(X, Y)."
+//!     .parse()
+//!     .unwrap();
+//! let tgd: Tgd = "Interest(X, Z), Class(Y, Z) -> Owns(X, Y).".parse().unwrap();
 //!
 //! // q is not acyclic, and not even semantically acyclic without constraints…
 //! assert!(!is_acyclic_query(&q));
@@ -26,6 +58,9 @@
 //! assert!(is_acyclic_query(witness));
 //! assert!(witness.size() <= 2);
 //! ```
+//!
+//! This facade crate re-exports the whole workspace under stable module
+//! names; `sac::prelude` carries the items most programs need.
 
 pub use sac_acyclic as acyclic;
 pub use sac_chase as chase;
@@ -38,6 +73,13 @@ pub use sac_parser as parser;
 pub use sac_query as query;
 pub use sac_rewrite as rewrite;
 pub use sac_storage as storage;
+
+// The service façade, promoted to the crate root: `sac::Database` is the
+// front door for evaluation workloads.
+pub use sac_engine::{
+    Database, EngineConfig, EngineMetrics, PreparedQuery, QuerySource, ResultSet, Row, SacError,
+    SacResult,
+};
 
 /// The most commonly used items, importable with `use sac::prelude::*`.
 pub mod prelude {
@@ -64,9 +106,12 @@ pub mod prelude {
     };
     // The engine's `Strategy` is re-exported as `PlanStrategy`: the bare name
     // collides with `proptest::Strategy` under double glob imports.
+    #[allow(deprecated)]
+    pub use sac_engine::Engine;
     pub use sac_engine::Strategy as PlanStrategy;
     pub use sac_engine::{
-        Engine, EngineConfig, EngineMetrics, Explain, IndexCache, JoinIndex, Plan,
+        Database, EngineConfig, EngineMetrics, Explain, IndexCache, JoinIndex, Plan, PreparedQuery,
+        QuerySource, ResultSet, Row, SacError, SacResult,
     };
     pub use sac_parser::{parse_database, parse_egd, parse_program, parse_query, parse_tgd};
     pub use sac_query::{

@@ -212,6 +212,36 @@ impl fmt::Display for Instance {
     }
 }
 
+/// Parses a database: a list of ground facts `Pred(c, …, c).` (see
+/// [`sac_common::syntax`]), so `"E(a, b). E(b, c).".parse::<Instance>()`
+/// works anywhere without going through `sac-parser`.
+impl std::str::FromStr for Instance {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Instance> {
+        let mut instance = Instance::new();
+        for statement in sac_common::syntax::parse_statements(s)? {
+            match statement {
+                sac_common::RawStatement::Fact(atom) if atom.is_ground() => {
+                    instance.insert(atom)?;
+                }
+                sac_common::RawStatement::Fact(atom) => {
+                    return Err(Error::Malformed(format!(
+                        "facts must be ground (constants only), found `{atom}`"
+                    )))
+                }
+                other => {
+                    return Err(Error::Malformed(format!(
+                        "databases contain only facts, found a {}",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+        Ok(instance)
+    }
+}
+
 impl FromIterator<Atom> for Instance {
     /// Panics on arity conflicts; use [`Instance::from_atoms`] for the
     /// fallible variant.
@@ -232,6 +262,16 @@ mod tests {
             atom!("S", cst "a"),
         ])
         .unwrap()
+    }
+
+    #[test]
+    fn from_str_parses_ground_facts_only() {
+        let inst: Instance = "R(a, b). R(b, c). S(a).".parse().unwrap();
+        assert_eq!(inst.len(), 3);
+        assert!(inst.contains(&atom!("R", cst "a", cst "b")));
+        assert!("R(X).".parse::<Instance>().is_err()); // non-ground
+        assert!("R(a) -> S(a).".parse::<Instance>().is_err()); // tgd
+        assert!("R(a). R(a, b).".parse::<Instance>().is_err()); // arity clash
     }
 
     #[test]

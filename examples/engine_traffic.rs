@@ -1,9 +1,11 @@
-//! A many-query workload through the `sac-engine` session API.
+//! A many-query workload through the `sac::Database` session API.
 //!
 //! Simulates steady query traffic against one database: a mixed stream of
 //! generated queries (acyclic, cyclic, and the semantically acyclic Example 1
-//! triangle) is pushed through `Engine::run_batch`, and the engine's metrics
-//! show how the plan cache and the per-strategy split absorb the load.
+//! triangle) is pushed through `Database::run_batch`, and the session's
+//! metrics show how the plan cache and the per-strategy split absorb the
+//! load.  (For the multi-threaded version of this workload see
+//! `examples/concurrent_service.rs`.)
 //!
 //! Run with `cargo run --release --example engine_traffic`.
 
@@ -14,13 +16,11 @@ fn main() {
     // One database serving two schemas at once: the Example 1 music-collector
     // data (closed under the collector tgd by construction) plus a random
     // graph over the binary predicate E.
-    let mut db = sac::gen::music_database(150, 300, 10);
-    db.extend_from(&sac::gen::random_graph_database(60, 400, 7))
+    let mut seed = sac::gen::music_database(150, 300, 10);
+    seed.extend_from(&sac::gen::random_graph_database(60, 400, 7))
         .expect("disjoint schemas merge cleanly");
+    let db = Database::from_instance(seed).with_tgds(vec![sac::gen::collector_tgd()]);
     println!("database: {}", db.stats());
-
-    let tgds = vec![sac::gen::collector_tgd()];
-    let mut engine = Engine::new(db.clone()).with_tgds(tgds);
 
     // A traffic mix of distinct query shapes, repeated over many rounds the
     // way a serving workload repeats its hot queries.
@@ -44,15 +44,15 @@ fn main() {
     );
 
     for q in &shapes {
-        println!("  {q}\n    → {}", engine.explain(q));
+        println!("  {q}\n    → {}", db.explain(q));
     }
 
     let start = Instant::now();
-    let results = engine.run_batch(&workload);
+    let results = db.run_batch(&workload);
     let elapsed = start.elapsed();
 
     let answers: usize = results.iter().map(|r| r.len()).sum();
-    let m = engine.metrics();
+    let m = db.metrics();
     println!(
         "\nran {} queries in {:.2?} ({} answers)",
         workload.len(),
@@ -63,7 +63,7 @@ fn main() {
     println!(
         "plan cache: {:.1}% hit rate over {} cached plans",
         100.0 * m.plan_cache_hit_rate(),
-        engine.cached_plans()
+        db.cached_plans()
     );
     println!(
         "strategies: {} yannakakis-direct, {} yannakakis-witness, {} indexed-search",
@@ -72,12 +72,13 @@ fn main() {
 
     // Sanity: the engine's answers are byte-identical to naive evaluation.
     let q = sac::gen::example1_triangle();
-    let fast = engine.run(&q);
-    let slow = evaluate(&q, &db);
+    let fast = db.run(&q);
+    let reference = db.snapshot();
+    let slow = evaluate(&q, &reference);
     println!(
         "\nExample 1 triangle: {} answers via {} — equal to naive: {}",
         fast.len(),
-        engine.explain(&q).strategy,
-        fast == slow
+        db.explain(&q).strategy,
+        fast.into_tuples() == slow
     );
 }

@@ -42,16 +42,19 @@ fn main() {
             let equiv = equivalent_under_tgds(&q, witness, &tgds, ChaseBudget::small());
             println!("verified q ≡Σ q' via the chase:    {}", equiv.holds());
 
-            // Evaluate both on a concrete database that satisfies Σ.
-            let db = sac::gen::music_database(200, 400, 10);
-            println!("database: {}", db.stats());
-            let fast = yannakakis_evaluate(witness, &db).expect("witness is acyclic");
-            let slow = evaluate(&q, &db);
+            // Evaluate both on a concrete database that satisfies Σ: the
+            // `Database` façade plans q through the witness automatically.
+            let data = sac::gen::music_database(200, 400, 10);
+            println!("database: {}", data.stats());
+            let slow = evaluate(&q, &data);
+            let db = Database::from_instance(data).with_tgds(tgds.clone());
+            let served = db.run(&q);
             println!(
-                "answers: {} (Yannakakis on q') vs {} (naive on q) — equal: {}",
-                fast.len(),
+                "answers: {} (engine, strategy {}) vs {} (naive on q) — equal: {}",
+                served.len(),
+                db.explain(&q).strategy,
                 slow.len(),
-                fast == slow
+                served.into_tuples() == slow
             );
         }
         None => println!("q is not semantically acyclic under Σ"),
