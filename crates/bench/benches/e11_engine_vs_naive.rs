@@ -12,7 +12,7 @@
 //! engine's cached witness plan amortizes the reformulation the baselines
 //! cannot use at all (naive pays the cyclic-join cost every call).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sac::prelude::*;
 
 fn bench_acyclic(c: &mut Criterion) {
@@ -74,9 +74,109 @@ fn bench_semantically_acyclic(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `--json` sweep: self-timed medians for the same three evaluators,
+/// written to `BENCH_e11.json` at the workspace root.
+fn json_report() {
+    let mut rows = Vec::new();
+    let mut row = |section: &str, evaluator: &str, db_atoms: usize, secs: f64| {
+        rows.push(sac_bench::json_object(&[
+            ("section", format!("\"{section}\"")),
+            ("evaluator", format!("\"{evaluator}\"")),
+            ("db_atoms", db_atoms.to_string()),
+            ("median_secs", format!("{secs:.6}")),
+            ("runs_per_sec", format!("{:.1}", 1.0 / secs.max(1e-9))),
+        ]));
+    };
+
+    let q = sac::gen::star_query(3);
+    for nodes in [50usize, 200, 800] {
+        let db = sac::gen::random_graph_database(nodes, nodes * 4, 11);
+        let atoms = db.len();
+        row(
+            "acyclic_star",
+            "naive",
+            atoms,
+            sac_bench::median_secs(5, || {
+                std::hint::black_box(evaluate(&q, &db).len());
+            }),
+        );
+        row(
+            "acyclic_star",
+            "yannakakis_scan",
+            atoms,
+            sac_bench::median_secs(5, || {
+                std::hint::black_box(yannakakis_evaluate(&q, &db).expect("star is acyclic").len());
+            }),
+        );
+        let engine = Database::from_instance(db.clone());
+        engine.run(&q);
+        row(
+            "acyclic_star",
+            "engine",
+            atoms,
+            sac_bench::median_secs(5, || {
+                std::hint::black_box(engine.run(&q).len());
+            }),
+        );
+    }
+
+    let q = sac::gen::example1_triangle();
+    let tgds = vec![sac::gen::collector_tgd()];
+    let witness = semantic_acyclicity_under_tgds(&q, &tgds, SemAcConfig::default())
+        .witness()
+        .expect("Example 1 is semantically acyclic under the collector tgd")
+        .clone();
+    for customers in [50usize, 200, 800] {
+        let db = sac::gen::music_database(customers, customers * 2, 10);
+        let atoms = db.len();
+        row(
+            "semac_triangle",
+            "naive",
+            atoms,
+            sac_bench::median_secs(5, || {
+                std::hint::black_box(evaluate(&q, &db).len());
+            }),
+        );
+        row(
+            "semac_triangle",
+            "yannakakis_scan_witness",
+            atoms,
+            sac_bench::median_secs(5, || {
+                std::hint::black_box(
+                    yannakakis_evaluate(&witness, &db)
+                        .expect("witness is acyclic")
+                        .len(),
+                );
+            }),
+        );
+        let engine = Database::from_instance(db.clone()).with_tgds(tgds.clone());
+        engine.run(&q);
+        row(
+            "semac_triangle",
+            "engine",
+            atoms,
+            sac_bench::median_secs(5, || {
+                std::hint::black_box(engine.run(&q).len());
+            }),
+        );
+    }
+
+    let doc = sac_bench::json_document("e11_engine_vs_naive", &[], &rows);
+    let path = sac_bench::write_workspace_file("BENCH_e11.json", &doc);
+    print!("{doc}");
+    eprintln!("wrote {}", path.display());
+}
+
 criterion_group! {
     name = benches;
     config = sac_bench::quick_criterion();
     targets = bench_acyclic, bench_semantically_acyclic
 }
-criterion_main!(benches);
+
+fn main() {
+    if sac_bench::json_flag() {
+        json_report();
+    } else {
+        benches();
+    }
+}

@@ -14,7 +14,7 @@
 //! (indexed fallback) and the semantically acyclic Example 1 triangle
 //! (witness Yannakakis), so every strategy rung is exercised concurrently.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use sac::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
@@ -125,9 +125,67 @@ fn report_throughput_scaling(_c: &mut Criterion) {
     println!("metrics: {m}\n");
 }
 
+/// The `--json` sweep: aggregate queries/sec per thread count over a fixed
+/// wall-clock window, written to `BENCH_e12.json` at the workspace root.
+fn json_report() {
+    let db = build_database();
+    let prepared: Vec<_> = shapes()
+        .iter()
+        .map(|q| db.prepare(q).expect("generated queries are valid"))
+        .collect();
+    drive(&prepared, 2, 64); // warm plans and indexes
+
+    let window = Duration::from_millis(250);
+    let cores = thread::available_parallelism().map_or(1, |n| n.get());
+    let mut rows = Vec::new();
+    for threads in THREAD_COUNTS {
+        let done = AtomicUsize::new(0);
+        let start = Instant::now();
+        thread::scope(|scope| {
+            for t in 0..threads {
+                let prepared = &prepared;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut i = t;
+                    while start.elapsed() < window {
+                        std::hint::black_box(prepared[i % prepared.len()].execute().len());
+                        done.fetch_add(1, Ordering::Relaxed);
+                        i += 1;
+                    }
+                });
+            }
+        });
+        let queries = done.load(Ordering::Relaxed);
+        let rate = queries as f64 / start.elapsed().as_secs_f64();
+        rows.push(sac_bench::json_object(&[
+            ("threads", threads.to_string()),
+            ("queries", queries.to_string()),
+            ("queries_per_sec", format!("{rate:.1}")),
+        ]));
+    }
+    let doc = sac_bench::json_document(
+        "e12_concurrent_throughput",
+        &[
+            ("available_cores", cores.to_string()),
+            ("window_ms", window.as_millis().to_string()),
+        ],
+        &rows,
+    );
+    let path = sac_bench::write_workspace_file("BENCH_e12.json", &doc);
+    print!("{doc}");
+    eprintln!("wrote {}", path.display());
+}
+
 criterion_group! {
     name = benches;
     config = sac_bench::quick_criterion();
     targets = bench_fixed_workload, report_throughput_scaling
 }
-criterion_main!(benches);
+
+fn main() {
+    if sac_bench::json_flag() {
+        json_report();
+    } else {
+        benches();
+    }
+}

@@ -1,0 +1,178 @@
+//! E13 — parallel partitioned execution: queries/sec per worker-pool width.
+//!
+//! One mixed workload (acyclic star and path → sharded Yannakakis match
+//! sets, a cyclic clique → sharded fallback search, the Example 1 triangle
+//! under its tgd → witness Yannakakis) runs through `Database::run_batch`
+//! with `parallelism` ∈ {1, 2, 4, 8}.  Results are asserted identical to
+//! the serial batch before anything is timed — a perf experiment must not
+//! quietly measure wrong answers.
+//!
+//! The experiment always writes `BENCH_e13.json` at the workspace root
+//! (queries/sec per thread count, plus the shard/thread metrics) and prints
+//! the same table; `--json` additionally echoes the JSON to stdout.
+//!
+//! On the 1-core CI container wall-clock speedup cannot show — scaling is
+//! validated there by the recorded `shard_tasks` / `threads_spawned`
+//! counts (the fan-out happened) rather than by elapsed time.
+
+use sac::prelude::*;
+use sac_bench::{json_document, json_object, median_secs, write_workspace_file};
+
+const PARALLELISM_LEVELS: [usize; 4] = [1, 2, 4, 8];
+const BATCH_REPEAT: usize = 12;
+const SAMPLES: usize = 5;
+
+fn build_data() -> Instance {
+    // Sized so the scanned relations clear the default `min_parallel_rows`
+    // gate (512): the benchmark measures the production configuration, not
+    // a forced-parallel small-data regime.
+    let mut data = sac::gen::music_database(300, 600, 10);
+    data.extend_from(&sac::gen::random_graph_database(300, 2000, 7))
+        .expect("disjoint schemas merge cleanly");
+    data
+}
+
+fn workload() -> Vec<ConjunctiveQuery> {
+    let shapes = [
+        sac::gen::star_query(3),
+        sac::gen::path_query(3),
+        sac::gen::clique_query(3),
+        sac::gen::example1_triangle(),
+    ];
+    (0..BATCH_REPEAT).flat_map(|_| shapes.clone()).collect()
+}
+
+fn main() {
+    let data = build_data();
+    let tgds = vec![sac::gen::collector_tgd()];
+    let queries = workload();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Correctness gate: every parallelism level returns the serial batch.
+    let serial = Database::from_instance(data.clone()).with_tgds(tgds.clone());
+    let expected = serial.run_batch(&queries);
+
+    // Axis 1: batch fan-out — one worker per query, inner runs serial (the
+    // thread budget is spent once, see `Database::run_batch`).
+    println!(
+        "e13 axis 1 — batch fan-out ({} queries/batch, {cores} core(s) available):",
+        queries.len()
+    );
+    println!(
+        "{:>12} {:>14} {:>10} {:>12}",
+        "parallelism", "queries/sec", "speedup", "threads"
+    );
+    let mut rows = Vec::new();
+    let mut single = 0.0f64;
+    for parallelism in PARALLELISM_LEVELS {
+        let db = Database::from_instance(data.clone())
+            .with_tgds(tgds.clone())
+            .with_parallelism(parallelism);
+        assert_eq!(
+            expected,
+            db.run_batch(&queries),
+            "parallelism {parallelism} drifted from the serial answers"
+        );
+        let secs = median_secs(SAMPLES, || {
+            std::hint::black_box(db.run_batch(&queries).len());
+        });
+        let rate = queries.len() as f64 / secs;
+        if parallelism == 1 {
+            single = rate;
+        }
+        // Metrics for exactly one batch (median_secs accumulates warm-up +
+        // samples, which would inflate the per-batch counters 6x).
+        db.reset_metrics();
+        std::hint::black_box(db.run_batch(&queries).len());
+        let m = db.metrics();
+        println!(
+            "{parallelism:>12} {rate:>14.0} {:>9.2}x {:>12}",
+            rate / single,
+            m.threads_spawned,
+        );
+        rows.push(json_object(&[
+            ("axis", "\"batch\"".to_owned()),
+            ("parallelism", parallelism.to_string()),
+            ("queries", queries.len().to_string()),
+            ("median_batch_secs", format!("{secs:.6}")),
+            ("queries_per_sec", format!("{rate:.1}")),
+            ("speedup_vs_serial", format!("{:.3}", rate / single)),
+            ("threads_spawned", m.threads_spawned.to_string()),
+        ]));
+    }
+
+    // Axis 2: per-shard parallelism inside single runs — match sets,
+    // semijoin chunks and fallback roots split across cached hash shards.
+    let singles = [sac::gen::star_query(3), sac::gen::clique_query(3)];
+    println!("\ne13 axis 2 — sharded single runs:");
+    println!(
+        "{:>24} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "query", "parallelism", "runs/sec", "speedup", "shard_sets", "shard_tasks", "threads"
+    );
+    for query in &singles {
+        let reference = serial.run(query);
+        let mut single = 0.0f64;
+        for parallelism in PARALLELISM_LEVELS {
+            let db = Database::from_instance(data.clone())
+                .with_tgds(tgds.clone())
+                .with_parallelism(parallelism);
+            assert_eq!(
+                reference,
+                db.run(query),
+                "parallelism {parallelism} drifted from the serial answers on {query}"
+            );
+            // Shard decompositions are built once, during the warm-up run
+            // above; capture the count before the resets below.
+            let shard_sets_built = db.metrics().shard_sets_built;
+            let secs = median_secs(SAMPLES, || {
+                std::hint::black_box(db.run(query).len());
+            });
+            let rate = 1.0 / secs;
+            if parallelism == 1 {
+                single = rate;
+            }
+            // Metrics for exactly one run (see the batch axis above).
+            db.reset_metrics();
+            std::hint::black_box(db.run(query).len());
+            let m = db.metrics();
+            let label = format!("{}-atom body", query.size());
+            println!(
+                "{label:>24} {parallelism:>12} {rate:>12.0} {:>9.2}x {shard_sets_built:>12} {:>12} {:>12}",
+                rate / single,
+                m.shard_tasks,
+                m.threads_spawned,
+            );
+            rows.push(json_object(&[
+                ("axis", "\"single\"".to_owned()),
+                ("query_atoms", query.size().to_string()),
+                ("parallelism", parallelism.to_string()),
+                ("median_run_secs", format!("{secs:.6}")),
+                ("runs_per_sec", format!("{rate:.1}")),
+                ("speedup_vs_serial", format!("{:.3}", rate / single)),
+                ("shard_sets_built", shard_sets_built.to_string()),
+                ("shard_tasks", m.shard_tasks.to_string()),
+                ("threads_spawned", m.threads_spawned.to_string()),
+            ]));
+        }
+    }
+
+    let doc = json_document(
+        "e13_parallel_speedup",
+        &[
+            ("available_cores", cores.to_string()),
+            ("batch_queries", queries.len().to_string()),
+            ("samples", SAMPLES.to_string()),
+        ],
+        &rows,
+    );
+    let path = write_workspace_file("BENCH_e13.json", &doc);
+    println!("\nwrote {}", path.display());
+    if sac_bench::json_flag() {
+        print!("{doc}");
+    }
+    if cores == 1 {
+        println!(
+            "(1-core host: validate the fan-out via shard_tasks/threads_spawned, not wall clock)"
+        );
+    }
+}

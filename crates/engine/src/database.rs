@@ -17,10 +17,11 @@
 //!   [`Arc`]-backed snapshot with no lock held;
 //! * **metrics** are atomics.
 //!
-//! Epoch-based invalidation is preserved exactly: inserts advance the
-//! instance epoch under the write guard and drop only the touched
-//! predicate's indexes before the guard is released, so a snapshot taken
-//! under any read guard is always consistent with the data it runs against.
+//! Epoch tracking is preserved exactly: inserts advance the instance epoch
+//! under the write guard and incrementally extend the touched predicate's
+//! cached indexes and shards before the guard is released (copy-on-write
+//! against in-flight snapshots), so a snapshot taken under any read guard
+//! is always consistent with the data it runs against.
 //!
 //! Lock order (outer to inner): `tgds` → `instance` → `indexes`, and
 //! `tgds` → `plans`; the plan cache is never held while acquiring another
@@ -31,8 +32,9 @@
 
 use crate::error::{SacError, SacResult};
 use crate::exec;
-use crate::index::IndexCache;
+use crate::index::{IndexCache, PlanShards};
 use crate::plan::{plan_query, Explain, Plan, Strategy};
+use crate::pool;
 use crate::result::ResultSet;
 use sac_common::{Atom, Symbol};
 use sac_core::SemAcConfig;
@@ -55,6 +57,11 @@ pub struct EngineConfig {
     /// with more body atoms than this.  The constraint-free core check is
     /// cheap and always runs.
     pub max_witness_atoms: usize,
+    /// Compile every query with [`Strategy::IndexedSearch`], skipping both
+    /// Yannakakis rungs.  A differential-testing knob: the fallback is
+    /// correct on every query, so a forced-fallback database is an
+    /// independent second opinion on any planner decision.
+    pub force_indexed: bool,
 }
 
 impl Default for EngineConfig {
@@ -63,6 +70,37 @@ impl Default for EngineConfig {
             semac: SemAcConfig::default(),
             witness_search: true,
             max_witness_atoms: 12,
+            force_indexed: false,
+        }
+    }
+}
+
+/// Execution-layer knobs, fixed per [`Database`].
+///
+/// `parallelism` is the width of the scoped worker pool used by
+/// [`Database::run_batch`] (queries fan out across workers) and by single
+/// runs (match sets, semijoin sweeps and fallback searches fan out across
+/// cached relation shards).  `1` (the default) is the plain serial path —
+/// no threads are ever spawned, no shard decompositions are built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads per parallel region; clamped to at least 1.
+    pub parallelism: usize,
+    /// Minimum table/relation size (in tuples) before a parallel region
+    /// fans out.  Spawning scoped workers costs tens of microseconds per
+    /// thread, so sharding a small scan or chunking a small semijoin is a
+    /// net loss; below this bound the run stays serial (and no shard
+    /// decomposition is built or maintained for the relation).  The default
+    /// keeps small-data workloads on the serial fast path; tests set it to
+    /// 0 to force the parallel machinery on tiny fixtures.
+    pub min_parallel_rows: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            parallelism: 1,
+            min_parallel_rows: 512,
         }
     }
 }
@@ -86,6 +124,14 @@ pub struct EngineMetrics {
     pub runs_indexed_search: usize,
     /// Join-key indexes built over the session's lifetime.
     pub indexes_built: usize,
+    /// Relation shard decompositions built over the session's lifetime.
+    pub shard_sets_built: usize,
+    /// Per-shard parallel work items executed (match-set shards, semijoin
+    /// chunks, fallback-search shards).  Zero on the serial path.
+    pub shard_tasks: usize,
+    /// Scoped worker threads spawned across all parallel regions (batch
+    /// fan-out and per-shard sweeps).  Zero on the serial path.
+    pub threads_spawned: usize,
 }
 
 impl EngineMetrics {
@@ -113,7 +159,7 @@ impl fmt::Display for EngineMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} runs ({} planned, {} cache hits, {:.0}% hit rate); strategies: {} direct / {} witness / {} fallback; {} indexes built",
+            "{} runs ({} planned, {} cache hits, {:.0}% hit rate); strategies: {} direct / {} witness / {} fallback; {} indexes + {} shard sets built; {} shard tasks on {} worker threads",
             self.queries_run,
             self.plans_built,
             self.plan_cache_hits,
@@ -122,6 +168,9 @@ impl fmt::Display for EngineMetrics {
             self.runs_yannakakis_witness,
             self.runs_indexed_search,
             self.indexes_built,
+            self.shard_sets_built,
+            self.shard_tasks,
+            self.threads_spawned,
         )
     }
 }
@@ -135,6 +184,8 @@ struct MetricCounters {
     runs_yannakakis_direct: AtomicUsize,
     runs_yannakakis_witness: AtomicUsize,
     runs_indexed_search: AtomicUsize,
+    shard_tasks: AtomicUsize,
+    threads_spawned: AtomicUsize,
 }
 
 impl MetricCounters {
@@ -148,7 +199,7 @@ impl MetricCounters {
         .fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, indexes_built: usize) -> EngineMetrics {
+    fn snapshot(&self, indexes_built: usize, shard_sets_built: usize) -> EngineMetrics {
         EngineMetrics {
             queries_run: self.queries_run.load(Ordering::Relaxed),
             plans_built: self.plans_built.load(Ordering::Relaxed),
@@ -157,6 +208,9 @@ impl MetricCounters {
             runs_yannakakis_witness: self.runs_yannakakis_witness.load(Ordering::Relaxed),
             runs_indexed_search: self.runs_indexed_search.load(Ordering::Relaxed),
             indexes_built,
+            shard_sets_built,
+            shard_tasks: self.shard_tasks.load(Ordering::Relaxed),
+            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
         }
     }
 
@@ -167,6 +221,8 @@ impl MetricCounters {
         self.runs_yannakakis_direct.store(0, Ordering::Relaxed);
         self.runs_yannakakis_witness.store(0, Ordering::Relaxed);
         self.runs_indexed_search.store(0, Ordering::Relaxed);
+        self.shard_tasks.store(0, Ordering::Relaxed);
+        self.threads_spawned.store(0, Ordering::Relaxed);
     }
 }
 
@@ -235,6 +291,7 @@ pub struct Database {
     instance: RwLock<Instance>,
     tgds: RwLock<Vec<Tgd>>,
     config: EngineConfig,
+    exec: ExecOptions,
     plans: RwLock<HashMap<PlanKey, Arc<Plan>>>,
     indexes: Mutex<IndexCache>,
     metrics: MetricCounters,
@@ -259,6 +316,7 @@ impl Database {
             instance: RwLock::new(instance),
             tgds: RwLock::new(Vec::new()),
             config: EngineConfig::default(),
+            exec: ExecOptions::default(),
             plans: RwLock::new(HashMap::new()),
             indexes,
             metrics: MetricCounters::default(),
@@ -287,6 +345,33 @@ impl Database {
             .unwrap_or_else(|e| e.into_inner())
             .clear();
         self
+    }
+
+    /// Sets the worker-pool width for batch fan-out and per-shard sweeps
+    /// (builder-style).  `1` keeps the plain serial path; values are clamped
+    /// to at least 1.  See [`ExecOptions`].
+    pub fn with_parallelism(mut self, parallelism: usize) -> Database {
+        self.exec.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// Overrides every execution-layer option (builder-style).
+    pub fn with_exec_options(mut self, options: ExecOptions) -> Database {
+        self.exec = ExecOptions {
+            parallelism: options.parallelism.max(1),
+            min_parallel_rows: options.min_parallel_rows,
+        };
+        self
+    }
+
+    /// The execution-layer options.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec
+    }
+
+    /// The configured worker-pool width (1 = serial).
+    pub fn parallelism(&self) -> usize {
+        self.exec.parallelism
     }
 
     /// Replaces the constraint set, invalidating every cached plan (their
@@ -356,8 +441,10 @@ impl Database {
         self.read_instance().stats()
     }
 
-    /// Inserts an atom.  Returns whether it was new; only a genuinely new
-    /// atom invalidates (precisely, per predicate) the index cache.  Cached
+    /// Inserts an atom.  Returns whether it was new; a genuinely new atom
+    /// **extends** the touched predicate's cached indexes and shards in
+    /// place (relations are append-only, so incremental maintenance is a
+    /// handful of hash inserts — nothing is invalidated or rebuilt).  Cached
     /// plans survive — a plan's strategy choice never depends on the data,
     /// only its fallback atom order does, and a stale order is a performance
     /// matter, not a correctness one.
@@ -368,13 +455,13 @@ impl Database {
     /// [`Database::insert`] with the workspace-internal error type, for the
     /// legacy [`crate::Engine`] shim.
     pub(crate) fn insert_common(&self, atom: Atom) -> sac_common::Result<bool> {
-        let predicate = atom.predicate;
         let mut instance = self.write_instance();
         let added = instance.insert(atom)?;
         if added {
-            // Invalidate under the instance write guard, so no concurrent
-            // run can snapshot between the data change and the invalidation.
-            self.lock_indexes().note_insert(&instance, predicate);
+            // Extend the caches under the instance write guard, so no
+            // concurrent run can snapshot between the data change and the
+            // maintenance.
+            self.lock_indexes().note_growth(&instance);
         }
         Ok(added)
     }
@@ -383,8 +470,8 @@ impl Database {
     ///
     /// The whole batch is applied under one instance write guard, so
     /// concurrent queries observe either the pre-load or the post-load
-    /// state, never a half-loaded prefix, and the per-predicate index
-    /// invalidation happens once per touched predicate instead of once per
+    /// state, never a half-loaded prefix, and the incremental cache
+    /// maintenance happens once for the whole batch instead of once per
     /// atom.  On error (e.g. an arity clash part-way through) the
     /// already-inserted prefix **remains** — there is no rollback; the index
     /// cache is resynchronized before the error is returned.
@@ -396,29 +483,21 @@ impl Database {
     /// the legacy [`crate::Engine`] shim.
     pub(crate) fn extend_from_common(&self, other: &Instance) -> sac_common::Result<usize> {
         let mut instance = self.write_instance();
-        let mut touched: Vec<Symbol> = Vec::new();
         let mut added = 0;
         for atom in other.atoms() {
-            let predicate = atom.predicate;
             match instance.insert(atom) {
-                Ok(true) => {
-                    added += 1;
-                    if !touched.contains(&predicate) {
-                        touched.push(predicate);
-                    }
-                }
+                Ok(true) => added += 1,
                 Ok(false) => {}
                 Err(e) => {
-                    // Partial batch: resynchronize the index cache with
-                    // whatever was applied before surfacing the error.
-                    self.lock_indexes().invalidate_all(&instance);
+                    // Partial batch: catch the caches up with whatever was
+                    // applied before surfacing the error.
+                    self.lock_indexes().note_growth(&instance);
                     return Err(e);
                 }
             }
         }
-        let mut indexes = self.lock_indexes();
-        for predicate in touched {
-            indexes.note_insert(&instance, predicate);
+        if added > 0 {
+            self.lock_indexes().note_growth(&instance);
         }
         Ok(added)
     }
@@ -505,28 +584,76 @@ impl Database {
     }
 
     /// Evaluates a batch of queries, amortizing planning and index building
-    /// across the whole workload.
+    /// across the whole workload.  With [`Database::with_parallelism`] above
+    /// 1, the queries fan out over the scoped worker pool — results still
+    /// come back in input order, identical to the serial batch.
+    ///
+    /// The thread budget is spent once: when the batch itself fans out,
+    /// each worker executes its queries serially (per-shard parallelism
+    /// applies to single [`Database::run`] / [`PreparedQuery::execute`]
+    /// calls), so a batch never oversubscribes to `parallelism²` threads.
     pub fn run_batch(&self, queries: &[ConjunctiveQuery]) -> Vec<ResultSet> {
-        queries.iter().map(|q| self.run(q)).collect()
+        let parallelism = self.exec.parallelism;
+        if parallelism <= 1 || queries.len() <= 1 {
+            return queries.iter().map(|q| self.run(q)).collect();
+        }
+        // Resolve every plan serially first: duplicate queries in the batch
+        // would otherwise race the cold plan cache and re-run the expensive
+        // witness search once per worker instead of once per shape.
+        let plans: Vec<Arc<Plan>> = queries.iter().map(|q| self.plan_arc(q)).collect();
+        let (results, threads) =
+            pool::parallel_map(parallelism, &plans, |plan| self.run_plan_at(plan, 1));
+        self.metrics
+            .threads_spawned
+            .fetch_add(threads, Ordering::Relaxed);
+        results
     }
 
     fn run_plan(&self, plan: &Plan) -> ResultSet {
+        self.run_plan_at(plan, self.exec.parallelism)
+    }
+
+    fn run_plan_at(&self, plan: &Plan, parallelism: usize) -> ResultSet {
         self.metrics.record_run(plan.strategy());
         let instance = self.read_instance();
-        // Short locked section: build/fetch exactly the plan's indexes…
-        let snapshot = self
-            .lock_indexes()
-            .snapshot(&instance, &exec::required_indexes(plan));
+        // Short locked section: build/fetch exactly the plan's indexes and —
+        // for a parallel run — the shard decompositions of the relations it
+        // scans…
+        let (indexes, shards) = {
+            let mut cache = self.lock_indexes();
+            let indexes = cache.snapshot(&instance, &exec::required_indexes(plan));
+            let shards = if parallelism > 1 {
+                cache.snapshot_shards(
+                    &instance,
+                    &exec::required_shards(plan),
+                    parallelism,
+                    self.exec.min_parallel_rows,
+                )
+            } else {
+                PlanShards::new()
+            };
+            (indexes, shards)
+        };
         // …then execute lock-free (the instance read guard is still held, so
-        // the snapshot stays consistent with the data for the whole run).
-        let tuples = exec::execute_with(plan, &instance, &snapshot);
+        // the snapshots stay consistent with the data for the whole run).
+        let ctx = exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows);
+        let tuples = exec::execute_with(plan, &instance, &ctx);
+        self.metrics
+            .shard_tasks
+            .fetch_add(ctx.shard_tasks(), Ordering::Relaxed);
+        self.metrics
+            .threads_spawned
+            .fetch_add(ctx.threads_spawned(), Ordering::Relaxed);
         ResultSet::from_tuples(Arc::clone(plan.columns()), tuples)
     }
 
     /// Session counters (plan-cache hit rate, per-strategy runs, …).
     pub fn metrics(&self) -> EngineMetrics {
-        let indexes_built = self.lock_indexes().built();
-        self.metrics.snapshot(indexes_built)
+        let (indexes_built, shard_sets_built) = {
+            let cache = self.lock_indexes();
+            (cache.built(), cache.shard_sets_built())
+        };
+        self.metrics.snapshot(indexes_built, shard_sets_built)
     }
 
     /// Zeroes every metric counter, including the index-build counter.  The
@@ -876,5 +1003,116 @@ mod tests {
         let text = format!("{}", db.metrics());
         assert!(text.contains("1 runs"));
         assert!(text.contains("direct"));
+        assert!(text.contains("shard tasks"));
+    }
+
+    #[test]
+    fn parallelism_is_clamped_and_defaults_to_serial() {
+        let db = Database::new();
+        assert_eq!(db.parallelism(), 1);
+        assert_eq!(db.exec_options(), ExecOptions::default());
+        let db = Database::new().with_parallelism(0);
+        assert_eq!(db.parallelism(), 1, "0 clamps to serial");
+        let db = Database::new().with_exec_options(ExecOptions {
+            parallelism: 4,
+            ..ExecOptions::default()
+        });
+        assert_eq!(db.parallelism(), 4);
+    }
+
+    #[test]
+    fn parallel_runs_agree_with_serial_and_record_shard_work() {
+        let data = sac_gen::random_graph_database(16, 80, 23);
+        let serial = Database::from_instance(data.clone());
+        // min_parallel_rows 0: force the shard machinery on the small fixture.
+        let parallel = Database::from_instance(data.clone()).with_exec_options(ExecOptions {
+            parallelism: 4,
+            min_parallel_rows: 0,
+        });
+        for q in [
+            sac_gen::path_query(3),
+            sac_gen::star_query(3),
+            sac_gen::cycle_query(3),
+            sac_gen::clique_query(3),
+        ] {
+            assert_eq!(serial.run(&q), parallel.run(&q), "disagreement on {q}");
+        }
+        let m_serial = serial.metrics();
+        assert_eq!(m_serial.shard_tasks, 0, "serial path shards nothing");
+        assert_eq!(m_serial.threads_spawned, 0);
+        assert_eq!(m_serial.shard_sets_built, 0);
+        let m_parallel = parallel.metrics();
+        assert!(m_parallel.shard_sets_built > 0, "E was decomposed");
+        assert!(m_parallel.shard_tasks > 0, "per-shard tasks ran");
+        assert!(m_parallel.threads_spawned > 0, "workers were spawned");
+    }
+
+    #[test]
+    fn parallel_batches_preserve_input_order_and_serial_answers() {
+        let data = sac_gen::random_graph_database(12, 50, 9);
+        let workload: Vec<_> = (0..4)
+            .flat_map(|_| {
+                [
+                    sac_gen::path_query(2),
+                    sac_gen::star_query(3),
+                    sac_gen::cycle_query(3),
+                ]
+            })
+            .collect();
+        let serial = Database::from_instance(data.clone());
+        let parallel = Database::from_instance(data).with_parallelism(4);
+        let expected = serial.run_batch(&workload);
+        let got = parallel.run_batch(&workload);
+        assert_eq!(expected, got, "same answers in the same order");
+        let m = parallel.metrics();
+        assert_eq!(m.queries_run, workload.len());
+        assert!(m.threads_spawned > 0, "the batch fanned out");
+    }
+
+    #[test]
+    fn parallel_inserts_extend_shards_without_rebuilds() {
+        // min_parallel_rows 0: force the shard machinery on the small fixture.
+        let db = Database::from_instance(sac_gen::random_graph_database(10, 40, 4))
+            .with_exec_options(ExecOptions {
+                parallelism: 2,
+                min_parallel_rows: 0,
+            });
+        let q = sac_gen::path_query(2);
+        db.run(&q); // builds the shard decomposition of E
+        let sets_before = db.metrics().shard_sets_built;
+        assert!(sets_before > 0);
+        assert!(db.insert(atom!("E", cst "fresh_a", cst "fresh_b")).unwrap());
+        db.run(&q);
+        assert_eq!(
+            db.metrics().shard_sets_built,
+            sets_before,
+            "the insert extended the cached shards instead of rebuilding"
+        );
+        // The new fact is visible through the extended shards.
+        assert!(db.query_boolean("q() :- E(fresh_a, X).").unwrap());
+    }
+
+    #[test]
+    fn concurrent_traffic_on_a_parallel_database_stays_consistent() {
+        // Nested parallelism: outer request threads over a database whose
+        // runs themselves fan out over the worker pool.
+        let db =
+            Database::from_instance(sac_gen::random_graph_database(12, 50, 31)).with_parallelism(2);
+        let reference = db.snapshot();
+        let queries = [
+            sac_gen::path_query(2),
+            sac_gen::star_query(3),
+            sac_gen::clique_query(3),
+        ];
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    for q in &queries {
+                        assert_eq!(db.run(q).into_tuples(), evaluate(q, &reference));
+                    }
+                });
+            }
+        });
+        assert_eq!(db.metrics().queries_run, 9);
     }
 }

@@ -19,22 +19,114 @@
 //! candidates of each step from a cached hash index on exactly the step's
 //! bound columns.
 //!
+//! ## Parallel execution
+//!
+//! With [`ExecContext::parallelism`] above 1, the data-proportional phases
+//! run on the scoped worker pool of [`crate::pool`], partitioned by cached
+//! relation shards ([`PlanShards`]):
+//!
+//! * **match sets** are computed per `(node, shard)` task — full-scan nodes
+//!   split into one task per hash shard — and the per-shard partial tables
+//!   are merged by hash-set union;
+//! * **semijoin sweeps** chunk each large node table and filter the chunks
+//!   concurrently against the shared key set;
+//! * the **fallback search** seeds one backtracking worker per shard of the
+//!   first atom's relation and merges the per-shard answer sets.
+//!
+//! Merging is order-insensitive (sets all the way down) and the final
+//! answers land in a `BTreeSet`, so results are byte-identical to the
+//! serial path regardless of thread interleaving.
+//!
 //! Execution itself is **read-only**: [`execute_with`] consumes an immutable
-//! [`PlanIndexes`] snapshot, so the concurrent [`crate::Database`] can run
+//! [`ExecContext`] snapshot, so the concurrent [`crate::Database`] can run
 //! many queries at once without holding the index-cache lock — the snapshot
-//! is assembled (and any missing indexes built) in one short locked section
-//! beforehand.  Snapshot entries that could not be built degrade to filtered
-//! scans, never to wrong answers.
+//! is assembled (and any missing indexes or shards built) in one short
+//! locked section beforehand.  Snapshot entries that could not be built
+//! degrade to serial filtered scans, never to wrong answers.
 
-use crate::index::PlanIndexes;
+use crate::index::{PlanIndexes, PlanShards};
 use crate::plan::{ExecPlan, IndexedPlan, NodeShape, Plan, YannakakisPlan};
+use crate::pool;
 use sac_common::{Substitution, Symbol, Term};
 use sac_storage::{Instance, Relation};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
+/// Everything one plan execution works from: immutable index and shard
+/// snapshots, the configured parallelism and size gate, and counters the
+/// run reports back into [`crate::EngineMetrics`].
+pub(crate) struct ExecContext {
+    pub(crate) indexes: PlanIndexes,
+    pub(crate) shards: PlanShards,
+    pub(crate) parallelism: usize,
+    /// Tables smaller than this are processed serially — below it the
+    /// thread-spawn overhead dwarfs the work (see
+    /// [`crate::ExecOptions::min_parallel_rows`]).
+    pub(crate) min_parallel_rows: usize,
+    shard_tasks: AtomicUsize,
+    threads_spawned: AtomicUsize,
+}
+
+impl ExecContext {
+    pub(crate) fn new(
+        indexes: PlanIndexes,
+        shards: PlanShards,
+        parallelism: usize,
+        min_parallel_rows: usize,
+    ) -> ExecContext {
+        ExecContext {
+            indexes,
+            shards,
+            parallelism: parallelism.max(1),
+            min_parallel_rows,
+            shard_tasks: AtomicUsize::new(0),
+            threads_spawned: AtomicUsize::new(0),
+        }
+    }
+
+    /// A context for plain serial execution.
+    #[cfg(test)]
+    pub(crate) fn serial(indexes: PlanIndexes) -> ExecContext {
+        ExecContext::new(indexes, PlanShards::new(), 1, 0)
+    }
+
+    fn note_parallel(&self, tasks: usize, threads: usize) {
+        self.shard_tasks.fetch_add(tasks, Ordering::Relaxed);
+        self.threads_spawned.fetch_add(threads, Ordering::Relaxed);
+    }
+
+    /// The shard decomposition to scan for `atom`, if the snapshot holds one
+    /// and the relation exists with the atom's arity (shards are built from
+    /// the same relation under the same epoch, so they share its arity).
+    fn shards_for<'a>(
+        &'a self,
+        db: &Instance,
+        atom: &sac_common::Atom,
+    ) -> Option<&'a crate::index::ShardSet> {
+        self.shards
+            .get(&atom.predicate)
+            .filter(|_| {
+                db.relation(atom.predicate)
+                    .is_some_and(|rel| rel.arity() == atom.arity())
+            })
+            .map(|arc| &**arc)
+    }
+
+    /// Per-shard tasks executed by this run's parallel regions.
+    pub(crate) fn shard_tasks(&self) -> usize {
+        self.shard_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Scoped worker threads spawned by this run's parallel regions.
+    pub(crate) fn threads_spawned(&self) -> usize {
+        self.threads_spawned.load(Ordering::Relaxed)
+    }
+}
+
 /// The multi-column index keys `plan` probes during execution — exactly the
-/// entries [`IndexCache::snapshot`] must provide for an index-served run.
+/// entries [`crate::IndexCache::snapshot`] must provide for an index-served
+/// run.
 pub(crate) fn required_indexes(plan: &Plan) -> Vec<(Symbol, Vec<usize>)> {
     match &plan.exec {
         ExecPlan::Yannakakis(yp) => yp
@@ -59,16 +151,43 @@ pub(crate) fn required_indexes(plan: &Plan) -> Vec<(Symbol, Vec<usize>)> {
     }
 }
 
-/// Executes `plan` over `db` against an immutable index snapshot (see
-/// [`required_indexes`]).  Missing snapshot entries fall back to scans.
-pub(crate) fn execute_with(
-    plan: &Plan,
-    db: &Instance,
-    indexes: &PlanIndexes,
-) -> BTreeSet<Vec<Term>> {
+/// The predicates `plan` scans in full — exactly the relations
+/// [`crate::IndexCache::snapshot_shards`] should decompose for a parallel
+/// run.  Yannakakis scans every constant-free node; the fallback search
+/// scans only its first (unbound) step.
+pub(crate) fn required_shards(plan: &Plan) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = Vec::new();
+    let mut push = |p: Symbol| {
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    };
     match &plan.exec {
-        ExecPlan::Yannakakis(yp) => run_yannakakis(yp, db, indexes),
-        ExecPlan::Indexed(ip) => run_indexed(ip, db, indexes),
+        ExecPlan::Yannakakis(yp) => {
+            for (shape, atom) in yp.shapes.iter().zip(&yp.query.body) {
+                if shape.const_positions.is_empty() {
+                    push(atom.predicate);
+                }
+            }
+        }
+        ExecPlan::Indexed(ip) => {
+            if let Some(&first) = ip.order.first() {
+                if ip.bound_positions[0].is_empty() {
+                    push(ip.query.body[first].predicate);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Executes `plan` over `db` against an immutable [`ExecContext`] snapshot
+/// (see [`required_indexes`] / [`required_shards`]).  Missing snapshot
+/// entries fall back to serial scans.
+pub(crate) fn execute_with(plan: &Plan, db: &Instance, ctx: &ExecContext) -> BTreeSet<Vec<Term>> {
+    match &plan.exec {
+        ExecPlan::Yannakakis(yp) => run_yannakakis(yp, db, ctx),
+        ExecPlan::Indexed(ip) => run_indexed(ip, db, ctx),
     }
 }
 
@@ -115,8 +234,9 @@ impl Table {
 
     /// Hash semijoin: keeps only tuples agreeing with some tuple of `other`
     /// on the shared variables.  With no shared variables this is "keep all
-    /// iff `other` is non-empty".
-    fn semijoin(&mut self, other: &Table) {
+    /// iff `other` is non-empty".  Large tables are filtered in parallel
+    /// chunks when the context allows it.
+    fn semijoin(&mut self, other: &Table, ctx: &ExecContext) {
         let shared: Vec<Symbol> = self
             .vars
             .iter()
@@ -136,8 +256,27 @@ impl Table {
             .iter()
             .map(|t| other_pos.iter().map(|p| t[*p]).collect())
             .collect();
-        self.tuples
-            .retain(|t| keys.contains(&my_pos.iter().map(|p| t[*p]).collect::<Vec<_>>()));
+        let survives =
+            |t: &Vec<Term>| keys.contains(&my_pos.iter().map(|p| t[*p]).collect::<Vec<_>>());
+        if ctx.parallelism > 1 && self.tuples.len() >= ctx.min_parallel_rows.max(2) {
+            // Workers return keep-masks (chunks partition `drained` in
+            // order, and parallel_map returns results in task order), so the
+            // surviving tuples are moved, never cloned.
+            let drained: Vec<Vec<Term>> = self.tuples.drain().collect();
+            let chunk_len = drained.len().div_ceil(ctx.parallelism);
+            let chunks: Vec<&[Vec<Term>]> = drained.chunks(chunk_len).collect();
+            let (masks, threads) = pool::parallel_map(ctx.parallelism, &chunks, |chunk| {
+                chunk.iter().map(survives).collect::<Vec<bool>>()
+            });
+            ctx.note_parallel(chunks.len(), threads);
+            self.tuples = drained
+                .into_iter()
+                .zip(masks.into_iter().flatten())
+                .filter_map(|(tuple, keep)| keep.then_some(tuple))
+                .collect();
+        } else {
+            self.tuples.retain(survives);
+        }
     }
 
     /// Hash join on the shared variables; the output's variables are
@@ -207,7 +346,7 @@ impl Table {
 /// fallback is a filtered scan.
 fn node_matches(
     shape: &NodeShape,
-    predicate: sac_common::Symbol,
+    predicate: Symbol,
     arity: usize,
     db: &Instance,
     indexes: &PlanIndexes,
@@ -274,11 +413,109 @@ fn node_matches(
     table
 }
 
-fn run_yannakakis(
-    plan: &YannakakisPlan,
-    db: &Instance,
-    indexes: &PlanIndexes,
-) -> BTreeSet<Vec<Term>> {
+/// The shard half of [`node_matches`]: scan one hash shard of a
+/// constant-free node's relation, projecting consistent tuples.
+fn node_matches_shard(shape: &NodeShape, shard: &Relation) -> Table {
+    let mut table = Table {
+        vars: shape.vars.clone(),
+        tuples: HashSet::new(),
+    };
+    for tuple in shard.iter() {
+        if shape.eq_checks.iter().all(|(a, b)| tuple[*a] == tuple[*b]) {
+            table
+                .tuples
+                .insert(shape.var_first.iter().map(|p| tuple[*p]).collect());
+        }
+    }
+    table
+}
+
+/// One unit of phase-1 work: a whole node, or one shard of a node whose
+/// relation was decomposed for parallel scanning.
+enum MatchTask<'a> {
+    Whole(usize),
+    Shard(usize, &'a Relation),
+}
+
+/// Phase 1 of Yannakakis: one match-set [`Table`] per join-tree node,
+/// computed in parallel per `(node, shard)` when the context allows it and
+/// merged by hash-set union.
+fn match_tables(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> Vec<Table> {
+    let n = plan.tree.len();
+    let serial = || -> Vec<Table> {
+        (0..n)
+            .map(|i| {
+                let atom = &plan.tree.atoms[i];
+                node_matches(
+                    &plan.shapes[i],
+                    atom.predicate,
+                    atom.arity(),
+                    db,
+                    &ctx.indexes,
+                )
+            })
+            .collect()
+    };
+    if ctx.parallelism <= 1 {
+        return serial();
+    }
+    let mut tasks: Vec<MatchTask<'_>> = Vec::with_capacity(n);
+    let mut shard_tasks = 0usize;
+    for i in 0..n {
+        let atom = &plan.tree.atoms[i];
+        let shard_set = if plan.shapes[i].const_positions.is_empty() {
+            ctx.shards_for(db, atom)
+        } else {
+            None
+        };
+        match shard_set {
+            Some(set) => {
+                for shard in set.shards() {
+                    tasks.push(MatchTask::Shard(i, shard));
+                    shard_tasks += 1;
+                }
+            }
+            None => tasks.push(MatchTask::Whole(i)),
+        }
+    }
+    // Honour the size gate: with no relation decomposed (everything under
+    // `min_parallel_rows`, or nothing scanned), the run stays serial rather
+    // than paying thread spawns for per-node tasks over small data.
+    if shard_tasks == 0 {
+        return serial();
+    }
+    let (partials, threads) = pool::parallel_map(ctx.parallelism, &tasks, |task| match task {
+        MatchTask::Whole(i) => {
+            let atom = &plan.tree.atoms[*i];
+            (
+                *i,
+                node_matches(
+                    &plan.shapes[*i],
+                    atom.predicate,
+                    atom.arity(),
+                    db,
+                    &ctx.indexes,
+                ),
+            )
+        }
+        MatchTask::Shard(i, shard) => (*i, node_matches_shard(&plan.shapes[*i], shard)),
+    });
+    ctx.note_parallel(shard_tasks, threads);
+    let mut tables: Vec<Table> = plan
+        .shapes
+        .iter()
+        .map(|shape| Table {
+            vars: shape.vars.clone(),
+            tuples: HashSet::new(),
+        })
+        .collect();
+    for (i, partial) in partials {
+        tables[i].tuples.extend(partial.tuples);
+    }
+    tables
+}
+
+fn run_yannakakis(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet<Vec<Term>> {
     let n = plan.tree.len();
     let mut answers = BTreeSet::new();
     if n == 0 {
@@ -287,19 +524,14 @@ fn run_yannakakis(
         return answers;
     }
 
-    // Phase 1: match sets.
-    let mut tables: Vec<Table> = (0..n)
-        .map(|i| {
-            let atom = &plan.tree.atoms[i];
-            node_matches(&plan.shapes[i], atom.predicate, atom.arity(), db, indexes)
-        })
-        .collect();
+    // Phase 1: match sets (per shard when parallel).
+    let mut tables = match_tables(plan, db, ctx);
 
     // Phase 2a: upward semijoin sweep (children into parents, leaves first).
     for &node in plan.order.iter().rev() {
         for &child in &plan.children[node] {
             let child_table = std::mem::replace(&mut tables[child], Table::unit());
-            tables[node].semijoin(&child_table);
+            tables[node].semijoin(&child_table, ctx);
             tables[child] = child_table;
         }
         if tables[node].tuples.is_empty() {
@@ -315,13 +547,14 @@ fn run_yannakakis(
     for &node in &plan.order {
         if let Some(parent) = plan.tree.parent[node] {
             let parent_table = std::mem::replace(&mut tables[parent], Table::unit());
-            tables[node].semijoin(&parent_table);
+            tables[node].semijoin(&parent_table, ctx);
             tables[parent] = parent_table;
         }
     }
 
     // Phase 3: bottom-up hash join, projecting each subtree onto its carry
-    // set as soon as it is joined.
+    // set as soon as it is joined.  Joins follow the tree structure and stay
+    // output-bounded, so this phase is kept serial.
     let mut joined: Vec<Option<Table>> = vec![None; n];
     for &node in plan.order.iter().rev() {
         let mut t = std::mem::replace(&mut tables[node], Table::unit());
@@ -345,7 +578,7 @@ fn run_yannakakis(
     answers
 }
 
-fn run_indexed(plan: &IndexedPlan, db: &Instance, indexes: &PlanIndexes) -> BTreeSet<Vec<Term>> {
+fn run_indexed(plan: &IndexedPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet<Vec<Term>> {
     // Resolve each step's snapshot index once, so the recursion below does no
     // hashing on the (predicate, columns) key per visited node.
     let step_indexes: Vec<Option<&Arc<crate::index::JoinIndex>>> = plan
@@ -355,16 +588,63 @@ fn run_indexed(plan: &IndexedPlan, db: &Instance, indexes: &PlanIndexes) -> BTre
         .map(|(step, &atom_idx)| {
             let bp = &plan.bound_positions[step];
             if bp.len() > 1 {
-                indexes.get(&(plan.query.body[atom_idx].predicate, bp.clone()))
+                ctx.indexes
+                    .get(&(plan.query.body[atom_idx].predicate, bp.clone()))
             } else {
                 None
             }
         })
         .collect();
+
+    // Parallel root: when the first step is an unbound scan and its relation
+    // has a cached shard decomposition, seed one backtracking worker per
+    // shard and merge the per-shard answer sets.
+    if ctx.parallelism > 1 && !plan.order.is_empty() && plan.bound_positions[0].is_empty() {
+        let atom = &plan.query.body[plan.order[0]];
+        if let Some(set) = ctx.shards_for(db, atom) {
+            let shards = set.shards();
+            let (partials, threads) = pool::parallel_map(ctx.parallelism, shards, |shard| {
+                let mut local = BTreeSet::new();
+                let mut state = Substitution::new();
+                for tuple in shard.iter() {
+                    try_match(plan, db, &step_indexes, 0, tuple, &mut state, &mut local);
+                }
+                local
+            });
+            ctx.note_parallel(shards.len(), threads);
+            let mut answers = BTreeSet::new();
+            for partial in partials {
+                answers.extend(partial);
+            }
+            return answers;
+        }
+    }
+
     let mut answers = BTreeSet::new();
     let mut state = Substitution::new();
     indexed_step(plan, db, &step_indexes, 0, &mut state, &mut answers);
     answers
+}
+
+/// Tries to extend `state` with `tuple` at step `depth`; on success recurses
+/// into the next step.  Shared by the serial walk and the per-shard workers.
+fn try_match(
+    plan: &IndexedPlan,
+    db: &Instance,
+    step_indexes: &[Option<&Arc<crate::index::JoinIndex>>],
+    depth: usize,
+    tuple: &[Term],
+    state: &mut Substitution,
+    answers: &mut BTreeSet<Vec<Term>>,
+) {
+    let atom = &plan.query.body[plan.order[depth]];
+    let target = sac_common::Atom::new(atom.predicate, tuple.to_vec());
+    let mut extended = state.clone();
+    if extended.match_atom(atom, &target) {
+        std::mem::swap(state, &mut extended);
+        indexed_step(plan, db, step_indexes, depth + 1, state, answers);
+        std::mem::swap(state, &mut extended);
+    }
 }
 
 fn indexed_step(
@@ -397,20 +677,9 @@ fn indexed_step(
     }
     let bp = &plan.bound_positions[depth];
 
-    let try_tuple =
-        |tuple: &[Term], state: &mut Substitution, answers: &mut BTreeSet<Vec<Term>>| {
-            let target = sac_common::Atom::new(atom.predicate, tuple.to_vec());
-            let mut extended = state.clone();
-            if extended.match_atom(atom, &target) {
-                std::mem::swap(state, &mut extended);
-                indexed_step(plan, db, step_indexes, depth + 1, state, answers);
-                std::mem::swap(state, &mut extended);
-            }
-        };
-
     if bp.is_empty() {
         for tuple in rel.iter() {
-            try_tuple(tuple, state, answers);
+            try_match(plan, db, step_indexes, depth, tuple, state, answers);
         }
         return;
     }
@@ -419,7 +688,7 @@ fn indexed_step(
         // The planner guarantees bound positions are bound; fall back to a
         // filtered scan if that invariant is ever violated.
         for tuple in scan_candidates(rel, atom, state) {
-            try_tuple(&tuple, state, answers);
+            try_match(plan, db, step_indexes, depth, &tuple, state, answers);
         }
         return;
     }
@@ -428,7 +697,7 @@ fn indexed_step(
         // the lookup directly.
         for &row in rel.rows_with(bp[0], key[0]) {
             let tuple = rel.row(row).expect("indexed row exists").to_vec();
-            try_tuple(&tuple, state, answers);
+            try_match(plan, db, step_indexes, depth, &tuple, state, answers);
         }
         return;
     }
@@ -436,12 +705,12 @@ fn indexed_step(
         Some(index) => {
             for &row in index.rows(&key) {
                 let tuple = rel.row(row).expect("indexed row exists").to_vec();
-                try_tuple(&tuple, state, answers);
+                try_match(plan, db, step_indexes, depth, &tuple, state, answers);
             }
         }
         None => {
             for tuple in scan_candidates(rel, atom, state) {
-                try_tuple(&tuple, state, answers);
+                try_match(plan, db, step_indexes, depth, &tuple, state, answers);
             }
         }
     }
@@ -475,11 +744,17 @@ mod tests {
     use sac_common::{atom, intern, Atom};
     use sac_query::{evaluate, ConjunctiveQuery};
 
-    fn run(q: &ConjunctiveQuery, db: &Instance) -> BTreeSet<Vec<Term>> {
+    fn run_at(q: &ConjunctiveQuery, db: &Instance, parallelism: usize) -> BTreeSet<Vec<Term>> {
         let plan = plan_query(q, &[], db, &EngineConfig::default());
         let mut cache = IndexCache::new(db);
-        let snapshot = cache.snapshot(db, &required_indexes(&plan));
-        execute_with(&plan, db, &snapshot)
+        let indexes = cache.snapshot(db, &required_indexes(&plan));
+        let shards = cache.snapshot_shards(db, &required_shards(&plan), parallelism, 0);
+        let ctx = ExecContext::new(indexes, shards, parallelism, 0);
+        execute_with(&plan, db, &ctx)
+    }
+
+    fn run(q: &ConjunctiveQuery, db: &Instance) -> BTreeSet<Vec<Term>> {
+        run_at(q, db, 1)
     }
 
     fn music_db() -> Instance {
@@ -543,7 +818,7 @@ mod tests {
     #[test]
     fn execution_degrades_to_scans_without_a_snapshot() {
         // Force the no-snapshot path: execute plans against an empty
-        // PlanIndexes map and check answers are still exact.
+        // context and check answers are still exact.
         let db = music_db();
         for q in [
             ConjunctiveQuery::new(
@@ -562,8 +837,12 @@ mod tests {
             .unwrap(),
         ] {
             let plan = plan_query(&q, &[], &db, &EngineConfig::default());
-            let empty = PlanIndexes::new();
-            assert_eq!(execute_with(&plan, &db, &empty), evaluate(&q, &db));
+            let ctx = ExecContext::serial(PlanIndexes::new());
+            assert_eq!(execute_with(&plan, &db, &ctx), evaluate(&q, &db));
+            // A parallel context with no shard snapshot also degrades
+            // cleanly (serial scans, identical answers).
+            let ctx = ExecContext::new(PlanIndexes::new(), PlanShards::new(), 4, 0);
+            assert_eq!(execute_with(&plan, &db, &ctx), evaluate(&q, &db));
         }
     }
 
@@ -603,6 +882,12 @@ mod tests {
         // The empty conjunction holds vacuously.
         let empty_q = ConjunctiveQuery::boolean(vec![]).unwrap();
         assert_eq!(run(&empty_q, &Instance::new()).len(), 1);
+        // The same holds at every parallelism level.
+        for par in [2, 4] {
+            assert_eq!(run_at(&q, &music_db(), par).len(), 1);
+            assert!(run_at(&q, &Instance::new(), par).is_empty());
+            assert_eq!(run_at(&empty_q, &Instance::new(), par).len(), 1);
+        }
     }
 
     #[test]
@@ -679,5 +964,63 @@ mod tests {
         ] {
             assert_eq!(run(&q, &db), evaluate(&q, &db), "disagreement on {q}");
         }
+    }
+
+    #[test]
+    fn parallel_execution_agrees_with_serial_on_every_strategy() {
+        let db = sac_gen::random_graph_database(14, 70, 19);
+        for q in [
+            sac_gen::path_query(3),   // acyclic → Yannakakis
+            sac_gen::star_query(4),   // acyclic, shared hub
+            sac_gen::cycle_query(3),  // cyclic core → indexed fallback
+            sac_gen::clique_query(3), // cyclic core → indexed fallback
+        ] {
+            let serial = run_at(&q, &db, 1);
+            for par in [2, 3, 4, 8] {
+                assert_eq!(
+                    run_at(&q, &db, par),
+                    serial,
+                    "parallelism {par} disagrees on {q}"
+                );
+            }
+            assert_eq!(serial, evaluate(&q, &db), "serial disagrees on {q}");
+        }
+    }
+
+    #[test]
+    fn parallel_runs_record_shard_tasks_and_threads() {
+        let db = sac_gen::random_graph_database(16, 80, 3);
+        let q = sac_gen::path_query(3);
+        let plan = plan_query(&q, &[], &db, &EngineConfig::default());
+        let mut cache = IndexCache::new(&db);
+        let indexes = cache.snapshot(&db, &required_indexes(&plan));
+        let shards = cache.snapshot_shards(&db, &required_shards(&plan), 4, 0);
+        assert!(!shards.is_empty(), "the path query scans E");
+        let ctx = ExecContext::new(indexes, shards, 4, 0);
+        let answers = execute_with(&plan, &db, &ctx);
+        assert_eq!(answers, evaluate(&q, &db));
+        assert!(ctx.shard_tasks() >= 4, "per-shard match tasks ran");
+        assert!(ctx.threads_spawned() > 0, "workers were spawned");
+    }
+
+    #[test]
+    fn required_shards_lists_scanned_predicates_once() {
+        let db = sac_gen::random_graph_database(8, 20, 1);
+        // Acyclic path: every node scans E, deduplicated to one entry.
+        let plan = plan_query(&sac_gen::path_query(3), &[], &db, &EngineConfig::default());
+        assert_eq!(required_shards(&plan), vec![intern("E")]);
+        // Constant-pinned atom: served by indexes, not shards.
+        let q =
+            ConjunctiveQuery::new(vec![intern("y")], vec![atom!("E", cst "n0", var "y")]).unwrap();
+        let plan = plan_query(&q, &[], &db, &EngineConfig::default());
+        assert!(required_shards(&plan).is_empty());
+        // Fallback: only the first (unbound) step scans.
+        let plan = plan_query(
+            &sac_gen::clique_query(3),
+            &[],
+            &db,
+            &EngineConfig::default(),
+        );
+        assert_eq!(required_shards(&plan), vec![intern("E")]);
     }
 }

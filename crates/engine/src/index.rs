@@ -1,27 +1,37 @@
-//! Lazily built, epoch-validated join-key indexes over an [`Instance`].
+//! Lazily built, epoch-validated join-key indexes and relation shards over
+//! an [`Instance`].
 //!
 //! `sac-storage` maintains single-column positional indexes incrementally on
 //! every insert.  Multi-column (join-key) indexes are too numerous to build
 //! eagerly — which column sets matter depends on the queries — so the engine
 //! builds them **on demand** through [`sac_storage::Relation::project_index`]
-//! and caches them here, keyed by `(predicate, column set)`.
+//! and caches them here, keyed by `(predicate, column set)`.  The same cache
+//! also holds **hash-partitioned shard decompositions**
+//! ([`sac_storage::Relation::partition_by`]) of the relations the parallel
+//! executor scans, keyed by `(predicate, shard count)`.
 //!
 //! Staleness is tracked with the instance's mutation [`Instance::epoch`]:
 //! the cache remembers the epoch it was built against, and
-//! [`IndexCache::note_insert`] lets the owner (the [`crate::Database`], which
-//! routes every mutation) advance the epoch while dropping only the indexes
-//! of the one predicate that actually changed.  If the cache ever observes an
-//! epoch it was not told about, it clears itself entirely — correctness never
-//! depends on the owner's diligence.
+//! [`IndexCache::note_growth`] lets the owner (the [`crate::Database`], which
+//! routes every mutation) advance the epoch while **incrementally extending**
+//! every cached index and shard set with its relation's appended rows —
+//! relations only ever grow, and they grow at the tail, so untouched
+//! predicates are an O(1) no-op and a single fact append is a handful of
+//! hash inserts instead of a full rebuild.  Nothing is dropped, the whole
+//! cache stays warm, and the catch-up covers even growth the owner forgot
+//! to announce earlier.  If the cache observes an unannounced epoch through
+//! [`IndexCache::ensure`], it still clears itself entirely — correctness
+//! never depends on the owner's diligence.
 //!
-//! Indexes are stored behind [`Arc`] so the concurrent [`crate::Database`]
-//! can hand an executing query a cheap `PlanIndexes` snapshot of exactly
-//! the indexes its plan needs: the executor then runs without touching the
-//! cache (no lock held), while later invalidations simply drop the cache's
-//! `Arc`s and leave in-flight snapshots intact.
+//! Indexes and shard sets are stored behind [`Arc`] so the concurrent
+//! [`crate::Database`] can hand an executing query cheap `PlanIndexes` /
+//! `PlanShards` snapshots of exactly what its plan needs: the executor
+//! then runs without touching the cache (no lock held), while later
+//! incremental updates copy-on-write (`Arc::make_mut`) and leave in-flight
+//! snapshots intact.
 
 use sac_common::{Symbol, Term};
-use sac_storage::Instance;
+use sac_storage::{Instance, Relation};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -31,9 +41,32 @@ use std::sync::Arc;
 pub struct JoinIndex {
     positions: Vec<usize>,
     map: HashMap<Vec<Term>, Vec<usize>>,
+    /// How many rows of the backing relation the index covers (relations are
+    /// append-only, so `rows_covered..rel.len()` is exactly the new tail).
+    rows_covered: usize,
 }
 
 impl JoinIndex {
+    fn build(rel: &Relation, positions: &[usize]) -> JoinIndex {
+        JoinIndex {
+            positions: positions.to_vec(),
+            map: rel.project_index(positions),
+            rows_covered: rel.len(),
+        }
+    }
+
+    /// Appends the rows the backing relation gained since the index was
+    /// built or last extended.  Row ids are pushed in ascending order, so the
+    /// result is identical to a from-scratch [`Relation::project_index`].
+    fn extend_from(&mut self, rel: &Relation) {
+        for row in self.rows_covered..rel.len() {
+            let tuple = rel.row(row).expect("row in range");
+            let key: Vec<Term> = self.positions.iter().map(|p| tuple[*p]).collect();
+            self.map.entry(key).or_default().push(row);
+        }
+        self.rows_covered = rel.len();
+    }
+
     /// The indexed column positions, in key order.
     pub fn positions(&self) -> &[usize] {
         &self.positions
@@ -48,18 +81,89 @@ impl JoinIndex {
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
     }
+
+    /// How many rows of the backing relation the index covers.
+    pub fn rows_covered(&self) -> usize {
+        self.rows_covered
+    }
+}
+
+/// A cached hash-partitioned decomposition of one relation: `k` disjoint
+/// sub-[`Relation`]s whose union is the original (see
+/// [`Relation::partition_by`]), maintained incrementally as the parent
+/// relation grows.  Parallel sweeps hand one shard to each worker and merge
+/// the per-shard results.
+///
+/// A decomposition roughly doubles the memory of its relation (the tuples
+/// are copied into the shards, each with its own positional indexes) and
+/// adds a few hash inserts to every announced insert — the price of shards
+/// that are real `Relation`s, with per-shard stats and indexes usable by
+/// future distributed execution.  The cost is bounded: decompositions are
+/// built only for relations the parallel executor actually scans and whose
+/// size clears the `min_parallel_rows` gate (see
+/// [`crate::ExecOptions::min_parallel_rows`]), and
+/// [`IndexCache::invalidate_all`] drops them wholesale.
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    col: usize,
+    shards: Vec<Relation>,
+    rows_covered: usize,
+}
+
+impl ShardSet {
+    fn build(rel: &Relation, col: usize, k: usize) -> ShardSet {
+        ShardSet {
+            col,
+            shards: rel.partition_by(col, k),
+            rows_covered: rel.len(),
+        }
+    }
+
+    /// Routes the rows the backing relation gained since the decomposition
+    /// was built or last extended into their hash shards.
+    fn extend_from(&mut self, rel: &Relation) {
+        let k = self.shards.len();
+        for row in self.rows_covered..rel.len() {
+            let tuple = rel.row(row).expect("row in range");
+            self.shards[Relation::shard_of(&tuple[self.col], k)].insert(tuple.to_vec());
+        }
+        self.rows_covered = rel.len();
+    }
+
+    /// The shards, in shard-id order.
+    pub fn shards(&self) -> &[Relation] {
+        &self.shards
+    }
+
+    /// The hash-partition column.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+
+    /// How many rows of the backing relation the decomposition covers.
+    pub fn rows_covered(&self) -> usize {
+        self.rows_covered
+    }
 }
 
 /// The indexes one plan execution works from: an immutable snapshot taken
 /// from the [`IndexCache`] right before the run, keyed like the cache.
 pub(crate) type PlanIndexes = HashMap<(Symbol, Vec<usize>), Arc<JoinIndex>>;
 
-/// An epoch-validated cache of [`JoinIndex`]es for one instance.
+/// The shard decompositions one parallel plan execution works from, keyed by
+/// predicate (the shard count is fixed per run by the configured
+/// parallelism).
+pub(crate) type PlanShards = HashMap<Symbol, Arc<ShardSet>>;
+
+/// An epoch-validated cache of [`JoinIndex`]es and [`ShardSet`]s for one
+/// instance.
 #[derive(Debug, Default)]
 pub struct IndexCache {
     epoch: u64,
     indexes: HashMap<(Symbol, Vec<usize>), Arc<JoinIndex>>,
+    shards: HashMap<(Symbol, usize), Arc<ShardSet>>,
     built: usize,
+    shard_sets_built: usize,
 }
 
 impl IndexCache {
@@ -67,8 +171,7 @@ impl IndexCache {
     pub fn new(db: &Instance) -> IndexCache {
         IndexCache {
             epoch: db.epoch(),
-            indexes: HashMap::new(),
-            built: 0,
+            ..IndexCache::default()
         }
     }
 
@@ -82,39 +185,82 @@ impl IndexCache {
         self.indexes.is_empty()
     }
 
-    /// Total number of indexes built over the cache's lifetime (cache misses).
+    /// Number of shard decompositions currently cached.
+    pub fn shard_sets(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of indexes built over the cache's lifetime (cache
+    /// misses; incremental extensions are not builds).
     pub fn built(&self) -> usize {
         self.built
     }
 
-    /// Resets the lifetime build counter (the cached indexes stay).
+    /// Total number of shard decompositions built over the cache's lifetime.
+    pub fn shard_sets_built(&self) -> usize {
+        self.shard_sets_built
+    }
+
+    /// Resets the lifetime build counters (the cached structures stay).
     pub fn reset_built(&mut self) {
         self.built = 0;
+        self.shard_sets_built = 0;
     }
 
-    /// Records that `db` gained one new atom for `predicate` (an
-    /// [`Instance::insert`] that returned `true`): only that predicate's
-    /// indexes are dropped, everything else stays warm.
-    pub fn note_insert(&mut self, db: &Instance, predicate: Symbol) {
-        self.indexes.retain(|(p, _), _| *p != predicate);
+    /// Records that `db` grew (one or more [`Instance::insert`]s that
+    /// returned `true`): **every** cached index and shard decomposition is
+    /// extended in place with its relation's appended rows — an idempotent
+    /// no-op for predicates whose `rows_covered` already matches, a few
+    /// hash inserts for the ones that grew.  Nothing is invalidated,
+    /// nothing needs rebuilding, and because no caller bookkeeping of
+    /// *which* predicates changed is involved, an earlier unannounced
+    /// mutation can never be masked: this call catches every structure up
+    /// to the current data.  Structures shared with an in-flight snapshot
+    /// are copied on write, so running queries keep their consistent view.
+    pub fn note_growth(&mut self, db: &Instance) {
+        // A vanished relation cannot happen through `Database`, which only
+        // inserts — but drop its derived structures rather than serve stale
+        // rows if a direct caller ever swaps the instance out from under us.
+        self.indexes.retain(|(p, _), _| db.relation(*p).is_some());
+        self.shards.retain(|(p, _), _| db.relation(*p).is_some());
+        for ((p, _), index) in self.indexes.iter_mut() {
+            let rel = db.relation(*p).expect("retained above");
+            // Only touch grown structures: `Arc::make_mut` would clone a
+            // snapshot-shared index even when there is nothing to append.
+            if index.rows_covered() < rel.len() {
+                Arc::make_mut(index).extend_from(rel);
+            }
+        }
+        for ((p, _), set) in self.shards.iter_mut() {
+            let rel = db.relation(*p).expect("retained above");
+            if set.rows_covered() < rel.len() {
+                Arc::make_mut(set).extend_from(rel);
+            }
+        }
         self.epoch = db.epoch();
     }
 
-    /// Drops every cached index and resynchronizes with `db`'s epoch.
+    /// Drops every cached index and shard decomposition and resynchronizes
+    /// with `db`'s epoch.
     pub fn invalidate_all(&mut self, db: &Instance) {
         self.indexes.clear();
+        self.shards.clear();
         self.epoch = db.epoch();
+    }
+
+    fn check_epoch(&mut self, db: &Instance) {
+        if db.epoch() != self.epoch {
+            // Unannounced mutation: discard everything rather than risk
+            // serving stale rows.
+            self.invalidate_all(db);
+        }
     }
 
     /// Ensures the index for `(predicate, positions)` exists and is current,
     /// building it from `db` if needed.  Returns `false` when `db` has no
     /// relation for `predicate` (nothing to index).
     pub fn ensure(&mut self, db: &Instance, predicate: Symbol, positions: &[usize]) -> bool {
-        if db.epoch() != self.epoch {
-            // Unannounced mutation: discard everything rather than risk
-            // serving stale rows.
-            self.invalidate_all(db);
-        }
+        self.check_epoch(db);
         let Some(rel) = db.relation(predicate) else {
             return false;
         };
@@ -123,12 +269,33 @@ impl IndexCache {
         }
         let key = (predicate, positions.to_vec());
         if !self.indexes.contains_key(&key) {
-            let index = JoinIndex {
-                positions: positions.to_vec(),
-                map: rel.project_index(positions),
-            };
             self.built += 1;
-            self.indexes.insert(key, Arc::new(index));
+            self.indexes
+                .insert(key, Arc::new(JoinIndex::build(rel, positions)));
+        }
+        true
+    }
+
+    /// Ensures the `k`-way shard decomposition of `predicate` (hash-
+    /// partitioned on column 0) exists and is current, building it from `db`
+    /// if needed.  Returns `false` when there is nothing to shard: no
+    /// relation, a zero-arity relation, or `k < 2`.
+    pub fn ensure_shards(&mut self, db: &Instance, predicate: Symbol, k: usize) -> bool {
+        if k < 2 {
+            return false;
+        }
+        self.check_epoch(db);
+        let Some(rel) = db.relation(predicate) else {
+            return false;
+        };
+        if rel.arity() == 0 {
+            return false;
+        }
+        let key = (predicate, k);
+        if !self.shards.contains_key(&key) {
+            self.shard_sets_built += 1;
+            self.shards
+                .insert(key, Arc::new(ShardSet::build(rel, 0, k)));
         }
         true
     }
@@ -139,6 +306,12 @@ impl IndexCache {
         self.indexes
             .get(&(predicate, positions.to_vec()))
             .map(|arc| &**arc)
+    }
+
+    /// The cached `k`-way shard decomposition for `predicate`, if
+    /// [`IndexCache::ensure_shards`] built one.
+    pub fn get_shards(&self, predicate: Symbol, k: usize) -> Option<&ShardSet> {
+        self.shards.get(&(predicate, k)).map(|arc| &**arc)
     }
 
     /// Ensures every index in `needed` and returns an immutable
@@ -156,6 +329,36 @@ impl IndexCache {
                 let key = (*predicate, positions.clone());
                 if let Some(arc) = self.indexes.get(&key) {
                     out.insert(key, Arc::clone(arc));
+                }
+            }
+        }
+        out
+    }
+
+    /// Ensures a `k`-way shard decomposition for every predicate in `needed`
+    /// whose relation holds at least `min_rows` tuples and returns an
+    /// immutable [`PlanShards`] snapshot over them.  Unshardable or
+    /// too-small entries are simply absent — the executor falls back to
+    /// serial scans for those, so small relations never pay the shard copy,
+    /// its incremental maintenance, or the per-query thread spawns.
+    pub(crate) fn snapshot_shards(
+        &mut self,
+        db: &Instance,
+        needed: &[Symbol],
+        k: usize,
+        min_rows: usize,
+    ) -> PlanShards {
+        let mut out = PlanShards::with_capacity(needed.len());
+        for &predicate in needed {
+            if db
+                .relation(predicate)
+                .is_none_or(|rel| rel.len() < min_rows)
+            {
+                continue;
+            }
+            if self.ensure_shards(db, predicate, k) {
+                if let Some(arc) = self.shards.get(&(predicate, k)) {
+                    out.insert(predicate, Arc::clone(arc));
                 }
             }
         }
@@ -189,6 +392,7 @@ mod tests {
         assert_eq!(idx.rows(&[Term::constant("a")]).len(), 2);
         assert_eq!(idx.rows(&[Term::constant("zzz")]).len(), 0);
         assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.rows_covered(), 3);
     }
 
     #[test]
@@ -201,7 +405,7 @@ mod tests {
     }
 
     #[test]
-    fn precise_invalidation_drops_only_the_touched_predicate() {
+    fn announced_inserts_extend_indexes_in_place() {
         let mut db = db();
         let mut cache = IndexCache::new(&db);
         cache.ensure(&db, intern("R"), &[0]);
@@ -209,14 +413,62 @@ mod tests {
         assert_eq!(cache.len(), 2);
 
         assert!(db.insert(atom!("R", cst "e", cst "f")).unwrap());
-        cache.note_insert(&db, intern("R"));
-        assert_eq!(cache.len(), 1, "only R's index is dropped");
-        assert!(cache.get(intern("S"), &[0]).is_some());
+        cache.note_growth(&db);
+        assert_eq!(cache.len(), 2, "nothing is dropped");
+        assert_eq!(cache.built(), 2, "no rebuild happened");
 
-        // Rebuilding R's index picks up the new row.
-        cache.ensure(&db, intern("R"), &[0]);
+        // The extended index serves the new row without a rebuild.
         let idx = cache.get(intern("R"), &[0]).unwrap();
-        assert_eq!(idx.rows(&[Term::constant("e")]).len(), 1);
+        assert_eq!(idx.rows(&[Term::constant("e")]), &[3]);
+        assert_eq!(idx.rows_covered(), 4);
+        // The untouched predicate's index is untouched.
+        assert!(cache.get(intern("S"), &[0]).is_some());
+    }
+
+    #[test]
+    fn incremental_extension_matches_a_from_scratch_build() {
+        let mut db = db();
+        let mut cache = IndexCache::new(&db);
+        cache.ensure(&db, intern("R"), &[0, 1]);
+        for (x, y) in [("e", "f"), ("a", "z"), ("e", "f")] {
+            db.insert(sac_common::Atom::from_parts(
+                "R",
+                vec![Term::constant(x), Term::constant(y)],
+            ))
+            .unwrap();
+            cache.note_growth(&db);
+        }
+        let mut fresh = IndexCache::new(&db);
+        fresh.ensure(&db, intern("R"), &[0, 1]);
+        let incremental = cache.get(intern("R"), &[0, 1]).unwrap();
+        let rebuilt = fresh.get(intern("R"), &[0, 1]).unwrap();
+        assert_eq!(incremental.distinct_keys(), rebuilt.distinct_keys());
+        for tuple in db.relation(intern("R")).unwrap().iter() {
+            assert_eq!(incremental.rows(tuple), rebuilt.rows(tuple));
+        }
+    }
+
+    #[test]
+    fn note_growth_catches_up_earlier_unannounced_growth() {
+        // Regression: growth that was never announced must not be masked by
+        // a later announcement about a *different* predicate — note_growth
+        // catches every cached structure up, not just the caller's hint.
+        let mut db = db();
+        let mut cache = IndexCache::new(&db);
+        cache.ensure(&db, intern("R"), &[0]);
+        cache.ensure_shards(&db, intern("R"), 2);
+        // Unannounced R growth…
+        assert!(db.insert(atom!("R", cst "u", cst "v")).unwrap());
+        // …followed by an announcement prompted by an S insert.
+        assert!(db.insert(atom!("S", cst "u")).unwrap());
+        cache.note_growth(&db);
+        let idx = cache.get(intern("R"), &[0]).unwrap();
+        assert_eq!(idx.rows(&[Term::constant("u")]), &[3]);
+        assert_eq!(idx.rows_covered(), 4);
+        assert_eq!(cache.get_shards(intern("R"), 2).unwrap().rows_covered(), 4);
+        // The cache is fully synchronized: ensure keeps it warm.
+        assert!(cache.ensure(&db, intern("R"), &[0]));
+        assert_eq!(cache.built(), 1, "no rebuild was needed");
     }
 
     #[test]
@@ -248,31 +500,86 @@ mod tests {
     }
 
     #[test]
-    fn snapshots_survive_invalidation() {
+    fn snapshots_keep_their_view_across_incremental_updates() {
         let mut db = db();
         let mut cache = IndexCache::new(&db);
         let needed = vec![(intern("R"), vec![0usize, 1]), (intern("Missing"), vec![0])];
         let snapshot = cache.snapshot(&db, &needed);
         assert_eq!(snapshot.len(), 1, "unbuildable entries are absent");
-        // Invalidate the cache: the snapshot's Arc keeps the index alive.
+        // Extend the cache: the snapshot's Arc forces copy-on-write, so the
+        // in-flight view stays pinned at the old rows while the cache serves
+        // the new ones.
         assert!(db.insert(atom!("R", cst "z", cst "z")).unwrap());
-        cache.note_insert(&db, intern("R"));
-        assert!(cache.get(intern("R"), &[0, 1]).is_none());
-        let idx = &snapshot[&(intern("R"), vec![0, 1])];
-        assert_eq!(
-            idx.rows(&[Term::constant("a"), Term::constant("b")]).len(),
-            1
-        );
+        cache.note_growth(&db);
+        let old = &snapshot[&(intern("R"), vec![0, 1])];
+        assert_eq!(old.rows(&[Term::constant("z"), Term::constant("z")]), &[]);
+        assert_eq!(old.rows_covered(), 3);
+        let new = cache.get(intern("R"), &[0, 1]).unwrap();
+        assert_eq!(new.rows(&[Term::constant("z"), Term::constant("z")]), &[3]);
     }
 
     #[test]
-    fn built_counter_resets_independently_of_contents() {
+    fn shard_sets_build_extend_and_snapshot() {
+        let mut db = db();
+        let mut cache = IndexCache::new(&db);
+        assert!(cache.ensure_shards(&db, intern("R"), 3));
+        assert!(!cache.ensure_shards(&db, intern("R"), 1), "k < 2 is serial");
+        assert!(!cache.ensure_shards(&db, intern("Missing"), 3));
+        assert_eq!(cache.shard_sets(), 1);
+        assert_eq!(cache.shard_sets_built(), 1);
+
+        let snapshot = cache.snapshot_shards(&db, &[intern("R"), intern("Missing")], 3, 0);
+        assert_eq!(snapshot.len(), 1);
+
+        // Incremental growth routes the new tuple into its hash shard and
+        // matches a from-scratch partition.
+        assert!(db.insert(atom!("R", cst "q", cst "r")).unwrap());
+        cache.note_growth(&db);
+        let set = cache.get_shards(intern("R"), 3).unwrap();
+        assert_eq!(set.rows_covered(), 4);
+        let rel = db.relation(intern("R")).unwrap();
+        let scratch = rel.partition_by(0, 3);
+        let total: usize = set.shards().iter().map(|s| s.len()).sum();
+        assert_eq!(total, rel.len());
+        for (inc, scr) in set.shards().iter().zip(&scratch) {
+            assert_eq!(inc.len(), scr.len());
+            for tuple in inc.iter() {
+                assert!(scr.contains(tuple));
+            }
+        }
+        // The snapshot taken before the insert still sees 3 rows.
+        let old_total: usize = snapshot[&intern("R")]
+            .shards()
+            .iter()
+            .map(|s| s.len())
+            .sum();
+        assert_eq!(old_total, 3);
+    }
+
+    #[test]
+    fn invalidate_all_drops_shards_too() {
+        let mut db = db();
+        let mut cache = IndexCache::new(&db);
+        cache.ensure(&db, intern("R"), &[0]);
+        cache.ensure_shards(&db, intern("R"), 2);
+        db.insert(atom!("R", cst "x", cst "y")).unwrap();
+        cache.invalidate_all(&db);
+        assert!(cache.is_empty());
+        assert_eq!(cache.shard_sets(), 0);
+    }
+
+    #[test]
+    fn built_counters_reset_independently_of_contents() {
         let db = db();
         let mut cache = IndexCache::new(&db);
         cache.ensure(&db, intern("R"), &[0]);
+        cache.ensure_shards(&db, intern("R"), 2);
         assert_eq!(cache.built(), 1);
+        assert_eq!(cache.shard_sets_built(), 1);
         cache.reset_built();
         assert_eq!(cache.built(), 0);
+        assert_eq!(cache.shard_sets_built(), 0);
         assert_eq!(cache.len(), 1, "indexes stay cached");
+        assert_eq!(cache.shard_sets(), 1, "shards stay cached");
     }
 }

@@ -60,6 +60,43 @@
 //! assert_eq!(db.metrics().plans_built, 1);
 //! ```
 //!
+//! ## Sharded parallel execution
+//!
+//! With [`Database::with_parallelism`] (or [`ExecOptions`]) above 1, the
+//! data-proportional phases of a run fan out over a scoped-thread worker
+//! pool, partitioned by cached hash shards of the scanned relations:
+//!
+//! ```text
+//!        Database::run / run_batch      ExecOptions { parallelism: k }
+//!                    │
+//!          plan cache (Arc<Plan>)            batch: one worker per query
+//!                    │
+//!     IndexCache snapshot (one short lock)
+//!     ├── PlanIndexes: multi-column join indexes   ──┐ both maintained
+//!     └── PlanShards:  R = R₀ ∪ R₁ ∪ … ∪ R_{k−1}   ──┘ incrementally on
+//!                    │        (hash-partitioned)       every insert
+//!       ┌────────────┼────────────┐
+//!    shard R₀     shard R₁  …  shard R_{k−1}     scoped worker pool:
+//!    match sets · semijoin chunks · fallback       claim-next-task,
+//!    search roots, one task per shard              join before return
+//!       └────────────┼────────────┘
+//!                    ▼
+//!        merge per-shard partials (set union)
+//!                    │
+//!         ResultSet (deterministic order)
+//! ```
+//!
+//! Merging is order-insensitive and the final answers are sorted, so a
+//! parallel run is **byte-identical** to the serial (`parallelism = 1`)
+//! run regardless of thread interleaving — the differential test suite
+//! asserts exactly this across every strategy rung.  Shard decompositions
+//! live in the same epoch-validated cache as the join indexes and are
+//! extended in place on every insert ([`IndexCache::note_growth`]), so a
+//! single fact append costs a few hash inserts instead of a rebuild.
+//! [`EngineMetrics::shard_tasks`] and [`EngineMetrics::threads_spawned`]
+//! make the fan-out observable even on single-core hosts, where wall-clock
+//! speedup cannot show.
+//!
 //! The legacy single-owner [`Engine`] survives as a deprecated shim over
 //! [`Database`]; see [`engine`] for the migration table.
 
@@ -69,12 +106,15 @@ mod error;
 mod exec;
 pub mod index;
 pub mod plan;
+mod pool;
 mod result;
 
-pub use database::{Database, EngineConfig, EngineMetrics, PreparedQuery, QuerySource};
+pub use database::{
+    Database, EngineConfig, EngineMetrics, ExecOptions, PreparedQuery, QuerySource,
+};
 #[allow(deprecated)]
 pub use engine::Engine;
 pub use error::{SacError, SacResult};
-pub use index::{IndexCache, JoinIndex};
+pub use index::{IndexCache, JoinIndex, ShardSet};
 pub use plan::{Explain, Plan, Strategy};
 pub use result::{ResultSet, Row};

@@ -226,7 +226,14 @@ pub(crate) fn plan_query(
     // Result column names always follow the *input* head (a verified witness
     // has the same head tuple, or it would not be answer-equivalent).
     let columns = head_columns(query);
-    let input_acyclic = if let Some(tree) = join_tree_of_atoms(&query.body) {
+    let input_tree = join_tree_of_atoms(&query.body);
+    let input_acyclic = input_tree.is_some();
+    if config.force_indexed {
+        // Differential-testing knob: skip both Yannakakis rungs and compile
+        // the fallback unconditionally (it is correct on every query).
+        return indexed_plan(query, db, input_acyclic, columns);
+    }
+    if let Some(tree) = input_tree {
         return yannakakis_plan(
             query.clone(),
             tree,
@@ -235,9 +242,7 @@ pub(crate) fn plan_query(
             db,
             columns,
         );
-    } else {
-        false
-    };
+    }
 
     if config.witness_search {
         let witness = if tgds.is_empty() {
@@ -563,6 +568,20 @@ mod tests {
         assert!(ip.bound_positions[0].is_empty(), "first atom scans");
         // Every later atom has at least one bound (index-keyed) position.
         assert!(ip.bound_positions[1..].iter().all(|bp| !bp.is_empty()));
+    }
+
+    #[test]
+    fn force_indexed_compiles_the_fallback_even_for_acyclic_queries() {
+        let db = graph_db(&[("a", "b"), ("b", "c")]);
+        let q = sac_gen::path_query(3);
+        let mut cfg = config();
+        cfg.force_indexed = true;
+        let plan = plan_query(&q, &[], &db, &cfg);
+        assert_eq!(plan.strategy(), Strategy::IndexedSearch);
+        assert!(
+            plan.explain().input_acyclic,
+            "the explain still reports the true shape"
+        );
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! A scoped-thread worker pool for the parallel execution paths.
+//!
+//! Std-only by design (no rayon, no global registry): each parallel region
+//! spawns at most `threads` scoped workers that pull tasks from a shared
+//! atomic cursor, and joins them before returning — so borrowed data
+//! (`&Instance`, plan structures, index snapshots) flows into workers
+//! without `Arc`s, and a panicking task propagates to the caller like any
+//! serial panic.
+//!
+//! Work distribution is dynamic (claim-next-index), which keeps skewed
+//! shards — a hash partition of a star graph puts the hub's tuples in one
+//! shard — from serializing the whole region behind one slow worker as long
+//! as there are more tasks than threads.
+//!
+//! Results come back **in task order**, regardless of which worker ran
+//! what, so parallel regions stay deterministic for everything downstream.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// Applies `f` to every item, using up to `threads` scoped workers, and
+/// returns the results in item order plus how many worker threads were
+/// actually spawned (0 when the region ran serially).
+///
+/// Runs serially when `threads <= 1` or there is at most one item; callers
+/// can rely on `parallel_map(1, ..)` being exactly a `map`.
+pub(crate) fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, usize)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return (items.iter().map(f).collect(), 0);
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+            });
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every task slot is filled before the scope joins")
+        })
+        .collect();
+    (results, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let (doubled, workers) = parallel_map(4, &items, |n| n * 2);
+        assert_eq!(workers, 4);
+        assert_eq!(doubled, (0..100).map(|n| n * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_fallbacks_spawn_no_threads() {
+        let items = [1, 2, 3];
+        let (r, workers) = parallel_map(1, &items, |n| n + 1);
+        assert_eq!((r, workers), (vec![2, 3, 4], 0));
+        let one = [7];
+        let (r, workers) = parallel_map(8, &one, |n| n + 1);
+        assert_eq!((r, workers), (vec![8], 0));
+        let empty: [i32; 0] = [];
+        let (r, workers) = parallel_map(8, &empty, |n| n + 1);
+        assert_eq!((r, workers), (Vec::new(), 0));
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_task_count() {
+        let items = [10, 20];
+        let (r, workers) = parallel_map(8, &items, |n| n / 10);
+        assert_eq!(r, vec![1, 2]);
+        assert_eq!(workers, 2);
+    }
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let base: Vec<String> = (0..20).map(|i| format!("v{i}")).collect();
+        let items: Vec<usize> = (0..20).collect();
+        let (r, _) = parallel_map(3, &items, |i| base[*i].len());
+        assert_eq!(r.iter().sum::<usize>(), base.iter().map(|s| s.len()).sum());
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate_to_the_caller() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = parallel_map(2, &items, |n| {
+            if *n == 5 {
+                panic!("boom");
+            }
+            *n
+        });
+    }
+}

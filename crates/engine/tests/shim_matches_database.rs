@@ -1,0 +1,104 @@
+//! Regression suite for the deprecated [`Engine`] shim: on an identical
+//! workload — queries across every strategy rung, interleaved inserts and
+//! bulk loads — the shim must return **byte-identical** results and metrics
+//! to the [`Database`] it wraps, so the deprecation path cannot silently
+//! drift from the core.
+
+#![allow(deprecated)]
+
+use sac_common::{Atom, Term};
+use sac_engine::{Database, Engine};
+use sac_query::ConjunctiveQuery;
+use sac_storage::Instance;
+
+fn workload() -> Vec<ConjunctiveQuery> {
+    vec![
+        sac_gen::path_query(2),           // acyclic → direct Yannakakis
+        sac_gen::star_query(3),           // acyclic → direct Yannakakis
+        sac_gen::looped_triangle_query(), // cyclic, acyclic core → witness
+        sac_gen::cycle_query(3),          // cyclic core → indexed fallback
+        sac_gen::clique_query(3),         // cyclic core → indexed fallback
+    ]
+}
+
+fn extra_facts() -> Instance {
+    Instance::from_atoms((0..6).map(|i| {
+        Atom::from_parts(
+            "E",
+            vec![
+                Term::constant(&format!("x{i}")),
+                Term::constant(&format!("x{}", (i + 1) % 6)),
+            ],
+        )
+    }))
+    .unwrap()
+}
+
+#[test]
+fn shim_and_database_return_identical_results_and_metrics() {
+    let data = sac_gen::random_graph_database(12, 50, 77);
+    let mut engine = Engine::new(data.clone());
+    let db = Database::from_instance(data);
+
+    // Identical interleaving on both sides: batch, insert, single runs,
+    // bulk load, batch again (second pass hits the plan caches).
+    let queries = workload();
+    let fresh = Atom::from_parts("E", vec![Term::constant("s0"), Term::constant("s1")]);
+
+    let shim_first = engine.run_batch(&queries);
+    assert!(engine.insert(fresh.clone()).unwrap());
+    let shim_single: Vec<_> = queries.iter().map(|q| engine.run(q)).collect();
+    engine.extend_from(&extra_facts()).unwrap();
+    let shim_second = engine.run_batch(&queries);
+
+    let db_first: Vec<_> = db
+        .run_batch(&queries)
+        .into_iter()
+        .map(|rs| rs.into_tuples())
+        .collect();
+    assert!(db.insert(fresh).unwrap());
+    let db_single: Vec<_> = queries.iter().map(|q| db.run(q).into_tuples()).collect();
+    db.extend_from(&extra_facts()).unwrap();
+    let db_second: Vec<_> = db
+        .run_batch(&queries)
+        .into_iter()
+        .map(|rs| rs.into_tuples())
+        .collect();
+
+    // Byte-identical answers at every step…
+    assert_eq!(format!("{shim_first:?}"), format!("{db_first:?}"));
+    assert_eq!(format!("{shim_single:?}"), format!("{db_single:?}"));
+    assert_eq!(format!("{shim_second:?}"), format!("{db_second:?}"));
+
+    // …and byte-identical metrics: same runs, same strategy counts, same
+    // cache behaviour, same index/shard accounting.
+    let shim_metrics = engine.metrics();
+    let db_metrics = db.metrics();
+    assert_eq!(shim_metrics, db_metrics);
+    assert_eq!(format!("{shim_metrics:?}"), format!("{db_metrics:?}"));
+    assert_eq!(format!("{shim_metrics}"), format!("{db_metrics}"));
+    assert_eq!(engine.cached_plans(), db.cached_plans());
+
+    // The workload really exercised all three rungs.
+    assert!(db_metrics.runs_yannakakis_direct > 0);
+    assert!(db_metrics.runs_yannakakis_witness > 0);
+    assert!(db_metrics.runs_indexed_search > 0);
+}
+
+#[test]
+fn shim_and_database_agree_under_constraints() {
+    let q = sac_gen::example1_triangle();
+    let data = sac_gen::music_database(25, 50, 3);
+    let tgds = vec![sac_gen::collector_tgd()];
+    let mut engine = Engine::new(data.clone()).with_tgds(tgds.clone());
+    let db = Database::from_instance(data).with_tgds(tgds);
+    assert_eq!(
+        format!("{:?}", engine.run(&q)),
+        format!("{:?}", db.run(&q).into_tuples())
+    );
+    assert_eq!(
+        format!("{:?}", engine.explain(&q)),
+        format!("{:?}", db.explain(&q))
+    );
+    assert_eq!(engine.metrics(), db.metrics());
+}

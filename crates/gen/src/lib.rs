@@ -26,5 +26,5 @@ pub use deps::{
 };
 pub use queries::{
     clique_query, cycle_query, example1_triangle, example2_query, example4_query, key_ring_query,
-    path_query, star_query,
+    looped_triangle_query, path_query, star_query,
 };

@@ -53,6 +53,23 @@ pub fn clique_query(n: usize) -> ConjunctiveQuery {
     ConjunctiveQuery::boolean(body).expect("clique query is well-formed")
 }
 
+/// A cyclic body (the directed triangle) plus the loop atom `E(w, w)`:
+/// every triangle variable retracts onto `w`, so the core is the single
+/// loop atom — acyclic.  The query is therefore semantically acyclic with
+/// **no constraints at all**, which makes it the canonical fixture for the
+/// engine's witness rung outside of tgd reasoning (directed cycles cannot
+/// serve: a `C_n` is its own core for every `n ≥ 3`, since the collapse
+/// onto `C_2` is not an endomorphism).
+pub fn looped_triangle_query() -> ConjunctiveQuery {
+    ConjunctiveQuery::boolean(vec![
+        Atom::from_parts("E", vec![var("x"), var("y")]),
+        Atom::from_parts("E", vec![var("y"), var("z")]),
+        Atom::from_parts("E", vec![var("z"), var("x")]),
+        Atom::from_parts("E", vec![var("w"), var("w")]),
+    ])
+    .expect("looped triangle is well-formed")
+}
+
 /// Example 1's triangle query `q(x,y) :- Interest(x,z), Class(y,z), Owns(x,y)`.
 pub fn example1_triangle() -> ConjunctiveQuery {
     ConjunctiveQuery::new(

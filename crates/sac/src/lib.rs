@@ -77,8 +77,8 @@ pub use sac_storage as storage;
 // The service façade, promoted to the crate root: `sac::Database` is the
 // front door for evaluation workloads.
 pub use sac_engine::{
-    Database, EngineConfig, EngineMetrics, PreparedQuery, QuerySource, ResultSet, Row, SacError,
-    SacResult,
+    Database, EngineConfig, EngineMetrics, ExecOptions, PreparedQuery, QuerySource, ResultSet, Row,
+    SacError, SacResult,
 };
 
 /// The most commonly used items, importable with `use sac::prelude::*`.
@@ -110,8 +110,8 @@ pub mod prelude {
     pub use sac_engine::Engine;
     pub use sac_engine::Strategy as PlanStrategy;
     pub use sac_engine::{
-        Database, EngineConfig, EngineMetrics, Explain, IndexCache, JoinIndex, Plan, PreparedQuery,
-        QuerySource, ResultSet, Row, SacError, SacResult,
+        Database, EngineConfig, EngineMetrics, ExecOptions, Explain, IndexCache, JoinIndex, Plan,
+        PreparedQuery, QuerySource, ResultSet, Row, SacError, SacResult, ShardSet,
     };
     pub use sac_parser::{parse_database, parse_egd, parse_program, parse_query, parse_tgd};
     pub use sac_query::{

@@ -1,0 +1,153 @@
+//! Property tests for the hash-partitioning invariants of
+//! [`sac_storage::Relation::partition_by`] and for the incremental
+//! maintenance of the storage layer's positional indexes: random insert
+//! sequences must leave every derived structure identical to a from-scratch
+//! rebuild.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_common::{intern, Term};
+use sac_storage::Relation;
+use std::collections::BTreeSet;
+
+/// A deterministic tuple stream over a small term universe: dense enough to
+/// produce duplicates (exercising dedup) and skew (several tuples per term).
+fn random_relation(arity: usize, tuples: usize, seed: u64) -> Relation {
+    let mut rel = Relation::new(intern("R"), arity);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..tuples {
+        let tuple: Vec<Term> = (0..arity)
+            .map(|_| Term::constant(&format!("c{}", rng.gen_range(0u64..11))))
+            .collect();
+        rel.insert(tuple);
+    }
+    rel
+}
+
+fn tuple_set(rel: &Relation) -> BTreeSet<Vec<Term>> {
+    rel.iter().map(|t| t.to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shards_partition_the_relation(
+        arity in 1usize..4,
+        tuples in 0usize..60,
+        k in 1usize..6,
+        col_pick in 0usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let rel = random_relation(arity, tuples, seed);
+        let col = col_pick % arity;
+        let shards = rel.partition_by(col, k);
+        prop_assert_eq!(shards.len(), k);
+
+        // Union of shards == original relation, and the shard sizes sum
+        // exactly (the shards are disjoint: each tuple has one hash home).
+        let mut union = BTreeSet::new();
+        let mut total = 0usize;
+        for (i, shard) in shards.iter().enumerate() {
+            prop_assert_eq!(shard.predicate(), rel.predicate());
+            prop_assert_eq!(shard.arity(), rel.arity());
+            for tuple in shard.iter() {
+                prop_assert_eq!(Relation::shard_of(&tuple[col], k), i);
+                union.insert(tuple.to_vec());
+            }
+            total += shard.len();
+        }
+        prop_assert_eq!(total, rel.len());
+        prop_assert_eq!(union, tuple_set(&rel));
+    }
+
+    #[test]
+    fn shard_stats_sum_to_relation_stats(
+        arity in 1usize..4,
+        tuples in 0usize..60,
+        k in 1usize..6,
+        col_pick in 0usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let rel = random_relation(arity, tuples, seed);
+        let col = col_pick % arity;
+        let shards = rel.partition_by(col, k);
+        let stats = rel.stats();
+
+        let shard_tuples: usize = shards.iter().map(|s| s.stats().tuples).sum();
+        prop_assert_eq!(shard_tuples, stats.tuples);
+
+        // On the partition column every distinct term lives in exactly one
+        // shard, so the distinct counts sum exactly; on other columns a term
+        // may appear in several shards, so the sum only bounds from above.
+        for pos in 0..arity {
+            let summed: usize = shards.iter().map(|s| s.distinct_at(pos)).sum();
+            if pos == col {
+                prop_assert_eq!(summed, rel.distinct_at(pos));
+            } else {
+                prop_assert!(summed >= rel.distinct_at(pos));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_positional_indexes_match_a_from_scratch_rebuild(
+        arity in 1usize..4,
+        tuples in 0usize..60,
+        seed in 0u64..10_000,
+    ) {
+        // `rel` grew tuple by tuple, maintaining its positional indexes
+        // incrementally on every insert; `rebuilt` receives the same tuples
+        // in one pass.  Every index lookup must agree, and both must agree
+        // with the ground truth of a full scan.
+        let rel = random_relation(arity, tuples, seed);
+        let mut rebuilt = Relation::new(rel.predicate(), rel.arity());
+        for tuple in rel.iter() {
+            rebuilt.insert(tuple.to_vec());
+        }
+        prop_assert_eq!(rebuilt.len(), rel.len());
+        for pos in 0..arity {
+            prop_assert_eq!(rel.distinct_at(pos), rebuilt.distinct_at(pos));
+            // project_index builds the single-column index from scratch;
+            // rows_with serves the incrementally maintained one.
+            let scratch = rel.project_index(&[pos]);
+            for (key, rows) in &scratch {
+                prop_assert_eq!(rel.rows_with(pos, key[0]), rows.as_slice());
+                let scan: Vec<usize> = rel
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t[pos] == key[0])
+                    .map(|(i, _)| i)
+                    .collect();
+                prop_assert_eq!(rows.as_slice(), scan.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_commutes_with_growth(
+        arity in 1usize..4,
+        first in 0usize..30,
+        second in 0usize..30,
+        k in 2usize..5,
+        seed in 0u64..10_000,
+    ) {
+        // Partitioning the grown relation == growing each shard with the
+        // appended tuples routed by hash: the engine's incremental shard
+        // maintenance relies on exactly this.
+        let full = random_relation(arity, first + second, seed);
+        let mut prefix = Relation::new(full.predicate(), full.arity());
+        for tuple in full.iter().take(first.min(full.len())) {
+            prefix.insert(tuple.to_vec());
+        }
+        let mut grown = prefix.partition_by(0, k);
+        for tuple in full.iter().skip(prefix.len()) {
+            grown[Relation::shard_of(&tuple[0], k)].insert(tuple.to_vec());
+        }
+        let scratch = full.partition_by(0, k);
+        for (g, s) in grown.iter().zip(&scratch) {
+            prop_assert_eq!(tuple_set(g), tuple_set(s));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The differential oracle suite: every generated query family runs through
+//! every plan-strategy rung — the planner's own pick, the forced indexed
+//! fallback, and (where applicable) the witness rung — at parallelism 1, 2
+//! and 4, and every configuration must return a [`ResultSet`] identical to
+//! naive homomorphism enumeration (sorted-tuple comparison; `ResultSet`
+//! equality also covers the column names).
+//!
+//! The suite prints one `differential digest:` line per test, a hash over
+//! the display form of every (query, answers) pair.  CI runs the suite
+//! twice under `--test-threads=1` and diffs those lines: any scheduling or
+//! iteration-order nondeterminism that leaks into results breaks the build.
+
+use sac::prelude::*;
+
+/// FNV-1a over the display form of everything the sweep produced: cheap,
+/// dependency-free, and stable across runs iff the results are.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Digest {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn absorb(&mut self, text: &str) {
+        for byte in text.bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+const PARALLELISM_LEVELS: [usize; 3] = [1, 2, 4];
+
+/// Every generated query family over the binary `E` graph schema, plus
+/// non-Boolean variants (projection exercises the join-back-up phase and
+/// the fallback's head materialization).
+fn graph_queries() -> Vec<ConjunctiveQuery> {
+    let mut queries = Vec::new();
+    for n in 1..=4 {
+        queries.push(sac::gen::path_query(n));
+        queries.push(sac::gen::star_query(n));
+    }
+    for n in 2..=5 {
+        queries.push(sac::gen::cycle_query(n));
+    }
+    queries.push(sac::gen::clique_query(3));
+    // Semantically acyclic with no constraints: drives the witness rung.
+    queries.push(sac::gen::looped_triangle_query());
+    // Non-Boolean path endpoints.
+    queries.push(
+        ConjunctiveQuery::new(
+            vec![intern("x0"), intern("x2")],
+            sac::gen::path_query(2).body,
+        )
+        .unwrap(),
+    );
+    // Non-Boolean cyclic query with projection.
+    queries.push(ConjunctiveQuery::new(vec![intern("x0")], sac::gen::cycle_query(3).body).unwrap());
+    queries
+}
+
+/// Runs `query` on `data` through one (config, parallelism) cell and
+/// returns the typed result set, asserting it matches the naive oracle.
+fn run_cell(
+    data: &Instance,
+    tgds: &[Tgd],
+    query: &ConjunctiveQuery,
+    force_indexed: bool,
+    parallelism: usize,
+    seen: &mut std::collections::BTreeSet<String>,
+    oracle: &std::collections::BTreeSet<Vec<Term>>,
+) -> ResultSet {
+    let config = EngineConfig {
+        force_indexed,
+        ..EngineConfig::default()
+    };
+    // min_parallel_rows 0 forces the parallel machinery (sharded match
+    // sets, semijoin chunks, per-shard fallback roots) even on these small
+    // oracle fixtures — the whole point of the sweep is to drive those
+    // paths, not the size gate.
+    let db = Database::from_instance(data.clone())
+        .with_tgds(tgds.to_vec())
+        .with_config(config)
+        .with_exec_options(ExecOptions {
+            parallelism,
+            min_parallel_rows: 0,
+        });
+    seen.insert(db.explain(query).strategy.to_string());
+    let result = db.run(query);
+    assert_eq!(
+        &result.clone().into_tuples(),
+        oracle,
+        "rung {} (forced={force_indexed}) at parallelism {parallelism} \
+         disagrees with naive evaluation on {query}",
+        db.explain(query).strategy,
+    );
+    result
+}
+
+#[test]
+fn every_rung_and_parallelism_level_matches_naive_evaluation() {
+    let databases = [
+        ("sparse graph", sac::gen::random_graph_database(10, 25, 7)),
+        ("dense graph", sac::gen::random_graph_database(14, 90, 41)),
+    ];
+    let mut digest = Digest::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for (name, data) in &databases {
+        for query in graph_queries() {
+            let oracle = evaluate(&query, data);
+            let mut cells: Vec<ResultSet> = Vec::new();
+            for parallelism in PARALLELISM_LEVELS {
+                for force_indexed in [false, true] {
+                    cells.push(run_cell(
+                        data,
+                        &[],
+                        &query,
+                        force_indexed,
+                        parallelism,
+                        &mut seen,
+                        &oracle,
+                    ));
+                }
+            }
+            // Every cell is identical to every other — including column
+            // names, row order and row count, not just the tuple sets.
+            for pair in cells.windows(2) {
+                assert_eq!(pair[0], pair[1], "cells disagree on {query} over {name}");
+            }
+            digest.absorb(&format!("{name} | {query} -> {}", cells[0]));
+        }
+    }
+    assert_eq!(
+        seen.into_iter().collect::<Vec<_>>(),
+        vec![
+            "indexed-search".to_owned(),
+            "yannakakis-direct".to_owned(),
+            "yannakakis-witness".to_owned(),
+        ],
+        "the sweep must exercise all three strategy rungs"
+    );
+    println!("differential digest: graph sweep {:016x}", digest.0);
+}
+
+#[test]
+fn witness_rung_under_tgds_matches_naive_at_every_parallelism() {
+    let data = sac::gen::music_database(30, 60, 5);
+    let tgds = vec![sac::gen::collector_tgd()];
+    let query = sac::gen::example1_triangle();
+    let oracle = evaluate(&query, &data);
+    let mut digest = Digest::new();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut cells = Vec::new();
+    for parallelism in PARALLELISM_LEVELS {
+        for force_indexed in [false, true] {
+            cells.push(run_cell(
+                &data,
+                &tgds,
+                &query,
+                force_indexed,
+                parallelism,
+                &mut seen,
+                &oracle,
+            ));
+        }
+    }
+    assert!(
+        seen.contains("yannakakis-witness"),
+        "the collector tgd must put Example 1 on the witness rung"
+    );
+    assert!(seen.contains("indexed-search"));
+    for pair in cells.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+    digest.absorb(&format!("{query} -> {}", cells[0]));
+    println!("differential digest: tgd witness {:016x}", digest.0);
+}
+
+#[test]
+fn parallel_batches_are_identical_to_serial_batches() {
+    let data = sac::gen::random_graph_database(12, 60, 19);
+    let workload: Vec<ConjunctiveQuery> = (0..3).flat_map(|_| graph_queries()).collect();
+    let serial = Database::from_instance(data.clone());
+    let expected = serial.run_batch(&workload);
+    let mut digest = Digest::new();
+    for parallelism in [2, 4] {
+        let parallel = Database::from_instance(data.clone()).with_parallelism(parallelism);
+        let got = parallel.run_batch(&workload);
+        assert_eq!(expected, got, "batch at parallelism {parallelism} drifted");
+        let m = parallel.metrics();
+        assert_eq!(m.queries_run, workload.len());
+        assert!(m.threads_spawned > 0, "the batch really fanned out");
+    }
+    for (query, result) in workload.iter().zip(&expected) {
+        digest.absorb(&format!("{query} -> {result}"));
+    }
+    println!("differential digest: batch sweep {:016x}", digest.0);
+}
