@@ -15,6 +15,27 @@
 //! * the **existential 1-cover game** `≡∃1c` of Chen & Dalmau, used by
 //!   Theorem 25 to evaluate semantically acyclic CQs under guarded tgds in
 //!   polynomial time.
+//!
+//! The GYO reduction decides acyclicity, produces the join tree, and
+//! Yannakakis evaluates over it in linear time:
+//!
+//! ```
+//! use sac_acyclic::{is_acyclic_query, join_tree_of_atoms, yannakakis_boolean};
+//! use sac_query::ConjunctiveQuery;
+//! use sac_storage::Instance;
+//!
+//! let path: ConjunctiveQuery = "q() :- E(X, Y), E(Y, Z).".parse().unwrap();
+//! let triangle: ConjunctiveQuery =
+//!     "q() :- E(X, Y), E(Y, Z), E(Z, X).".parse().unwrap();
+//! assert!(is_acyclic_query(&path) && !is_acyclic_query(&triangle));
+//!
+//! let tree = join_tree_of_atoms(&path.body).expect("acyclic ⇒ join tree");
+//! assert_eq!(tree.len(), 2);
+//!
+//! let db: Instance = "E(a, b). E(b, c).".parse().unwrap();
+//! // `None` would mean "not acyclic, can't use Yannakakis".
+//! assert_eq!(yannakakis_boolean(&path, &db), Some(true));
+//! ```
 
 pub mod cover_game;
 pub mod gyo;

@@ -1,0 +1,174 @@
+//! E14 — materialized-view maintenance: incremental refresh vs full
+//! recompute on an append-heavy acyclic workload.
+//!
+//! For each database size, a base random graph is loaded, an acyclic
+//! standing query is registered with `Database::materialize_with`
+//! (`auto_refresh: false` — the batch-ingestion shape), and a reproducible
+//! stream of edge batches is ingested.  After every batch the experiment
+//! times (a) the view's incremental refresh — the delta pushed through the
+//! cached join tree — and (b) a from-scratch `Database::run` of the same
+//! query, i.e. what serving the standing query without a view would cost.
+//!
+//! **Differential gate:** after every single batch the maintained
+//! `ResultSet` is asserted identical to the recomputed one (columns, rows,
+//! order) before anything is reported — a perf experiment must not quietly
+//! measure wrong answers.
+//!
+//! The experiment always writes `BENCH_e14.json` at the workspace root and
+//! prints the same table; `--json` additionally echoes the JSON to stdout.
+//! The headline number is `speedup` at the largest size: total recompute
+//! seconds over total incremental-refresh seconds across the stream.
+
+use sac::prelude::*;
+use sac_bench::{json_document, json_object, write_workspace_file};
+use std::time::Instant;
+
+/// (label, nodes, base edges) — degree stays ~12 so the answer sets scale
+/// with the database and the batch keeps its size across the sweep.
+const SIZES: [(&str, usize, usize); 3] = [
+    ("small", 150, 1_800),
+    ("medium", 300, 3_600),
+    ("large", 600, 7_200),
+];
+const BATCHES: usize = 10;
+const BATCH_EDGES: usize = 100;
+
+struct ViewCase {
+    label: &'static str,
+    query: ConjunctiveQuery,
+}
+
+fn cases() -> Vec<ViewCase> {
+    vec![
+        // The headline append-heavy acyclic workload: a large maintained
+        // answer set that a recompute re-derives in full every batch.
+        ViewCase {
+            label: "2path-endpoints",
+            query: "q(X, Z) :- E(X, Y), E(Y, Z).".parse().expect("valid query"),
+        },
+        // Contrast case: a tiny answer set whose delta fan-out is a large
+        // fraction of the database — the worst shape for maintenance; its
+        // speedup grows with size but stays modest.
+        ViewCase {
+            label: "hub-3rays",
+            query: "q(C) :- E(C, L0), E(C, L1), E(C, L2)."
+                .parse()
+                .expect("valid query"),
+        },
+    ]
+}
+
+fn main() {
+    println!(
+        "e14 — view maintenance vs recompute ({BATCHES} batches x {BATCH_EDGES} edges per size):"
+    );
+    println!(
+        "{:>8} {:>18} {:>9} {:>12} {:>14} {:>12} {:>9}",
+        "size", "view", "answers", "refresh s", "recompute s", "modes", "speedup"
+    );
+    let mut rows = Vec::new();
+    let mut headline_speedup = 0.0f64;
+    for (size_label, nodes, base_edges) in SIZES {
+        for case in cases() {
+            let (base, stream) =
+                sac::gen::streaming_graph_workload(nodes, base_edges, BATCHES, BATCH_EDGES, 77);
+            let db = Database::from_instance(base);
+            let view = db
+                .materialize_with(
+                    &case.query,
+                    ViewOptions {
+                        auto_refresh: false,
+                        ..ViewOptions::default()
+                    },
+                )
+                .expect("generated query is valid");
+            assert_eq!(
+                view.strategy(),
+                PlanStrategy::YannakakisDirect,
+                "the workload is meant to exercise the incremental rung"
+            );
+            // Warm the recompute path's plan cache so the comparison is
+            // maintenance vs execution, not maintenance vs planning.
+            let _ = db.run(&case.query);
+
+            let mut refresh_secs = 0.0f64;
+            let mut recompute_secs = 0.0f64;
+            let mut incremental = 0usize;
+            let mut full = 0usize;
+            for batch in &stream {
+                for atom in batch {
+                    db.insert(atom.clone()).expect("consistent append");
+                }
+                let start = Instant::now();
+                let report = view.refresh();
+                refresh_secs += start.elapsed().as_secs_f64();
+                match report.mode {
+                    RefreshMode::Incremental => incremental += 1,
+                    RefreshMode::Full => full += 1,
+                    RefreshMode::Fresh => {}
+                }
+                let start = Instant::now();
+                let recomputed = db.run(&case.query);
+                recompute_secs += start.elapsed().as_secs_f64();
+                // The differential gate: maintained == recomputed, cell for
+                // cell, after every batch.
+                assert_eq!(
+                    view.snapshot(),
+                    recomputed,
+                    "maintained view drifted from recomputation ({} at {size_label})",
+                    case.label
+                );
+            }
+            let speedup = recompute_secs / refresh_secs.max(f64::EPSILON);
+            if size_label == "large" && case.label == "2path-endpoints" {
+                headline_speedup = speedup;
+            }
+            println!(
+                "{size_label:>8} {:>18} {:>9} {refresh_secs:>12.4} {recompute_secs:>14.4} {:>12} {speedup:>8.1}x",
+                case.label,
+                view.len(),
+                format!("{incremental}i/{full}f"),
+            );
+            rows.push(json_object(&[
+                ("size", format!("\"{size_label}\"")),
+                ("view", format!("\"{}\"", case.label)),
+                ("nodes", nodes.to_string()),
+                ("base_edges", base_edges.to_string()),
+                ("batches", BATCHES.to_string()),
+                ("batch_edges", BATCH_EDGES.to_string()),
+                ("final_answers", view.len().to_string()),
+                ("incremental_refreshes", incremental.to_string()),
+                ("full_refreshes", full.to_string()),
+                ("refresh_total_secs", format!("{refresh_secs:.6}")),
+                ("recompute_total_secs", format!("{recompute_secs:.6}")),
+                ("speedup_incremental_vs_recompute", format!("{speedup:.2}")),
+            ]));
+        }
+    }
+    let doc = json_document(
+        "e14_view_maintenance",
+        &[
+            ("batches", BATCHES.to_string()),
+            ("batch_edges", BATCH_EDGES.to_string()),
+            (
+                "headline_speedup_large_acyclic",
+                format!("{headline_speedup:.2}"),
+            ),
+            (
+                "gate",
+                "\"maintained ResultSet asserted identical to recompute after every batch\""
+                    .to_owned(),
+            ),
+        ],
+        &rows,
+    );
+    let path = write_workspace_file("BENCH_e14.json", &doc);
+    println!(
+        "\nheadline: incremental refresh {headline_speedup:.1}x over full recompute \
+         (large acyclic workload)"
+    );
+    println!("wrote {}", path.display());
+    if sac_bench::json_flag() {
+        print!("{doc}");
+    }
+}

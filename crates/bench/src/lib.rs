@@ -1,20 +1,21 @@
 //! # sac-bench
 //!
 //! Criterion benchmark harness reproducing every figure/example experiment of
-//! the paper (see DESIGN.md §4 for the experiment index E1–E13 and
+//! the paper (see DESIGN.md §4 for the experiment index E1–E14 and
 //! EXPERIMENTS.md for recorded results).  Shared helpers live here; each
 //! `benches/eN_*.rs` target regenerates one experiment, and the
 //! `complexity_table` / `experiment_report` binaries print the summary tables.
 //!
 //! ## Machine-readable results
 //!
-//! The engine-facing benches (`e11`, `e12`, `e13`) support a `--json` flag
+//! The engine-facing benches (`e11`–`e14`) support a `--json` flag
 //! (`cargo bench --bench e11_engine_vs_naive -- --json`): instead of the
 //! criterion rows they run a compact self-timed sweep and write a
 //! `BENCH_eNN.json` file at the workspace root (and echo it to stdout), so
 //! the bench trajectory can be recorded and diffed across commits.
-//! `e13_parallel_speedup` always writes its JSON — it *is* the machine-
-//! readable experiment.
+//! `e13_parallel_speedup` and `e14_view_maintenance` always write their
+//! JSON — they *are* the machine-readable experiments; `e14`'s numbers are
+//! gated by a per-batch differential check (maintained view == recompute).
 
 use criterion::Criterion;
 use std::path::PathBuf;

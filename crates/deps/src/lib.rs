@@ -13,6 +13,25 @@
 //!   *body-connected* sets,
 //! * the **connecting operator** of Section 4, the generic reduction used for
 //!   all of the paper's lower bounds (Proposition 13).
+//!
+//! Dependencies parse from the workspace's arrow syntax and classify
+//! themselves into the paper's decidability-relevant classes:
+//!
+//! ```
+//! use sac_deps::{classify_tgds, is_sticky, Tgd};
+//!
+//! let inclusion: Tgd = "Owns(X, Y) -> Record(Y).".parse().unwrap();
+//! let collector: Tgd = "Interest(X, Z), Class(Y, Z) -> Owns(X, Y).".parse().unwrap();
+//!
+//! let class = classify_tgds(&[inclusion.clone()]);
+//! assert!(class.linear && class.guarded && class.full);
+//! // Example 1's collector tgd is full (no existentials) but not linear…
+//! let class = classify_tgds(&[collector.clone()]);
+//! assert!(class.full && !class.linear);
+//! // …and the marking procedure of Figure 1 separates the two: inclusion
+//! // dependencies are sticky, the collector tgd joins on a marked variable.
+//! assert!(is_sticky(&[inclusion]) && !is_sticky(&[collector]));
+//! ```
 
 pub mod classify;
 pub mod connecting;

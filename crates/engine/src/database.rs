@@ -23,12 +23,15 @@
 //! against in-flight snapshots), so a snapshot taken under any read guard
 //! is always consistent with the data it runs against.
 //!
-//! Lock order (outer to inner): `tgds` → `instance` → `indexes`, and
-//! `tgds` → `plans`; the plan cache is never held while acquiring another
-//! lock.  Planning publishes into the cache while still holding the tgds
-//! read guard, so [`Database::set_tgds`] (write guard held across its cache
-//! clear) can never observe — or be overtaken by — a plan compiled under
-//! constraints it just replaced.
+//! Lock order (outer to inner): `tgds` → `instance` → `views` registry →
+//! per-view state → `indexes`, and `tgds` → `plans`; the plan cache is
+//! never held while acquiring another lock.  Planning publishes into the
+//! cache while still holding the tgds read guard, so [`Database::set_tgds`]
+//! (write guard held across its cache clear) can never observe — or be
+//! overtaken by — a plan compiled under constraints it just replaced.
+//! Materialized-view maintenance runs under the same write guard as the
+//! data change (see [`crate::view`]), so freshness is atomic with
+//! visibility.
 
 use crate::error::{SacError, SacResult};
 use crate::exec;
@@ -36,6 +39,7 @@ use crate::index::{IndexCache, PlanShards};
 use crate::plan::{plan_query, Explain, Plan, Strategy};
 use crate::pool;
 use crate::result::ResultSet;
+use crate::view::{MaterializedView, RefreshMode, ViewCore, ViewOptions, ViewRefresh};
 use sac_common::{Atom, Symbol};
 use sac_core::SemAcConfig;
 use sac_deps::Tgd;
@@ -44,7 +48,7 @@ use sac_storage::{Instance, InstanceStats};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 
 /// Planner knobs.
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +136,18 @@ pub struct EngineMetrics {
     /// Scoped worker threads spawned across all parallel regions (batch
     /// fan-out and per-shard sweeps).  Zero on the serial path.
     pub threads_spawned: usize,
+    /// Materialized views registered over the session's lifetime
+    /// ([`Database::materialize`] calls).
+    pub views_registered: usize,
+    /// View refreshes served by the incremental path (delta pushed through
+    /// the cached join tree).
+    pub view_refreshes_incremental: usize,
+    /// View refreshes served by full recompute (initial materializations,
+    /// witness/indexed-rung plans, oversized deltas).
+    pub view_refreshes_full: usize,
+    /// Appended rows consumed by incremental view refreshes — the total
+    /// "Δ" that maintenance was proportional to instead of the database.
+    pub view_delta_rows: usize,
 }
 
 impl EngineMetrics {
@@ -159,7 +175,7 @@ impl fmt::Display for EngineMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} runs ({} planned, {} cache hits, {:.0}% hit rate); strategies: {} direct / {} witness / {} fallback; {} indexes + {} shard sets built; {} shard tasks on {} worker threads",
+            "{} runs ({} planned, {} cache hits, {:.0}% hit rate); strategies: {} direct / {} witness / {} fallback; {} indexes + {} shard sets built; {} shard tasks on {} worker threads; {} views ({} incremental / {} full refreshes, {} delta rows)",
             self.queries_run,
             self.plans_built,
             self.plan_cache_hits,
@@ -171,6 +187,10 @@ impl fmt::Display for EngineMetrics {
             self.shard_sets_built,
             self.shard_tasks,
             self.threads_spawned,
+            self.views_registered,
+            self.view_refreshes_incremental,
+            self.view_refreshes_full,
+            self.view_delta_rows,
         )
     }
 }
@@ -186,6 +206,10 @@ struct MetricCounters {
     runs_indexed_search: AtomicUsize,
     shard_tasks: AtomicUsize,
     threads_spawned: AtomicUsize,
+    views_registered: AtomicUsize,
+    view_refreshes_incremental: AtomicUsize,
+    view_refreshes_full: AtomicUsize,
+    view_delta_rows: AtomicUsize,
 }
 
 impl MetricCounters {
@@ -211,6 +235,10 @@ impl MetricCounters {
             shard_sets_built,
             shard_tasks: self.shard_tasks.load(Ordering::Relaxed),
             threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
+            views_registered: self.views_registered.load(Ordering::Relaxed),
+            view_refreshes_incremental: self.view_refreshes_incremental.load(Ordering::Relaxed),
+            view_refreshes_full: self.view_refreshes_full.load(Ordering::Relaxed),
+            view_delta_rows: self.view_delta_rows.load(Ordering::Relaxed),
         }
     }
 
@@ -223,6 +251,10 @@ impl MetricCounters {
         self.runs_indexed_search.store(0, Ordering::Relaxed);
         self.shard_tasks.store(0, Ordering::Relaxed);
         self.threads_spawned.store(0, Ordering::Relaxed);
+        self.views_registered.store(0, Ordering::Relaxed);
+        self.view_refreshes_incremental.store(0, Ordering::Relaxed);
+        self.view_refreshes_full.store(0, Ordering::Relaxed);
+        self.view_delta_rows.store(0, Ordering::Relaxed);
     }
 }
 
@@ -294,6 +326,10 @@ pub struct Database {
     exec: ExecOptions,
     plans: RwLock<HashMap<PlanKey, Arc<Plan>>>,
     indexes: Mutex<IndexCache>,
+    /// Registered materialized views, held weakly: dropping every
+    /// [`MaterializedView`] handle unregisters its view (dead entries are
+    /// pruned on the next registration or growth).
+    views: RwLock<Vec<Weak<ViewCore>>>,
     metrics: MetricCounters,
 }
 
@@ -319,6 +355,7 @@ impl Database {
             exec: ExecOptions::default(),
             plans: RwLock::new(HashMap::new()),
             indexes,
+            views: RwLock::new(Vec::new()),
             metrics: MetricCounters::default(),
         }
     }
@@ -462,6 +499,7 @@ impl Database {
             // concurrent run can snapshot between the data change and the
             // maintenance.
             self.lock_indexes().note_growth(&instance);
+            self.refresh_auto_views(&instance);
         }
         Ok(added)
     }
@@ -489,15 +527,17 @@ impl Database {
                 Ok(true) => added += 1,
                 Ok(false) => {}
                 Err(e) => {
-                    // Partial batch: catch the caches up with whatever was
-                    // applied before surfacing the error.
+                    // Partial batch: catch the caches (and auto views) up
+                    // with whatever was applied before surfacing the error.
                     self.lock_indexes().note_growth(&instance);
+                    self.refresh_auto_views(&instance);
                     return Err(e);
                 }
             }
         }
         if added > 0 {
             self.lock_indexes().note_growth(&instance);
+            self.refresh_auto_views(&instance);
         }
         Ok(added)
     }
@@ -638,13 +678,238 @@ impl Database {
         // the snapshots stay consistent with the data for the whole run).
         let ctx = exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows);
         let tuples = exec::execute_with(plan, &instance, &ctx);
+        self.note_exec_work(&ctx);
+        ResultSet::from_tuples(Arc::clone(plan.columns()), tuples)
+    }
+
+    /// Registers `source` as a [`MaterializedView`] with default
+    /// [`ViewOptions`]: the answer set is computed now, stored, and then
+    /// **maintained** under every append — incrementally (delta push
+    /// through the cached join tree) on the [`Strategy::YannakakisDirect`]
+    /// rung, by recompute otherwise.  See [`crate::view`] for the
+    /// maintenance model.
+    ///
+    /// Cost shape to be aware of: with the default `auto_refresh`, a view
+    /// whose plan is **not** on the direct rung pays a full recompute on
+    /// every mutation call, under the instance write guard.  For such
+    /// views — or for per-fact `insert` loops generally — prefer batched
+    /// appends ([`Database::load_facts`] / [`Database::extend_from`]
+    /// refresh once per batch) or [`Database::materialize_with`] with
+    /// `auto_refresh: false` and one explicit refresh per batch.
+    pub fn materialize<Q: QuerySource>(&self, source: Q) -> SacResult<MaterializedView<'_>> {
+        self.materialize_with(source, ViewOptions::default())
+    }
+
+    /// [`Database::materialize`] with explicit maintenance options — e.g.
+    /// `auto_refresh: false` for batch ingestion, where one explicit
+    /// [`MaterializedView::refresh`] per append batch replaces per-insert
+    /// maintenance.
+    pub fn materialize_with<Q: QuerySource>(
+        &self,
+        source: Q,
+        options: ViewOptions,
+    ) -> SacResult<MaterializedView<'_>> {
+        let query = source.into_query()?;
+        let plan = self.plan_arc(&query);
+        let core = Arc::new(ViewCore::new(query, plan, options));
+        {
+            // Initial materialization AND registration under one instance
+            // read guard: an append between the two would run its
+            // auto-refresh pass without seeing the view, leaving an
+            // auto_refresh view silently stale at birth.
+            let instance = self.read_instance();
+            self.refresh_core(&core, &instance);
+            let mut views = self.write_views();
+            views.retain(|weak| weak.strong_count() > 0);
+            views.push(Arc::downgrade(&core));
+        }
+        self.metrics
+            .views_registered
+            .fetch_add(1, Ordering::Relaxed);
+        Ok(MaterializedView::new(self, core))
+    }
+
+    /// Number of currently registered (live) materialized views.
+    pub fn registered_views(&self) -> usize {
+        self.read_views()
+            .iter()
+            .filter(|weak| weak.strong_count() > 0)
+            .count()
+    }
+
+    /// [`MaterializedView::refresh`]: catch one view up with the current
+    /// data.
+    pub(crate) fn view_refresh(&self, core: &ViewCore) -> ViewRefresh {
+        let instance = self.read_instance();
+        self.refresh_core(core, &instance)
+    }
+
+    /// [`MaterializedView::is_fresh`]: whether no relation the view reads
+    /// has grown past the view's cursor.
+    pub(crate) fn view_is_fresh(&self, core: &ViewCore) -> bool {
+        let instance = self.read_instance();
+        let state = core.lock_state();
+        let Some(cursor) = &state.cursor else {
+            return false;
+        };
+        if cursor.epoch() == instance.epoch() {
+            return true;
+        }
+        instance
+            .delta_since(cursor)
+            .iter()
+            .all(|delta| !core.relevant.contains(&delta.predicate))
+    }
+
+    /// Catches every live auto-refresh view up with `instance`.  Called by
+    /// the mutation paths under the instance write guard, so a reader that
+    /// can observe the new facts can also observe the refreshed views.
+    fn refresh_auto_views(&self, instance: &Instance) {
+        // Read lock only on the hot path; the registry is rewritten (to
+        // prune) only when a dead weak was actually observed.
+        let (cores, saw_dead) = {
+            let views = self.read_views();
+            if views.is_empty() {
+                return; // the common no-views case: one read lock, no scan
+            }
+            let mut cores: Vec<Arc<ViewCore>> = Vec::with_capacity(views.len());
+            let mut saw_dead = false;
+            for weak in views.iter() {
+                match weak.upgrade() {
+                    Some(core) => cores.push(core),
+                    None => saw_dead = true,
+                }
+            }
+            (cores, saw_dead)
+        };
+        if saw_dead {
+            self.write_views().retain(|weak| weak.strong_count() > 0);
+        }
+        for core in cores {
+            if core.options.auto_refresh {
+                self.refresh_core(&core, instance);
+            }
+        }
+    }
+
+    /// The maintenance workhorse: brings `core` up to date with `instance`
+    /// (which the caller holds a guard over) and records what that took.
+    ///
+    /// Refresh decision, in order: not grown (or grown only off the view's
+    /// schema) → nothing; an already-true Boolean view → nothing (CQs are
+    /// monotone, true stays true); a direct-rung plan with a delta under
+    /// [`ViewOptions::max_incremental_fraction`] → push the delta through
+    /// the join tree; otherwise → recompute.
+    fn refresh_core(&self, core: &ViewCore, instance: &Instance) -> ViewRefresh {
+        let mut state = core.lock_state();
+        if let Some(cursor) = &state.cursor {
+            if cursor.epoch() == instance.epoch() {
+                return ViewRefresh::FRESH;
+            }
+        }
+        let initialized = state.cursor.is_some();
+        let mut watermarks: HashMap<Symbol, usize> = HashMap::new();
+        let mut delta_rows = 0usize;
+        if let Some(cursor) = &state.cursor {
+            for delta in instance.delta_since(cursor) {
+                if core.relevant.contains(&delta.predicate) {
+                    delta_rows += delta.len();
+                    watermarks.insert(delta.predicate, delta.from_row);
+                }
+            }
+        }
+        if initialized && watermarks.is_empty() {
+            // Growth only on predicates the view never reads.
+            state.cursor = Some(instance.delta_cursor());
+            return ViewRefresh::FRESH;
+        }
+        if initialized && core.plan.columns().is_empty() && !state.answers.is_empty() {
+            // A satisfied Boolean view can never become unsatisfied under
+            // appends: skip the evaluation entirely.
+            state.cursor = Some(instance.delta_cursor());
+            return ViewRefresh {
+                mode: RefreshMode::Fresh,
+                delta_rows,
+                rows_added: 0,
+            };
+        }
+
+        let relevant_rows: usize = core
+            .relevant
+            .iter()
+            .filter_map(|p| instance.relation(*p))
+            .map(|rel| rel.len())
+            .sum();
+        let incremental = initialized
+            && core.plan.strategy() == Strategy::YannakakisDirect
+            && (delta_rows as f64) <= core.options.max_incremental_fraction * relevant_rows as f64;
+        let before = state.answers.len();
+        let parallelism = self.exec.parallelism;
+        let mode = if incremental {
+            let indexes = self
+                .lock_indexes()
+                .snapshot(instance, &core.incremental_indexes);
+            let ctx = exec::ExecContext::new(
+                indexes,
+                PlanShards::new(),
+                parallelism,
+                self.exec.min_parallel_rows,
+            );
+            let delta = exec::execute_delta(&core.plan, instance, &watermarks, &ctx)
+                .expect("the direct rung compiles to a Yannakakis plan");
+            Arc::make_mut(&mut state.answers).extend(delta);
+            self.note_exec_work(&ctx);
+            self.metrics
+                .view_refreshes_incremental
+                .fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .view_delta_rows
+                .fetch_add(delta_rows, Ordering::Relaxed);
+            RefreshMode::Incremental
+        } else {
+            let (indexes, shards) = {
+                let mut cache = self.lock_indexes();
+                let indexes = cache.snapshot(instance, &exec::required_indexes(&core.plan));
+                let shards = if parallelism > 1 {
+                    cache.snapshot_shards(
+                        instance,
+                        &exec::required_shards(&core.plan),
+                        parallelism,
+                        self.exec.min_parallel_rows,
+                    )
+                } else {
+                    PlanShards::new()
+                };
+                (indexes, shards)
+            };
+            let ctx =
+                exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows);
+            state.answers = Arc::new(exec::execute_with(&core.plan, instance, &ctx));
+            self.note_exec_work(&ctx);
+            self.metrics
+                .view_refreshes_full
+                .fetch_add(1, Ordering::Relaxed);
+            RefreshMode::Full
+        };
+        state.cursor = Some(instance.delta_cursor());
+        ViewRefresh {
+            mode,
+            delta_rows,
+            // Appends are monotone so this never truncates; saturate anyway
+            // rather than panic if an oracle recompute ever shrinks.
+            rows_added: state.answers.len().saturating_sub(before),
+        }
+    }
+
+    /// Folds one execution context's parallel-work counters into the
+    /// session metrics.
+    fn note_exec_work(&self, ctx: &exec::ExecContext) {
         self.metrics
             .shard_tasks
             .fetch_add(ctx.shard_tasks(), Ordering::Relaxed);
         self.metrics
             .threads_spawned
             .fetch_add(ctx.threads_spawned(), Ordering::Relaxed);
-        ResultSet::from_tuples(Arc::clone(plan.columns()), tuples)
     }
 
     /// Session counters (plan-cache hit rate, per-strategy runs, …).
@@ -715,6 +980,14 @@ impl Database {
     fn lock_indexes(&self) -> std::sync::MutexGuard<'_, IndexCache> {
         self.indexes.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    fn read_views(&self) -> std::sync::RwLockReadGuard<'_, Vec<Weak<ViewCore>>> {
+        self.views.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_views(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Weak<ViewCore>>> {
+        self.views.write().unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 /// A compiled query bound to a [`Database`]: cheap to clone, freely shared
@@ -771,6 +1044,7 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Database>();
     assert_send_sync::<PreparedQuery<'static>>();
+    assert_send_sync::<MaterializedView<'static>>();
     assert_send_sync::<ResultSet>();
     assert_send_sync::<SacError>();
     assert_send_sync::<EngineMetrics>();

@@ -361,51 +361,35 @@ fn node_matches(
     if rel.arity() != arity {
         return table;
     }
-    let project =
-        |tuple: &[Term]| -> Vec<Term> { shape.var_first.iter().map(|p| tuple[*p]).collect() };
-    let consistent =
-        |tuple: &[Term]| -> bool { shape.eq_checks.iter().all(|(a, b)| tuple[*a] == tuple[*b]) };
-    let constants_match = |tuple: &[Term]| -> bool {
-        shape
-            .const_positions
-            .iter()
-            .zip(&shape.const_key)
-            .all(|(p, k)| tuple[*p] == *k)
+    let mut admit = |tuple: &[Term]| {
+        if let Some(projected) = shape.admit(tuple) {
+            table.tuples.insert(projected);
+        }
     };
     match shape.const_positions.len() {
         0 => {
             for tuple in rel.iter() {
-                if consistent(tuple) {
-                    table.tuples.insert(project(tuple));
-                }
+                admit(tuple);
             }
         }
         // One constant: the storage layer already maintains this index
         // incrementally — no cached copy needed.
         1 => {
             for &row in rel.rows_with(shape.const_positions[0], shape.const_key[0]) {
-                let tuple = rel.row(row).expect("indexed row exists");
-                if consistent(tuple) {
-                    table.tuples.insert(project(tuple));
-                }
+                admit(rel.row(row).expect("indexed row exists"));
             }
         }
         _ => match indexes.get(&(predicate, shape.const_positions.clone())) {
             Some(index) => {
                 for &row in index.rows(&shape.const_key) {
-                    let tuple = rel.row(row).expect("indexed row exists");
-                    if consistent(tuple) {
-                        table.tuples.insert(project(tuple));
-                    }
+                    admit(rel.row(row).expect("indexed row exists"));
                 }
             }
             // No snapshot index (e.g. the cache could not build one):
             // degrade to a filtered scan.
             None => {
                 for tuple in rel.iter() {
-                    if constants_match(tuple) && consistent(tuple) {
-                        table.tuples.insert(project(tuple));
-                    }
+                    admit(tuple);
                 }
             }
         },
@@ -421,10 +405,8 @@ fn node_matches_shard(shape: &NodeShape, shard: &Relation) -> Table {
         tuples: HashSet::new(),
     };
     for tuple in shard.iter() {
-        if shape.eq_checks.iter().all(|(a, b)| tuple[*a] == tuple[*b]) {
-            table
-                .tuples
-                .insert(shape.var_first.iter().map(|p| tuple[*p]).collect());
+        if let Some(projected) = shape.admit(tuple) {
+            table.tuples.insert(projected);
         }
     }
     table
@@ -516,16 +498,28 @@ fn match_tables(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> Vec<
 }
 
 fn run_yannakakis(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet<Vec<Term>> {
+    if plan.tree.is_empty() {
+        // The empty conjunction holds vacuously, with the empty answer tuple.
+        return BTreeSet::from([Vec::new()]);
+    }
+    // Phase 1: match sets (per shard when parallel)…
+    let tables = match_tables(plan, db, ctx);
+    // …then the semijoin sweeps and the join-back-up.
+    yannakakis_phases(plan, tables, ctx)
+}
+
+/// Phases 2–3 of Yannakakis over already-computed per-node tables: the
+/// upward/downward semijoin sweeps and the output-bounded join-back-up.
+/// Shared between the full path ([`run_yannakakis`], whose tables are the
+/// complete match sets) and the incremental path ([`execute_delta`], whose
+/// tables are restricted to tuples joining a relation delta).
+fn yannakakis_phases(
+    plan: &YannakakisPlan,
+    mut tables: Vec<Table>,
+    ctx: &ExecContext,
+) -> BTreeSet<Vec<Term>> {
     let n = plan.tree.len();
     let mut answers = BTreeSet::new();
-    if n == 0 {
-        // The empty conjunction holds vacuously, with the empty answer tuple.
-        answers.insert(Vec::new());
-        return answers;
-    }
-
-    // Phase 1: match sets (per shard when parallel).
-    let mut tables = match_tables(plan, db, ctx);
 
     // Phase 2a: upward semijoin sweep (children into parents, leaves first).
     for &node in plan.order.iter().rev() {
@@ -576,6 +570,253 @@ fn run_yannakakis(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> BT
         answers.insert(head_pos.iter().map(|p| t[*p]).collect());
     }
     answers
+}
+
+/// The multi-column index keys the **incremental** path probes when walking
+/// join-tree edges: for every (parent, child) edge and both directions, the
+/// target atom's first-occurrence positions of the variables shared with the
+/// source atom.  Single-column keys are served by the storage layer's
+/// incremental positional indexes and need no cache entry.  Empty for
+/// non-Yannakakis plans (the fallback rung recomputes in full).
+pub(crate) fn delta_edge_indexes(plan: &Plan) -> Vec<(Symbol, Vec<usize>)> {
+    let ExecPlan::Yannakakis(yp) = &plan.exec else {
+        return Vec::new();
+    };
+    let mut out: Vec<(Symbol, Vec<usize>)> = Vec::new();
+    for child in 0..yp.tree.len() {
+        let Some(parent) = yp.tree.parent[child] else {
+            continue;
+        };
+        for (source, target) in [(parent, child), (child, parent)] {
+            let positions = shared_positions(&yp.shapes[source].vars, &yp.shapes[target])
+                .into_iter()
+                .map(|(pos, _)| pos)
+                .collect::<Vec<usize>>();
+            let key = (yp.tree.atoms[target].predicate, positions);
+            if key.1.len() > 1 && !out.contains(&key) {
+                out.push(key);
+            }
+        }
+    }
+    out
+}
+
+/// The join key between two adjacent nodes, from the target's side: for
+/// every target variable also present in `source_vars`, the target atom's
+/// first-occurrence position, ascending — paired with the variable so
+/// callers can project the source table in matching order.
+fn shared_positions(source_vars: &[Symbol], target: &NodeShape) -> Vec<(usize, Symbol)> {
+    let mut shared: Vec<(usize, Symbol)> = target
+        .vars
+        .iter()
+        .zip(&target.var_first)
+        .filter(|(v, _)| source_vars.contains(v))
+        .map(|(v, pos)| (*pos, *v))
+        .collect();
+    shared.sort_unstable();
+    shared
+}
+
+/// The tuples of `target`'s relation that join some tuple of the already
+/// restricted `frontier` table on the shared variables, as a match-set
+/// [`Table`] (shape filters applied, projected onto distinct variables).
+///
+/// Lookups go through the narrowest structure available: the storage
+/// layer's single-column index for one shared position, a cached
+/// multi-column [`crate::JoinIndex`] from the snapshot when present, and a
+/// [`Relation::select`] scan otherwise.  With no shared variables the
+/// restriction is vacuous and the full match set is returned.
+fn restrict_via_edge(
+    frontier: &Table,
+    shape: &NodeShape,
+    predicate: Symbol,
+    arity: usize,
+    db: &Instance,
+    indexes: &PlanIndexes,
+) -> Table {
+    let mut table = Table {
+        vars: shape.vars.clone(),
+        tuples: HashSet::new(),
+    };
+    let Some(rel) = db.relation(predicate) else {
+        return table;
+    };
+    if rel.arity() != arity {
+        return table;
+    }
+    let shared = shared_positions(&frontier.vars, shape);
+    if shared.is_empty() {
+        // Disconnected neighbour (no join key): every tuple participates.
+        return node_matches(shape, predicate, arity, db, indexes);
+    }
+    let positions: Vec<usize> = shared.iter().map(|(pos, _)| *pos).collect();
+    let shared_vars: Vec<Symbol> = shared.iter().map(|(_, v)| *v).collect();
+    let key_pos = frontier.positions_of(&shared_vars);
+    let keys: HashSet<Vec<Term>> = frontier
+        .tuples
+        .iter()
+        .map(|t| key_pos.iter().map(|p| t[*p]).collect())
+        .collect();
+
+    let mut add_tuple = |tuple: &[Term]| {
+        if let Some(projected) = shape.admit(tuple) {
+            table.tuples.insert(projected);
+        }
+    };
+    let cached = if positions.len() > 1 {
+        indexes.get(&(predicate, positions.clone()))
+    } else {
+        None
+    };
+    for key in keys {
+        if positions.len() == 1 {
+            for &row in rel.rows_with(positions[0], key[0]) {
+                add_tuple(rel.row(row).expect("indexed row exists"));
+            }
+        } else if let Some(index) = cached {
+            for &row in index.rows(&key) {
+                add_tuple(rel.row(row).expect("indexed row exists"));
+            }
+        } else {
+            // No cached multi-column index: drive the lookup through the
+            // sparsest single-column index and verify the rest.
+            let bound: Vec<(usize, Term)> =
+                positions.iter().copied().zip(key.iter().copied()).collect();
+            for tuple in rel.select(&bound) {
+                add_tuple(tuple);
+            }
+        }
+    }
+    table
+}
+
+/// Incremental Yannakakis: the answers `plan` gains when the relations in
+/// `watermarks` grow past the given row counts (their append-only delta).
+/// Returns `None` for non-Yannakakis plans — the fallback rung has no join
+/// tree to push deltas through, so callers recompute in full.
+///
+/// For each join-tree node whose relation grew, the node's match set is
+/// computed from the **delta rows only** and pushed outward through the
+/// tree: each neighbour's table is restricted to tuples joining the
+/// frontier (index lookups, not scans), so the per-refresh work is
+/// proportional to the delta and its join fan-out, not to the database.
+/// The restricted tables then run the ordinary semijoin sweeps and
+/// join-back-up, and contributions from all dirty nodes are unioned.
+///
+/// Conjunctive queries are monotone, so appended facts can only **add**
+/// answers; the union of the returned set into a previously materialized
+/// answer set is exactly the new answer set.  Completeness: any new
+/// homomorphism uses a delta tuple at some node `i`; walking the join tree
+/// outward from `i` over shared-variable lookups reaches a superset of
+/// every tuple that joins transitively with the delta (connectedness of
+/// join trees), and the sweeps then prune that superset exactly.
+pub(crate) fn execute_delta(
+    plan: &Plan,
+    db: &Instance,
+    watermarks: &HashMap<Symbol, usize>,
+    ctx: &ExecContext,
+) -> Option<BTreeSet<Vec<Term>>> {
+    let ExecPlan::Yannakakis(yp) = &plan.exec else {
+        return None;
+    };
+    let n = yp.tree.len();
+    let mut out = BTreeSet::new();
+    if n == 0 {
+        // The empty conjunction never changes; its (vacuous) answer was
+        // materialized up front.
+        return Some(out);
+    }
+    // Undirected adjacency over the join tree.
+    let mut adjacent: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for child in 0..n {
+        if let Some(parent) = yp.tree.parent[child] {
+            adjacent[child].push(parent);
+            adjacent[parent].push(child);
+        }
+    }
+
+    for dirty in 0..n {
+        let atom = &yp.tree.atoms[dirty];
+        let Some(&from_row) = watermarks.get(&atom.predicate) else {
+            continue;
+        };
+        let Some(rel) = db.relation(atom.predicate) else {
+            continue;
+        };
+        if rel.arity() != atom.arity() || from_row >= rel.len() {
+            continue;
+        }
+        // The dirty node's table: its match set over the delta rows only.
+        let shape = &yp.shapes[dirty];
+        let mut delta_table = Table {
+            vars: shape.vars.clone(),
+            tuples: HashSet::new(),
+        };
+        for tuple in rel.rows_from(from_row) {
+            if let Some(projected) = shape.admit(tuple) {
+                delta_table.tuples.insert(projected);
+            }
+        }
+        if delta_table.tuples.is_empty() {
+            continue; // every appended row was filtered out by the shape
+        }
+
+        // Restrict the rest of the tree to tuples joining the delta: BFS
+        // outward from the dirty node, each step an index lookup keyed by
+        // the frontier's projection onto the shared variables.
+        let mut tables: Vec<Option<Table>> = vec![None; n];
+        tables[dirty] = Some(delta_table);
+        let mut queue = std::collections::VecDeque::from([dirty]);
+        let mut contribution_possible = true;
+        'bfs: while let Some(node) = queue.pop_front() {
+            for &next in &adjacent[node] {
+                if tables[next].is_some() {
+                    continue;
+                }
+                let next_atom = &yp.tree.atoms[next];
+                let restricted = restrict_via_edge(
+                    tables[node].as_ref().expect("visited nodes have tables"),
+                    &yp.shapes[next],
+                    next_atom.predicate,
+                    next_atom.arity(),
+                    db,
+                    &ctx.indexes,
+                );
+                if restricted.tuples.is_empty() {
+                    // Nothing joins the delta along this edge: this dirty
+                    // node contributes no answers.
+                    contribution_possible = false;
+                    break 'bfs;
+                }
+                tables[next] = Some(restricted);
+                queue.push_back(next);
+            }
+        }
+        if !contribution_possible {
+            continue;
+        }
+        // Join-tree components not reachable from the dirty node are
+        // unrestricted by the delta: they contribute their full match sets
+        // (the cross-product semantics of a disconnected query).
+        let tables: Vec<Table> = tables
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                t.unwrap_or_else(|| {
+                    let atom = &yp.tree.atoms[i];
+                    node_matches(
+                        &yp.shapes[i],
+                        atom.predicate,
+                        atom.arity(),
+                        db,
+                        &ctx.indexes,
+                    )
+                })
+            })
+            .collect();
+        out.extend(yannakakis_phases(yp, tables, ctx));
+    }
+    Some(out)
 }
 
 fn run_indexed(plan: &IndexedPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet<Vec<Term>> {
@@ -1001,6 +1242,179 @@ mod tests {
         assert_eq!(answers, evaluate(&q, &db));
         assert!(ctx.shard_tasks() >= 4, "per-shard match tasks ran");
         assert!(ctx.threads_spawned() > 0, "workers were spawned");
+    }
+
+    /// Delta oracle: materialize at `base`, append `appends`, push the
+    /// delta, and check the union equals a from-scratch evaluation.
+    fn check_delta(q: &ConjunctiveQuery, base: &Instance, appends: &[Atom], parallelism: usize) {
+        let mut grown = base.clone();
+        let cursor = grown.delta_cursor();
+        let plan = plan_query(q, &[], &grown, &EngineConfig::default());
+        let mut cache = IndexCache::new(&grown);
+        let mut answers = {
+            let indexes = cache.snapshot(&grown, &required_indexes(&plan));
+            let ctx = ExecContext::new(indexes, PlanShards::new(), parallelism, 0);
+            execute_with(&plan, &grown, &ctx)
+        };
+        for atom in appends {
+            grown.insert(atom.clone()).unwrap();
+        }
+        cache.note_growth(&grown);
+        let watermarks: HashMap<Symbol, usize> = grown
+            .delta_since(&cursor)
+            .into_iter()
+            .map(|d| (d.predicate, d.from_row))
+            .collect();
+        let needed: Vec<_> = required_indexes(&plan)
+            .into_iter()
+            .chain(delta_edge_indexes(&plan))
+            .collect();
+        let indexes = cache.snapshot(&grown, &needed);
+        let ctx = ExecContext::new(indexes, PlanShards::new(), parallelism, 0);
+        let delta = execute_delta(&plan, &grown, &watermarks, &ctx)
+            .expect("acyclic queries compile to Yannakakis plans");
+        answers.extend(delta);
+        assert_eq!(
+            answers,
+            evaluate(q, &grown),
+            "incremental maintenance diverged on {q} after {} appends",
+            appends.len()
+        );
+    }
+
+    #[test]
+    fn delta_execution_matches_recompute_on_graph_families() {
+        let base = sac_gen::random_graph_database(10, 30, 5);
+        let appends: Vec<Atom> = (0..6)
+            .map(|i| {
+                Atom::from_parts(
+                    "E",
+                    vec![
+                        Term::constant(&format!("n{}", i % 10)),
+                        Term::constant(&format!("fresh{i}")),
+                    ],
+                )
+            })
+            .collect();
+        for q in [
+            sac_gen::path_query(2),
+            sac_gen::path_query(3),
+            sac_gen::star_query(3),
+            ConjunctiveQuery::new(
+                vec![intern("x0"), intern("x2")],
+                sac_gen::path_query(2).body,
+            )
+            .unwrap(),
+        ] {
+            for parallelism in [1, 2] {
+                check_delta(&q, &base, &appends, parallelism);
+            }
+        }
+    }
+
+    #[test]
+    fn delta_execution_handles_constants_repeats_and_cross_products() {
+        let base = Instance::from_atoms(vec![
+            atom!("A", cst "1"),
+            atom!("B", cst "x"),
+            atom!("R", cst "a", cst "a"),
+        ])
+        .unwrap();
+        // Disconnected query: growth in A must cross-product with all of B.
+        let cross = ConjunctiveQuery::new(
+            vec![intern("u"), intern("v")],
+            vec![atom!("A", var "u"), atom!("B", var "v")],
+        )
+        .unwrap();
+        check_delta(
+            &cross,
+            &base,
+            &[atom!("A", cst "2"), atom!("B", cst "y")],
+            1,
+        );
+        // Repeated variables: only the loop row may enter the match set.
+        let diag =
+            ConjunctiveQuery::new(vec![intern("x")], vec![atom!("R", var "x", var "x")]).unwrap();
+        check_delta(
+            &diag,
+            &base,
+            &[atom!("R", cst "b", cst "b"), atom!("R", cst "b", cst "c")],
+            1,
+        );
+        // Constant-pinned atom joined to a growing relation.
+        let pinned = ConjunctiveQuery::new(
+            vec![intern("y")],
+            vec![atom!("R", cst "a", var "x"), atom!("R", var "x", var "y")],
+        )
+        .unwrap();
+        check_delta(
+            &pinned,
+            &base,
+            &[atom!("R", cst "a", cst "b"), atom!("R", cst "b", cst "z")],
+            1,
+        );
+    }
+
+    #[test]
+    fn delta_execution_finds_answers_spanning_two_delta_relations() {
+        // The new answer needs delta tuples at *both* atoms at once.
+        let base = Instance::from_atoms(vec![atom!("E", cst "a", cst "b")]).unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![intern("x0"), intern("x2")],
+            sac_gen::path_query(2).body,
+        )
+        .unwrap();
+        check_delta(
+            &q,
+            &base,
+            &[atom!("E", cst "p", cst "q"), atom!("E", cst "q", cst "r")],
+            1,
+        );
+    }
+
+    #[test]
+    fn delta_execution_declines_indexed_plans() {
+        let db = sac_gen::random_graph_database(8, 20, 3);
+        let plan = plan_query(
+            &sac_gen::clique_query(3),
+            &[],
+            &db,
+            &EngineConfig::default(),
+        );
+        let ctx = ExecContext::serial(PlanIndexes::new());
+        assert!(execute_delta(&plan, &db, &HashMap::new(), &ctx).is_none());
+        assert!(delta_edge_indexes(&plan).is_empty());
+    }
+
+    #[test]
+    fn delta_edge_indexes_cover_multi_variable_join_keys() {
+        // S(x,y,z) child of T(x,y,w): the join key {x,y} needs a cached
+        // two-column index in both directions.
+        let db = Instance::from_atoms(vec![
+            atom!("S", cst "a", cst "b", cst "c"),
+            atom!("T", cst "a", cst "b", cst "d"),
+        ])
+        .unwrap();
+        let q = ConjunctiveQuery::boolean(vec![
+            atom!("S", var "x", var "y", var "z"),
+            atom!("T", var "x", var "y", var "w"),
+        ])
+        .unwrap();
+        let plan = plan_query(&q, &[], &db, &EngineConfig::default());
+        let edges = delta_edge_indexes(&plan);
+        assert_eq!(edges.len(), 2);
+        assert!(edges.contains(&(intern("S"), vec![0, 1])));
+        assert!(edges.contains(&(intern("T"), vec![0, 1])));
+        // And the delta path answers through them.
+        check_delta(
+            &q,
+            &db,
+            &[
+                atom!("S", cst "u", cst "v", cst "w1"),
+                atom!("T", cst "u", cst "v", cst "w2"),
+            ],
+            1,
+        );
     }
 
     #[test]

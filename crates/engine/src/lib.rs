@@ -97,6 +97,22 @@
 //! make the fan-out observable even on single-core hosts, where wall-clock
 //! speedup cannot show.
 //!
+//! ## Materialized views
+//!
+//! [`Database::materialize`] turns a query into a standing one: its answer
+//! set is stored and then **maintained** under fact appends instead of
+//! recomputed.  On the direct Yannakakis rung maintenance is incremental —
+//! the storage layer's per-relation delta logs
+//! ([`sac_storage::DeltaCursor`]) name exactly the appended rows, and the
+//! engine pushes them through the view's cached join tree (delta match
+//! sets at the dirty nodes, index-driven restriction along the tree edges,
+//! then the ordinary semijoin sweeps and join-back-up over delta-sized
+//! tables), so a refresh costs O(Δ·fan-out), not O(database).  Witness and
+//! indexed-rung views refresh by recompute.  See [`view`] for the
+//! maintenance model, [`MaterializedView`] for the handle API
+//! (`snapshot` / `refresh` / `is_fresh`) and the `view_*` counters of
+//! [`EngineMetrics`] for observability.
+//!
 //! The legacy single-owner [`Engine`] survives as a deprecated shim over
 //! [`Database`]; see [`engine`] for the migration table.
 
@@ -108,6 +124,7 @@ pub mod index;
 pub mod plan;
 mod pool;
 mod result;
+pub mod view;
 
 pub use database::{
     Database, EngineConfig, EngineMetrics, ExecOptions, PreparedQuery, QuerySource,
@@ -118,3 +135,4 @@ pub use error::{SacError, SacResult};
 pub use index::{IndexCache, JoinIndex, ShardSet};
 pub use plan::{Explain, Plan, Strategy};
 pub use result::{ResultSet, Row};
+pub use view::{MaterializedView, RefreshMode, ViewOptions, ViewRefresh};

@@ -1,0 +1,516 @@
+//! Materialized views: standing queries maintained under fact appends.
+//!
+//! [`crate::Database::materialize`] registers a query as a
+//! [`MaterializedView`]: its answer set is computed once, stored, and from
+//! then on **maintained** instead of recomputed.  The storage layer's
+//! per-relation delta logs ([`sac_storage::DeltaCursor`]) tell each view
+//! exactly which facts appeared since its last refresh, and the engine's
+//! incremental Yannakakis path pushes those deltas through the view's
+//! cached join tree — delta match sets at the dirty nodes, index-driven
+//! restriction outward along the tree edges, then the ordinary semijoin
+//! sweeps and join-back-up over the restricted (delta-sized) tables.
+//! Conjunctive queries are monotone, so appends only ever **add** answers
+//! and the maintained set is exactly the from-scratch answer set.
+//!
+//! The incremental path applies to plans on the
+//! [`Strategy::YannakakisDirect`] rung (the view's join tree is the
+//! query's own).  Witness-rung and
+//! indexed-rung plans refresh by full recompute — correct on every rung,
+//! just not delta-proportional; [`ViewRefresh::mode`] reports which path
+//! ran, and the view counters in [`crate::EngineMetrics`] aggregate them.
+//!
+//! Freshness is observable and maintenance is optional per view:
+//! with [`ViewOptions::auto_refresh`] (the default) every append catches
+//! registered views up under the same write guard that changed the data,
+//! so any reader that can see the new facts also sees the refreshed view;
+//! with `auto_refresh` off the view goes stale ([`MaterializedView::is_fresh`]
+//! returns `false`) until [`MaterializedView::refresh`] is called — the
+//! batch-ingestion shape, one incremental refresh per append batch.
+//!
+//! ```
+//! use sac_engine::{Database, RefreshMode};
+//!
+//! let db = Database::from_facts("E(a, b). E(b, c).").unwrap();
+//! let view = db.materialize("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+//! assert_eq!(view.snapshot().len(), 1);
+//!
+//! // Appends keep the view current (auto_refresh is on by default)…
+//! db.load_facts("E(c, d).").unwrap();
+//! assert!(view.is_fresh());
+//! assert_eq!(view.snapshot().len(), 2);
+//!
+//! // …and the maintenance was incremental, not a recompute.
+//! assert_eq!(db.metrics().view_refreshes_incremental, 1);
+//! assert_eq!(view.refresh().mode, RefreshMode::Fresh);
+//! ```
+
+use crate::database::Database;
+use crate::exec;
+use crate::plan::{Explain, Plan, Strategy};
+use crate::result::ResultSet;
+use sac_common::{Symbol, Term};
+use sac_query::ConjunctiveQuery;
+use sac_storage::DeltaCursor;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Per-view maintenance knobs, fixed at [`crate::Database::materialize_with`]
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ViewOptions {
+    /// Refresh the view as part of every append (`insert` / `extend_from` /
+    /// `load_facts`), under the same instance write guard — the view is
+    /// never observably stale.  Off, appends leave the view stale until
+    /// [`MaterializedView::refresh`] runs; snapshots serve the last
+    /// materialized state.  Default: on.
+    pub auto_refresh: bool,
+    /// Incremental maintenance stops paying off when the delta stops being
+    /// small: past this fraction of the view's relevant relations' total
+    /// rows, a refresh recomputes from scratch instead of pushing the delta
+    /// (the recompute also resets the delta-proportional bound for the next
+    /// refresh).  Default: 0.5.
+    pub max_incremental_fraction: f64,
+}
+
+impl Default for ViewOptions {
+    fn default() -> ViewOptions {
+        ViewOptions {
+            auto_refresh: true,
+            max_incremental_fraction: 0.5,
+        }
+    }
+}
+
+/// How a [`MaterializedView::refresh`] brought the view up to date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefreshMode {
+    /// Nothing needed doing: no relevant relation grew since the last
+    /// refresh, or the view is a satisfied Boolean query (appends cannot
+    /// unsatisfy a monotone query, so its delta is skipped outright — the
+    /// skipped rows are still reported in [`ViewRefresh::delta_rows`]).
+    Fresh,
+    /// The delta was pushed through the cached join tree (the
+    /// delta-proportional path).
+    Incremental,
+    /// The answer set was recomputed from scratch (initial materialization,
+    /// witness/indexed-rung plans, or a delta past
+    /// [`ViewOptions::max_incremental_fraction`]).
+    Full,
+}
+
+impl fmt::Display for RefreshMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RefreshMode::Fresh => "fresh",
+            RefreshMode::Incremental => "incremental",
+            RefreshMode::Full => "full",
+        })
+    }
+}
+
+/// What one refresh did: which path ran, how many delta rows it consumed
+/// (rows appended to the view's relevant relations since the previous
+/// refresh) and how many answer rows it added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewRefresh {
+    /// The path taken.
+    pub mode: RefreshMode,
+    /// Appended rows on the relations the view reads since the previous
+    /// refresh: 0 when nothing relevant grew; nonzero with
+    /// [`RefreshMode::Fresh`] only for a satisfied Boolean view, whose
+    /// delta is skipped rather than evaluated.
+    pub delta_rows: usize,
+    /// Net new answer rows (appends are monotone: answers never leave).
+    pub rows_added: usize,
+}
+
+impl ViewRefresh {
+    pub(crate) const FRESH: ViewRefresh = ViewRefresh {
+        mode: RefreshMode::Fresh,
+        delta_rows: 0,
+        rows_added: 0,
+    };
+}
+
+impl fmt::Display for ViewRefresh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} delta rows -> +{} answers)",
+            self.mode, self.delta_rows, self.rows_added
+        )
+    }
+}
+
+/// The maintained state of one view: where in the instance's growth the
+/// answers are current to, and the answers themselves.  The answer set is
+/// behind an [`Arc`] so [`MaterializedView::snapshot`] can take its
+/// reference under the state lock and do the O(answers) materialization
+/// outside it — readers never stall the append path's auto-refresh;
+/// refreshes copy-on-write (`Arc::make_mut`) only while a snapshot is
+/// being materialized concurrently.
+#[derive(Debug)]
+pub(crate) struct ViewState {
+    /// `None` until the initial materialization ran.
+    pub(crate) cursor: Option<DeltaCursor>,
+    pub(crate) answers: Arc<BTreeSet<Vec<Term>>>,
+}
+
+/// The shared core of a registered view: the compiled plan plus the
+/// mutex-guarded maintained state.  The [`crate::Database`] holds a weak
+/// reference (dropping every [`MaterializedView`] handle unregisters the
+/// view); handles hold it strongly.
+#[derive(Debug)]
+pub(crate) struct ViewCore {
+    pub(crate) query: Arc<ConjunctiveQuery>,
+    pub(crate) plan: Arc<Plan>,
+    pub(crate) options: ViewOptions,
+    /// Predicates whose growth can change the answers: the *executed*
+    /// query's body (the witness's on the witness rung).  The plan is
+    /// pinned, so this is an invariant — computed once here rather than on
+    /// every append.
+    pub(crate) relevant: BTreeSet<Symbol>,
+    /// The index snapshot the incremental path needs: the plan's own probe
+    /// indexes plus the join-tree edge indexes.  Also a plan invariant.
+    pub(crate) incremental_indexes: Vec<(Symbol, Vec<usize>)>,
+    state: Mutex<ViewState>,
+}
+
+impl ViewCore {
+    pub(crate) fn new(query: ConjunctiveQuery, plan: Arc<Plan>, options: ViewOptions) -> ViewCore {
+        let relevant = plan
+            .exec_query()
+            .body
+            .iter()
+            .map(|atom| atom.predicate)
+            .collect();
+        let incremental_indexes = exec::required_indexes(&plan)
+            .into_iter()
+            .chain(exec::delta_edge_indexes(&plan))
+            .collect();
+        ViewCore {
+            query: Arc::new(query),
+            plan,
+            options,
+            relevant,
+            incremental_indexes,
+            state: Mutex::new(ViewState {
+                cursor: None,
+                answers: Arc::new(BTreeSet::new()),
+            }),
+        }
+    }
+
+    pub(crate) fn lock_state(&self) -> MutexGuard<'_, ViewState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A standing query registered on a [`Database`]: its answers are
+/// materialized once and then maintained under fact appends (see the
+/// [module docs](self)).
+///
+/// The handle is cheap to clone and `Send + Sync`; every clone reads and
+/// refreshes the same maintained state.  Dropping the last handle
+/// unregisters the view.  Like a [`crate::PreparedQuery`], the plan is
+/// pinned at registration: re-materialize after
+/// [`Database::set_tgds`](crate::Database::set_tgds) changes the
+/// constraints a witness plan was found under.
+#[derive(Debug, Clone)]
+pub struct MaterializedView<'db> {
+    database: &'db Database,
+    core: Arc<ViewCore>,
+}
+
+impl<'db> MaterializedView<'db> {
+    pub(crate) fn new(database: &'db Database, core: Arc<ViewCore>) -> MaterializedView<'db> {
+        MaterializedView { database, core }
+    }
+
+    /// The current materialized answers, as a typed [`ResultSet`].  No
+    /// recomputation happens: this is a read of the maintained state (call
+    /// [`MaterializedView::refresh`] first if the view may be stale and
+    /// staleness matters).
+    pub fn snapshot(&self) -> ResultSet {
+        // Take the Arc under the lock; materialize the rows outside it, so
+        // a large snapshot never blocks concurrent maintenance.
+        let answers = Arc::clone(&self.core.lock_state().answers);
+        ResultSet::from_tuples(Arc::clone(self.core.plan.columns()), (*answers).clone())
+    }
+
+    /// Brings the view up to date with the database and reports what that
+    /// took: a no-op when fresh, a delta push on the direct Yannakakis
+    /// rung, a recompute otherwise.
+    pub fn refresh(&self) -> ViewRefresh {
+        self.database.view_refresh(&self.core)
+    }
+
+    /// Whether the view reflects every fact currently in the database.
+    /// Always `true` between operations for auto-refresh views; a lazy view
+    /// goes stale when a relevant relation grows.
+    pub fn is_fresh(&self) -> bool {
+        self.database.view_is_fresh(&self.core)
+    }
+
+    /// Number of currently materialized answer rows.
+    pub fn len(&self) -> usize {
+        self.core.lock_state().answers.len()
+    }
+
+    /// Whether the view currently holds no answers.
+    pub fn is_empty(&self) -> bool {
+        self.core.lock_state().answers.is_empty()
+    }
+
+    /// The Boolean reading of the maintained answers.
+    pub fn is_true(&self) -> bool {
+        !self.is_empty()
+    }
+
+    /// The standing query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.core.query
+    }
+
+    /// The strategy of the pinned plan (incremental maintenance applies on
+    /// [`Strategy::YannakakisDirect`]).
+    pub fn strategy(&self) -> Strategy {
+        self.core.plan.strategy()
+    }
+
+    /// The planner's decision for the standing query, for inspection.
+    pub fn explain(&self) -> &Explain {
+        self.core.plan.explain()
+    }
+
+    /// The result columns every snapshot carries.
+    pub fn columns(&self) -> &[String] {
+        self.core.plan.columns().as_ref()
+    }
+
+    /// The view's maintenance options.
+    pub fn options(&self) -> ViewOptions {
+        self.core.options
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{Database, EngineConfig};
+    use sac_common::atom;
+    use sac_query::evaluate;
+
+    #[test]
+    fn auto_views_track_inserts_incrementally() {
+        let db = Database::from_facts("E(a, b). E(b, c).").unwrap();
+        let view = db.materialize("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+        assert_eq!(view.strategy(), Strategy::YannakakisDirect);
+        assert_eq!(view.len(), 1);
+        assert!(view.is_fresh());
+        let m = db.metrics();
+        assert_eq!(m.views_registered, 1);
+        assert_eq!(m.view_refreshes_full, 1, "initial materialization");
+
+        assert!(db.insert(atom!("E", cst "c", cst "d")).unwrap());
+        assert!(view.is_fresh(), "auto view is refreshed by the insert");
+        let rs = view.snapshot();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.columns(), &["X".to_owned(), "Z".to_owned()]);
+        let m = db.metrics();
+        assert_eq!(m.view_refreshes_incremental, 1);
+        assert_eq!(m.view_delta_rows, 1);
+
+        // A refresh on a fresh view is a no-op.
+        assert_eq!(view.refresh(), ViewRefresh::FRESH);
+    }
+
+    #[test]
+    fn lazy_views_go_stale_and_catch_up_on_refresh() {
+        // Base large enough that a 2-row delta stays under the default
+        // incremental-fraction gate (2 of 5 rows).
+        let db = Database::from_facts("E(a, b). E(u, v). E(w, x).").unwrap();
+        let view = db
+            .materialize_with(
+                "q(X, Z) :- E(X, Y), E(Y, Z).",
+                ViewOptions {
+                    auto_refresh: false,
+                    ..ViewOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(view.is_fresh());
+        assert!(view.is_empty());
+
+        db.load_facts("E(b, c). E(c, d).").unwrap();
+        assert!(!view.is_fresh(), "lazy views stale out under appends");
+        assert_eq!(view.len(), 0, "snapshot still serves the old state");
+
+        let report = view.refresh();
+        assert_eq!(report.mode, RefreshMode::Incremental);
+        assert_eq!(report.delta_rows, 2);
+        assert_eq!(report.rows_added, 2);
+        assert!(view.is_fresh());
+        assert_eq!(
+            view.snapshot().into_tuples(),
+            evaluate(view.query(), &db.snapshot())
+        );
+    }
+
+    #[test]
+    fn irrelevant_growth_leaves_views_fresh() {
+        let db = Database::from_facts("E(a, b). E(b, c).").unwrap();
+        let view = db
+            .materialize_with(
+                "q(X, Z) :- E(X, Y), E(Y, Z).",
+                ViewOptions {
+                    auto_refresh: false,
+                    ..ViewOptions::default()
+                },
+            )
+            .unwrap();
+        db.load_facts("Unrelated(u).").unwrap();
+        assert!(view.is_fresh(), "growth off the view's schema is invisible");
+        assert_eq!(view.refresh().mode, RefreshMode::Fresh);
+        // The cursor advanced: later relevant growth reports only itself.
+        db.load_facts("E(c, d).").unwrap();
+        let report = view.refresh();
+        assert_eq!(
+            (report.mode, report.delta_rows),
+            (RefreshMode::Incremental, 1)
+        );
+    }
+
+    #[test]
+    fn non_direct_rungs_refresh_by_full_recompute() {
+        // Witness rung: the looped triangle's core is the single loop atom.
+        let db = Database::from_facts("E(a, b). E(b, a).").unwrap();
+        let view = db.materialize(sac_gen::looped_triangle_query()).unwrap();
+        assert_eq!(view.strategy(), Strategy::YannakakisWitness);
+        assert!(!view.is_true());
+        db.load_facts("E(z, z).").unwrap();
+        assert!(view.is_true());
+        // Indexed rung via the forced-fallback knob.
+        let forced = Database::from_facts("E(a, b). E(b, c).")
+            .unwrap()
+            .with_config(EngineConfig {
+                force_indexed: true,
+                ..EngineConfig::default()
+            });
+        let view = forced.materialize("q(X) :- E(X, Y), E(Y, Z).").unwrap();
+        assert_eq!(view.strategy(), Strategy::IndexedSearch);
+        forced.load_facts("E(c, d).").unwrap();
+        assert_eq!(view.len(), 2);
+        let m = forced.metrics();
+        assert_eq!(m.view_refreshes_full, 2, "initial + maintenance recompute");
+        assert_eq!(m.view_refreshes_incremental, 0);
+    }
+
+    #[test]
+    fn big_deltas_fall_back_to_recompute_by_the_fraction_gate() {
+        let db = Database::from_facts("E(a, b).").unwrap();
+        let view = db
+            .materialize_with(
+                "q(X, Z) :- E(X, Y), E(Y, Z).",
+                ViewOptions {
+                    auto_refresh: false,
+                    max_incremental_fraction: 0.25,
+                },
+            )
+            .unwrap();
+        // Quadruple the relation: 3 delta rows of 4 total is over the gate.
+        db.load_facts("E(b, c). E(c, d). E(d, e).").unwrap();
+        let report = view.refresh();
+        assert_eq!(report.mode, RefreshMode::Full);
+        assert_eq!(report.delta_rows, 3);
+        assert_eq!(
+            view.snapshot().into_tuples(),
+            evaluate(view.query(), &db.snapshot())
+        );
+    }
+
+    #[test]
+    fn boolean_views_short_circuit_once_true() {
+        let db = Database::from_facts("E(a, b). E(b, c).").unwrap();
+        let view = db.materialize(sac_gen::path_query(2)).unwrap();
+        assert!(view.is_true());
+        let before = db.metrics();
+        db.load_facts("E(c, d).").unwrap();
+        assert!(view.is_fresh());
+        let after = db.metrics();
+        assert_eq!(
+            (after.view_refreshes_incremental, after.view_refreshes_full),
+            (
+                before.view_refreshes_incremental,
+                before.view_refreshes_full
+            ),
+            "a true Boolean view never re-evaluates (monotone: true stays true)"
+        );
+    }
+
+    #[test]
+    fn dropped_handles_unregister_the_view() {
+        let db = Database::from_facts("E(a, b).").unwrap();
+        let view = db.materialize("q(X) :- E(X, Y).").unwrap();
+        let clone = view.clone();
+        drop(view);
+        // A surviving clone keeps the view registered and maintained.
+        db.load_facts("E(b, c).").unwrap();
+        assert_eq!(clone.len(), 2);
+        drop(clone);
+        let before = db.metrics();
+        db.load_facts("E(c, d).").unwrap();
+        let after = db.metrics();
+        assert_eq!(
+            (after.view_refreshes_incremental, after.view_refreshes_full),
+            (
+                before.view_refreshes_incremental,
+                before.view_refreshes_full
+            ),
+            "no registered view is maintained after the last handle drops"
+        );
+    }
+
+    #[test]
+    fn concurrent_appends_keep_views_exact() {
+        let db = Database::from_facts("E(n0, n1).").unwrap();
+        let view = db.materialize("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+        let db = &db;
+        let view = &view;
+        std::thread::scope(|scope| {
+            for t in 0..2 {
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        db.insert(sac_common::Atom::from_parts(
+                            "E",
+                            vec![
+                                Term::constant(&format!("t{t}_{i}")),
+                                Term::constant(&format!("t{t}_{}", i + 1)),
+                            ],
+                        ))
+                        .unwrap();
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for _ in 0..20 {
+                    let _ = view.snapshot();
+                }
+            });
+        });
+        assert!(view.is_fresh());
+        assert_eq!(
+            view.snapshot().into_tuples(),
+            evaluate(view.query(), &db.snapshot())
+        );
+    }
+
+    #[test]
+    fn view_metrics_show_in_the_display() {
+        let db = Database::from_facts("E(a, b).").unwrap();
+        let _view = db.materialize("q(X) :- E(X, Y).").unwrap();
+        let text = format!("{}", db.metrics());
+        assert!(text.contains("1 views"), "got: {text}");
+    }
+}

@@ -69,6 +69,49 @@ pub fn random_graph_database(nodes: usize, edges: usize, seed: u64) -> Instance 
     inst
 }
 
+/// An append-heavy streaming workload over the binary `E` graph schema: a
+/// base random graph of `base_edges` edges plus `batches` disjoint append
+/// batches of (up to) `batch_size` fresh edges each, seeded for
+/// reproducibility.
+///
+/// The batches are what a streaming ingestion pipeline delivers: every
+/// atom is new with respect to the base *and* to every earlier batch, so
+/// replaying them against the base reproduces one deterministic growth
+/// history — exactly the shape the engine's materialized views and the E14
+/// experiment maintain over.  Batches can come up short only when the
+/// `nodes²` edge space is nearly exhausted; size `nodes` generously.
+pub fn streaming_graph_workload(
+    nodes: usize,
+    base_edges: usize,
+    batches: usize,
+    batch_size: usize,
+    seed: u64,
+) -> (Instance, Vec<Vec<Atom>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let node = |i: usize| Term::constant(&format!("n{i}"));
+    let mut grown = Instance::new();
+    let mut draw_edges = |grown: &mut Instance, count: usize| -> Vec<Atom> {
+        let mut fresh = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        while fresh.len() < count && attempts < count * 20 + 100 {
+            attempts += 1;
+            let a = rng.gen_range(0..nodes);
+            let b = rng.gen_range(0..nodes);
+            let atom = Atom::from_parts("E", vec![node(a), node(b)]);
+            if grown.insert(atom.clone()).expect("consistent arities") {
+                fresh.push(atom);
+            }
+        }
+        fresh
+    };
+    draw_edges(&mut grown, base_edges);
+    let base = grown.clone();
+    let stream = (0..batches)
+        .map(|_| draw_edges(&mut grown, batch_size))
+        .collect();
+    (base, stream)
+}
+
 /// A star-schema database: a `Fact(id, dim1, dim2)` table with two dimension
 /// tables `Dim1(d1, attr)` and `Dim2(d2, attr)` — the shape used by the
 /// evaluation-scaling experiment E8.
@@ -147,6 +190,27 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert!(a.len() <= 200);
         assert!(a.len() > 100, "should achieve most requested edges");
+    }
+
+    #[test]
+    fn streaming_workload_batches_are_fresh_and_reproducible() {
+        let (base, stream) = streaming_graph_workload(20, 60, 4, 10, 9);
+        assert_eq!(stream.len(), 4);
+        let mut grown = base.clone();
+        for batch in &stream {
+            assert_eq!(batch.len(), 10, "the edge space is far from exhausted");
+            for atom in batch {
+                assert!(
+                    grown.insert(atom.clone()).unwrap(),
+                    "every streamed atom is new at its point in the history"
+                );
+            }
+        }
+        assert_eq!(grown.len(), base.len() + 40);
+        // Same seed, same history.
+        let (base2, stream2) = streaming_graph_workload(20, 60, 4, 10, 9);
+        assert_eq!(base.len(), base2.len());
+        assert_eq!(stream, stream2);
     }
 
     #[test]

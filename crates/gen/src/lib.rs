@@ -12,14 +12,38 @@
 //!   Example 3's sticky family, Example 4/5's keys) and random guarded /
 //!   linear / non-recursive generators.
 //! * [`databases`] — synthetic databases: the music-collector database of
-//!   Example 1 (closed under the collector tgd), random graphs, and
-//!   star-schema data for evaluation sweeps.
+//!   Example 1 (closed under the collector tgd), random graphs, star-schema
+//!   data for evaluation sweeps, and the append-heavy
+//!   [`streaming_graph_workload`] behind the view-maintenance experiment.
+//!
+//! Everything is deterministic — named fixtures are fixed, random ones are
+//! seeded — so tests and experiments reproduce bit-for-bit:
+//!
+//! ```
+//! use sac_gen::{path_query, random_graph_database, streaming_graph_workload};
+//!
+//! assert_eq!(path_query(2).to_string(), "q() :- E(?x0, ?x1), E(?x1, ?x2)");
+//! assert_eq!(
+//!     random_graph_database(10, 20, 7).len(),
+//!     random_graph_database(10, 20, 7).len(),
+//! );
+//! // A base graph plus disjoint append batches: replaying the stream is
+//! // one deterministic growth history.
+//! let (base, stream) = streaming_graph_workload(20, 50, 3, 5, 1);
+//! let mut grown = base.clone();
+//! for atom in stream.into_iter().flatten() {
+//!     assert!(grown.insert(atom).unwrap(), "every streamed atom is new");
+//! }
+//! assert_eq!(grown.len(), base.len() + 15);
+//! ```
 
 pub mod databases;
 pub mod deps;
 pub mod queries;
 
-pub use databases::{music_database, random_graph_database, star_schema_database};
+pub use databases::{
+    music_database, random_graph_database, star_schema_database, streaming_graph_workload,
+};
 pub use deps::{
     collector_tgd, example2_tgd, example3_sticky_family, example5_keys, figure1_non_sticky,
     figure1_sticky, random_inclusion_dependencies,

@@ -13,6 +13,24 @@
 //!   computation — the baseline against which semantic acyclicity under
 //!   constraints is compared (a CQ is semantically acyclic in the absence of
 //!   constraints iff its core is acyclic).
+//!
+//! Queries parse from the workspace's Datalog-style text and evaluate
+//! against any [`sac_storage::Instance`]:
+//!
+//! ```
+//! use sac_query::{contained_in, core_of, evaluate, ConjunctiveQuery};
+//! use sac_storage::Instance;
+//!
+//! let q: ConjunctiveQuery = "q(X, Z) :- E(X, Y), E(Y, Z).".parse().unwrap();
+//! let db: Instance = "E(a, b). E(b, c).".parse().unwrap();
+//! assert_eq!(evaluate(&q, &db).len(), 1); // the single 2-path (a, c)
+//!
+//! // A redundant atom folds away in the core, and the core is equivalent:
+//! let r: ConjunctiveQuery = "q(X) :- E(X, Y), E(X, Y2).".parse().unwrap();
+//! let core = core_of(&r);
+//! assert_eq!(core.size(), 1);
+//! assert!(contained_in(&r, &core) && contained_in(&core, &r));
+//! ```
 
 pub mod containment;
 pub mod cq;

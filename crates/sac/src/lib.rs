@@ -35,6 +35,31 @@
 //! # }
 //! ```
 //!
+//! ## Quickstart: standing queries (materialized views)
+//!
+//! The payoff of a guaranteed-tractable acyclic plan at serving scale:
+//! [`Database::materialize`] registers a standing query whose answers are
+//! kept current as facts are appended — incrementally, in work
+//! proportional to the appended delta, not the database.
+//!
+//! ```
+//! use sac::prelude::*;
+//!
+//! # fn main() -> Result<(), SacError> {
+//! let db = Database::from_facts("Follows(ann, bob). Follows(bob, cem).")?;
+//! let reach = db.materialize("q(X, Z) :- Follows(X, Y), Follows(Y, Z).")?;
+//! assert_eq!(reach.len(), 1);
+//!
+//! // Appends maintain the view (delta push through the join tree)…
+//! db.load_facts("Follows(cem, dee).")?;
+//! assert!(reach.is_fresh());
+//! assert_eq!(reach.snapshot().len(), 2);
+//! // …and the metrics show it was maintenance, not recomputation.
+//! assert_eq!(db.metrics().view_refreshes_incremental, 1);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! ## Quickstart: the paper's decision problem
 //!
 //! Example 1 of the paper — the cyclic "compulsive collector" triangle is
@@ -77,8 +102,8 @@ pub use sac_storage as storage;
 // The service façade, promoted to the crate root: `sac::Database` is the
 // front door for evaluation workloads.
 pub use sac_engine::{
-    Database, EngineConfig, EngineMetrics, ExecOptions, PreparedQuery, QuerySource, ResultSet, Row,
-    SacError, SacResult,
+    Database, EngineConfig, EngineMetrics, ExecOptions, MaterializedView, PreparedQuery,
+    QuerySource, RefreshMode, ResultSet, Row, SacError, SacResult, ViewOptions, ViewRefresh,
 };
 
 /// The most commonly used items, importable with `use sac::prelude::*`.
@@ -110,8 +135,9 @@ pub mod prelude {
     pub use sac_engine::Engine;
     pub use sac_engine::Strategy as PlanStrategy;
     pub use sac_engine::{
-        Database, EngineConfig, EngineMetrics, ExecOptions, Explain, IndexCache, JoinIndex, Plan,
-        PreparedQuery, QuerySource, ResultSet, Row, SacError, SacResult, ShardSet,
+        Database, EngineConfig, EngineMetrics, ExecOptions, Explain, IndexCache, JoinIndex,
+        MaterializedView, Plan, PreparedQuery, QuerySource, RefreshMode, ResultSet, Row, SacError,
+        SacResult, ShardSet, ViewOptions, ViewRefresh,
     };
     pub use sac_parser::{parse_database, parse_egd, parse_program, parse_query, parse_tgd};
     pub use sac_query::{
@@ -119,5 +145,5 @@ pub mod prelude {
         FrozenQuery, UnionOfConjunctiveQueries,
     };
     pub use sac_rewrite::{contained_via_rewriting, rewrite, RewriteBudget};
-    pub use sac_storage::{Instance, InstanceStats, RelationStats};
+    pub use sac_storage::{DeltaCursor, Instance, InstanceStats, RelationDelta, RelationStats};
 }

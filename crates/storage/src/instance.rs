@@ -190,6 +190,46 @@ impl Instance {
         out
     }
 
+    /// A [`DeltaCursor`] marking the instance's current position in its
+    /// append-only growth: the mutation epoch plus one row watermark per
+    /// relation.  Pair with [`Instance::delta_since`] to read exactly the
+    /// facts appended after this point.
+    pub fn delta_cursor(&self) -> DeltaCursor {
+        DeltaCursor {
+            epoch: self.epoch,
+            rows: self
+                .order
+                .iter()
+                .map(|p| (*p, self.relations[p].len()))
+                .collect(),
+        }
+    }
+
+    /// The per-relation delta logs since `cursor`: for every relation that
+    /// grew past its watermark, a [`RelationDelta`] exposing exactly the
+    /// appended tail (relations are append-only, so the tail *is* the
+    /// delta).  Relations unknown to the cursor report their full contents.
+    ///
+    /// The cursor must come from this instance's own growth history
+    /// (inserts only — [`Instance::rename`] builds a fresh instance and
+    /// starts a fresh history).  A cursor from an unrelated instance maps
+    /// watermarks onto rows they never described, and the "delta" is
+    /// garbage.
+    pub fn delta_since<'a>(&'a self, cursor: &DeltaCursor) -> Vec<RelationDelta<'a>> {
+        self.order
+            .iter()
+            .filter_map(|p| {
+                let rel = &self.relations[p];
+                let from_row = cursor.rows_covered(*p);
+                (from_row < rel.len()).then_some(RelationDelta {
+                    predicate: *p,
+                    relation: rel,
+                    from_row,
+                })
+            })
+            .collect()
+    }
+
     /// Merges all atoms of `other` into `self`.
     pub fn extend_from(&mut self, other: &Instance) -> Result<usize> {
         let mut added = 0;
@@ -199,6 +239,65 @@ impl Instance {
             }
         }
         Ok(added)
+    }
+}
+
+/// A position in an instance's append-only growth: the mutation
+/// [`Instance::epoch`] plus a row watermark per relation.
+///
+/// Taken with [`Instance::delta_cursor`] and consumed by
+/// [`Instance::delta_since`]; the `sac-engine` materialized views use one
+/// cursor per view to turn "what changed since my last refresh?" into a
+/// handful of tail reads instead of a diff.  [`DeltaCursor::default`] sits
+/// before all growth: `delta_since(&DeltaCursor::default())` is the whole
+/// instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaCursor {
+    epoch: u64,
+    rows: HashMap<Symbol, usize>,
+}
+
+impl DeltaCursor {
+    /// The epoch the cursor was taken at (0 for the default cursor).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The watermark for `predicate`: how many of its rows the cursor
+    /// covers (0 for relations the cursor never saw).
+    pub fn rows_covered(&self, predicate: Symbol) -> usize {
+        self.rows.get(&predicate).copied().unwrap_or(0)
+    }
+}
+
+/// One relation's delta log: the tuples a relation gained since a
+/// [`DeltaCursor`] was taken (see [`Instance::delta_since`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RelationDelta<'a> {
+    /// The grown relation's predicate.
+    pub predicate: Symbol,
+    /// The full relation the delta is a tail of (so callers can probe its
+    /// indexes and stats as well as read the new rows).
+    pub relation: &'a Relation,
+    /// The first appended row: `relation.row(from_row..)` is the delta.
+    pub from_row: usize,
+}
+
+impl RelationDelta<'_> {
+    /// Number of appended tuples.
+    pub fn len(&self) -> usize {
+        self.relation.len() - self.from_row
+    }
+
+    /// Whether the delta is empty (never true for deltas returned by
+    /// [`Instance::delta_since`], which skips ungrown relations).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over exactly the appended tuples, in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &[Term]> + '_ {
+        self.relation.rows_from(self.from_row)
     }
 }
 
@@ -387,6 +486,60 @@ mod tests {
         let r = st.relation(intern("R")).unwrap();
         assert_eq!(r.tuples, 2);
         assert_eq!(r.distinct_per_column, vec![2, 2]);
+    }
+
+    #[test]
+    fn delta_cursor_reads_exactly_the_appended_tail() {
+        let mut inst = sample();
+        let cursor = inst.delta_cursor();
+        assert_eq!(cursor.epoch(), inst.epoch());
+        assert_eq!(cursor.rows_covered(intern("R")), 2);
+        assert!(inst.delta_since(&cursor).is_empty(), "no growth yet");
+
+        // Duplicate inserts are not growth.
+        assert!(!inst.insert(atom!("S", cst "a")).unwrap());
+        assert!(inst.delta_since(&cursor).is_empty());
+
+        // Grow R by one, S by one, and introduce a new predicate T.
+        assert!(inst.insert(atom!("R", cst "c", cst "d")).unwrap());
+        assert!(inst.insert(atom!("S", cst "b")).unwrap());
+        assert!(inst.insert(atom!("T", cst "t")).unwrap());
+        let deltas = inst.delta_since(&cursor);
+        assert_eq!(deltas.len(), 3);
+        let r = deltas.iter().find(|d| d.predicate == intern("R")).unwrap();
+        assert_eq!((r.from_row, r.len()), (2, 1));
+        assert_eq!(
+            r.rows().collect::<Vec<_>>(),
+            vec![&[Term::constant("c"), Term::constant("d")][..]]
+        );
+        // The unseen predicate's delta is its whole relation.
+        let t = deltas.iter().find(|d| d.predicate == intern("T")).unwrap();
+        assert_eq!((t.from_row, t.len()), (0, 1));
+        assert!(!t.is_empty());
+
+        // Advancing the cursor drains the delta.
+        let cursor = inst.delta_cursor();
+        assert!(inst.delta_since(&cursor).is_empty());
+    }
+
+    #[test]
+    fn default_cursor_covers_the_whole_instance() {
+        let inst = sample();
+        let deltas = inst.delta_since(&DeltaCursor::default());
+        let total: usize = deltas.iter().map(|d| d.len()).sum();
+        assert_eq!(total, inst.len());
+        assert_eq!(DeltaCursor::default().epoch(), 0);
+        assert_eq!(DeltaCursor::default().rows_covered(intern("R")), 0);
+    }
+
+    #[test]
+    fn relation_rows_from_is_the_tail() {
+        let inst = sample();
+        let rel = inst.relation(intern("R")).unwrap();
+        assert_eq!(rel.rows_from(0).count(), 2);
+        assert_eq!(rel.rows_from(1).count(), 1);
+        assert_eq!(rel.rows_from(2).count(), 0);
+        assert_eq!(rel.rows_from(99).count(), 0, "past-the-end is empty");
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   hash indexes per position.
 //! * **Stable iteration order** — results are deterministic, which keeps
 //!   tests and experiments reproducible.
+//! * **Append-only growth with delta logs** — tuples are only ever added,
+//!   each relation remembers its insertion order, and a [`DeltaCursor`]
+//!   (epoch + per-relation row watermarks) turns "what changed since?" into
+//!   a few tail reads ([`Instance::delta_since`]).  This is what the
+//!   engine's incremental index maintenance and materialized views are
+//!   built on.
 //!
 //! The substrate is deliberately simple (no paging, no concurrency): the
 //! paper's experiments are laptop-scale and CPU-bound in the chase and in
@@ -27,6 +33,6 @@ pub mod instance;
 pub mod relation;
 pub mod stats;
 
-pub use instance::Instance;
+pub use instance::{DeltaCursor, Instance, RelationDelta};
 pub use relation::Relation;
 pub use stats::{InstanceStats, RelationStats};

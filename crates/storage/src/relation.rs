@@ -93,6 +93,17 @@ impl Relation {
         self.tuples.get(row).map(|t| t.as_slice())
     }
 
+    /// Iterates over the tuples appended at or after row `start`, in
+    /// insertion order — the relation's **delta log** since a watermark.
+    /// Relations are append-only (tuples are never removed or reordered),
+    /// so `rows_from(w)` is exactly the growth since `len()` was `w`.
+    /// A `start` beyond the current length yields nothing.
+    pub fn rows_from(&self, start: usize) -> impl Iterator<Item = &[Term]> + '_ {
+        self.tuples[start.min(self.tuples.len())..]
+            .iter()
+            .map(|t| t.as_slice())
+    }
+
     /// Row ids of tuples whose `pos`-th component equals `term`.
     pub fn rows_with(&self, pos: usize, term: Term) -> &[usize] {
         self.indexes

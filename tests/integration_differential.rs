@@ -177,6 +177,140 @@ fn witness_rung_under_tgds_matches_naive_at_every_parallelism() {
 }
 
 #[test]
+fn maintained_views_match_from_scratch_queries_after_every_append_batch() {
+    // Every generated query family becomes a standing query, and after
+    // every append batch its maintained contents must be cell-identical
+    // (columns, rows, order) to a from-scratch `query()` on the same
+    // database AND to naive evaluation over the accumulated facts — across
+    // the planner's own rung and the forced indexed fallback, at
+    // parallelism 1, 2 and 4.  Even-indexed views are auto-refreshed by the
+    // inserts themselves; odd-indexed views stay lazy and are refreshed
+    // here, so both maintenance shapes are driven.
+    let (base, stream) = sac::gen::streaming_graph_workload(12, 40, 3, 8, 31);
+    let mut digest = Digest::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for parallelism in PARALLELISM_LEVELS {
+        for force_indexed in [false, true] {
+            let config = EngineConfig {
+                force_indexed,
+                ..EngineConfig::default()
+            };
+            let db = Database::from_instance(base.clone())
+                .with_config(config)
+                .with_exec_options(ExecOptions {
+                    parallelism,
+                    min_parallel_rows: 0,
+                });
+            let queries = graph_queries();
+            let views: Vec<MaterializedView<'_>> = queries
+                .iter()
+                .enumerate()
+                .map(|(i, q)| {
+                    db.materialize_with(
+                        q,
+                        ViewOptions {
+                            auto_refresh: i % 2 == 0,
+                            ..ViewOptions::default()
+                        },
+                    )
+                    .expect("generated queries are valid")
+                })
+                .collect();
+            let mut accumulated = base.clone();
+            for batch in &stream {
+                for atom in batch {
+                    db.insert(atom.clone()).unwrap();
+                    accumulated.insert(atom.clone()).unwrap();
+                }
+                for view in &views {
+                    seen.insert(view.strategy().to_string());
+                    let report = view.refresh(); // no-op for fresh auto views
+                    if view.options().auto_refresh {
+                        assert_eq!(
+                            report.mode,
+                            RefreshMode::Fresh,
+                            "auto views must already be fresh after the inserts"
+                        );
+                    }
+                    let snapshot = view.snapshot();
+                    assert_eq!(
+                        snapshot,
+                        db.run(view.query()),
+                        "maintained view differs from a from-scratch run of {} \
+                         (forced={force_indexed}, parallelism {parallelism})",
+                        view.query()
+                    );
+                    assert_eq!(
+                        &snapshot.into_tuples(),
+                        &evaluate(view.query(), &accumulated),
+                        "maintained view differs from naive evaluation of {} \
+                         (forced={force_indexed}, parallelism {parallelism})",
+                        view.query()
+                    );
+                }
+            }
+            for view in &views {
+                digest.absorb(&format!(
+                    "forced={force_indexed} par={parallelism} | {} -> {}",
+                    view.query(),
+                    view.snapshot()
+                ));
+            }
+        }
+    }
+    assert_eq!(
+        seen.into_iter().collect::<Vec<_>>(),
+        vec![
+            "indexed-search".to_owned(),
+            "yannakakis-direct".to_owned(),
+            "yannakakis-witness".to_owned(),
+        ],
+        "the view sweep must cover all three strategy rungs"
+    );
+    println!("differential digest: view sweep {:016x}", digest.0);
+}
+
+#[test]
+fn tgd_witness_views_stay_exact_under_constraint_closed_appends() {
+    // A standing Example 1 triangle under the collector tgd: the view's
+    // plan sits on the witness rung (refreshes recompute), and appends that
+    // keep the database closed under the tgd must keep the maintained
+    // answers equal to naive evaluation of the *original* cyclic query.
+    // Each batch is one whole new customer (interest plus every owned
+    // record), so the database is constraint-closed at every observation
+    // point — the witness rung's contract, exactly as for queries.
+    let mut accumulated = sac::gen::music_database(20, 40, 4);
+    let mut digest = Digest::new();
+    let db =
+        Database::from_instance(accumulated.clone()).with_tgds(vec![sac::gen::collector_tgd()]);
+    let view = db
+        .materialize(sac::gen::example1_triangle())
+        .expect("Example 1 is a valid standing query");
+    assert_eq!(view.strategy(), PlanStrategy::YannakakisWitness);
+    for customers in 21..=26 {
+        let bigger = sac::gen::music_database(customers, 40, 4);
+        let batch: Vec<Atom> = bigger
+            .atoms()
+            .filter(|a| !accumulated.contains(a))
+            .collect();
+        assert!(!batch.is_empty());
+        for atom in batch {
+            db.insert(atom.clone()).unwrap();
+            accumulated.insert(atom).unwrap();
+        }
+        assert!(view.is_fresh());
+        assert_eq!(
+            view.snapshot().into_tuples(),
+            evaluate(view.query(), &accumulated),
+            "witness-rung view drifted under closed appends"
+        );
+    }
+    assert!(db.metrics().view_refreshes_full > 1);
+    digest.absorb(&format!("{} -> {}", view.query(), view.snapshot()));
+    println!("differential digest: tgd view {:016x}", digest.0);
+}
+
+#[test]
 fn parallel_batches_are_identical_to_serial_batches() {
     let data = sac::gen::random_graph_database(12, 60, 19);
     let workload: Vec<ConjunctiveQuery> = (0..3).flat_map(|_| graph_queries()).collect();
