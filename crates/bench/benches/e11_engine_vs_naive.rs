@@ -74,97 +74,169 @@ fn bench_semantically_acyclic(c: &mut Criterion) {
     group.finish();
 }
 
+/// One JSON row: self-timed median plus the speedup over the naive
+/// evaluator on the same database (naive rows carry `1.00`) and the
+/// database's columnar heap footprint.
+fn json_row(
+    rows: &mut Vec<String>,
+    section: &str,
+    evaluator: &str,
+    db_atoms: usize,
+    heap_bytes: usize,
+    secs: f64,
+    naive_secs: f64,
+) {
+    rows.push(sac_bench::json_object(&[
+        ("section", format!("\"{section}\"")),
+        ("evaluator", format!("\"{evaluator}\"")),
+        ("db_atoms", db_atoms.to_string()),
+        ("heap_bytes", heap_bytes.to_string()),
+        ("median_secs", format!("{secs:.6}")),
+        ("runs_per_sec", format!("{:.1}", 1.0 / secs.max(1e-9))),
+        (
+            "speedup_vs_naive",
+            format!("{:.2}", naive_secs / secs.max(1e-9)),
+        ),
+    ]));
+}
+
 /// The `--json` sweep: self-timed medians for the same three evaluators,
 /// written to `BENCH_e11.json` at the workspace root.
-fn json_report() {
+///
+/// With `smoke` set (the CI `--smoke` mode) only the smallest acyclic-star
+/// size runs, the document goes to `BENCH_e11_smoke.json`, and the process
+/// exits non-zero unless the cached engine beats the naive evaluator —
+/// a cheap merge gate against engine-path regressions.
+fn json_report(smoke: bool) {
     let mut rows = Vec::new();
-    let mut row = |section: &str, evaluator: &str, db_atoms: usize, secs: f64| {
-        rows.push(sac_bench::json_object(&[
-            ("section", format!("\"{section}\"")),
-            ("evaluator", format!("\"{evaluator}\"")),
-            ("db_atoms", db_atoms.to_string()),
-            ("median_secs", format!("{secs:.6}")),
-            ("runs_per_sec", format!("{:.1}", 1.0 / secs.max(1e-9))),
-        ]));
-    };
+    let mut star_engine_speedups = Vec::new();
 
     let q = sac::gen::star_query(3);
-    for nodes in [50usize, 200, 800] {
+    let sizes: &[usize] = if smoke { &[50] } else { &[50, 200, 800] };
+    for &nodes in sizes {
         let db = sac::gen::random_graph_database(nodes, nodes * 4, 11);
         let atoms = db.len();
-        row(
+        let heap = db.heap_bytes();
+        let naive_secs = sac_bench::median_secs(5, || {
+            std::hint::black_box(evaluate(&q, &db).len());
+        });
+        json_row(
+            &mut rows,
             "acyclic_star",
             "naive",
             atoms,
-            sac_bench::median_secs(5, || {
-                std::hint::black_box(evaluate(&q, &db).len());
-            }),
+            heap,
+            naive_secs,
+            naive_secs,
         );
-        row(
+        let scan_secs = sac_bench::median_secs(5, || {
+            std::hint::black_box(yannakakis_evaluate(&q, &db).expect("star is acyclic").len());
+        });
+        json_row(
+            &mut rows,
             "acyclic_star",
             "yannakakis_scan",
             atoms,
-            sac_bench::median_secs(5, || {
-                std::hint::black_box(yannakakis_evaluate(&q, &db).expect("star is acyclic").len());
-            }),
+            heap,
+            scan_secs,
+            naive_secs,
         );
         let engine = Database::from_instance(db.clone());
         engine.run(&q);
-        row(
+        let engine_secs = sac_bench::median_secs(5, || {
+            std::hint::black_box(engine.run(&q).len());
+        });
+        json_row(
+            &mut rows,
             "acyclic_star",
             "engine",
             atoms,
-            sac_bench::median_secs(5, || {
-                std::hint::black_box(engine.run(&q).len());
-            }),
+            heap,
+            engine_secs,
+            naive_secs,
         );
+        star_engine_speedups.push(naive_secs / engine_secs.max(1e-9));
     }
 
-    let q = sac::gen::example1_triangle();
-    let tgds = vec![sac::gen::collector_tgd()];
-    let witness = semantic_acyclicity_under_tgds(&q, &tgds, SemAcConfig::default())
-        .witness()
-        .expect("Example 1 is semantically acyclic under the collector tgd")
-        .clone();
-    for customers in [50usize, 200, 800] {
-        let db = sac::gen::music_database(customers, customers * 2, 10);
-        let atoms = db.len();
-        row(
-            "semac_triangle",
-            "naive",
-            atoms,
-            sac_bench::median_secs(5, || {
+    if !smoke {
+        let q = sac::gen::example1_triangle();
+        let tgds = vec![sac::gen::collector_tgd()];
+        let witness = semantic_acyclicity_under_tgds(&q, &tgds, SemAcConfig::default())
+            .witness()
+            .expect("Example 1 is semantically acyclic under the collector tgd")
+            .clone();
+        for customers in [50usize, 200, 800] {
+            let db = sac::gen::music_database(customers, customers * 2, 10);
+            let atoms = db.len();
+            let heap = db.heap_bytes();
+            let naive_secs = sac_bench::median_secs(5, || {
                 std::hint::black_box(evaluate(&q, &db).len());
-            }),
-        );
-        row(
-            "semac_triangle",
-            "yannakakis_scan_witness",
-            atoms,
-            sac_bench::median_secs(5, || {
+            });
+            json_row(
+                &mut rows,
+                "semac_triangle",
+                "naive",
+                atoms,
+                heap,
+                naive_secs,
+                naive_secs,
+            );
+            let scan_secs = sac_bench::median_secs(5, || {
                 std::hint::black_box(
                     yannakakis_evaluate(&witness, &db)
                         .expect("witness is acyclic")
                         .len(),
                 );
-            }),
-        );
-        let engine = Database::from_instance(db.clone()).with_tgds(tgds.clone());
-        engine.run(&q);
-        row(
-            "semac_triangle",
-            "engine",
-            atoms,
-            sac_bench::median_secs(5, || {
+            });
+            json_row(
+                &mut rows,
+                "semac_triangle",
+                "yannakakis_scan_witness",
+                atoms,
+                heap,
+                scan_secs,
+                naive_secs,
+            );
+            let engine = Database::from_instance(db.clone()).with_tgds(tgds.clone());
+            engine.run(&q);
+            let engine_secs = sac_bench::median_secs(5, || {
                 std::hint::black_box(engine.run(&q).len());
-            }),
-        );
+            });
+            json_row(
+                &mut rows,
+                "semac_triangle",
+                "engine",
+                atoms,
+                heap,
+                engine_secs,
+                naive_secs,
+            );
+        }
     }
 
+    let file = if smoke {
+        "BENCH_e11_smoke.json"
+    } else {
+        "BENCH_e11.json"
+    };
     let doc = sac_bench::json_document("e11_engine_vs_naive", &[], &rows);
-    let path = sac_bench::write_workspace_file("BENCH_e11.json", &doc);
+    let path = sac_bench::write_workspace_file(file, &doc);
     print!("{doc}");
     eprintln!("wrote {}", path.display());
+
+    if smoke {
+        let worst = star_engine_speedups
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        if worst < 1.0 {
+            eprintln!(
+                "bench smoke FAILED: engine speedup_vs_naive {worst:.2} < 1.0 on acyclic_star"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("bench smoke ok: engine speedup_vs_naive {worst:.2} on acyclic_star");
+    }
 }
 
 criterion_group! {
@@ -174,8 +246,10 @@ criterion_group! {
 }
 
 fn main() {
-    if sac_bench::json_flag() {
-        json_report();
+    if sac_bench::flag("--smoke") {
+        json_report(true);
+    } else if sac_bench::json_flag() {
+        json_report(false);
     } else {
         benches();
     }

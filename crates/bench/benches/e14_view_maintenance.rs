@@ -137,6 +137,7 @@ fn main() {
                 ("batches", BATCHES.to_string()),
                 ("batch_edges", BATCH_EDGES.to_string()),
                 ("final_answers", view.len().to_string()),
+                ("heap_bytes", db.heap_bytes().to_string()),
                 ("incremental_refreshes", incremental.to_string()),
                 ("full_refreshes", full.to_string()),
                 ("refresh_total_secs", format!("{refresh_secs:.6}")),

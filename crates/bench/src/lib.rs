@@ -31,10 +31,16 @@ pub fn quick_criterion() -> Criterion {
         .measurement_time(std::time::Duration::from_millis(600))
 }
 
+/// Whether the bench binary was invoked with the given flag
+/// (`cargo bench --bench <name> -- <flag>`).
+pub fn flag(name: &str) -> bool {
+    std::env::args().any(|arg| arg == name)
+}
+
 /// Whether the bench binary was invoked with `--json`
 /// (`cargo bench --bench <name> -- --json`).
 pub fn json_flag() -> bool {
-    std::env::args().any(|arg| arg == "--json")
+    flag("--json")
 }
 
 /// A path at the workspace root (where `BENCH_*.json` files live).

@@ -1,0 +1,131 @@
+//! A fast, deterministic hasher for small keys (FxHash-style).
+//!
+//! The tuple core stores dictionary codes (`u32`) and packed code rows, and
+//! the engine's match sets and semijoin sweeps hash millions of them per
+//! query.  `std`'s default SipHash is keyed and DoS-resistant but pays ~1ns
+//! per byte; the workloads here hash *internal* dense codes, never untrusted
+//! strings, so the rotate-multiply scheme used by rustc (`FxHasher`) is the
+//! right trade: ~1 multiply per word, deterministic across runs and
+//! processes (which the differential digest CI job relies on).
+//!
+//! Not for untrusted input: an adversary who controls keys can collide this
+//! hasher at will.  Everything hashed with it in this workspace is derived
+//! from dictionary codes the process itself assigned.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-style multiply-rotate hasher.  Word-at-a-time, deterministic,
+/// zero setup cost.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 2^64 / φ, the classic Fibonacci-hashing multiplier.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Mix the tail length in so "ab" and "ab\0" stay distinct.
+            self.add_to_hash(u64::from_le_bytes(tail) ^ (rest.len() as u64));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (no per-map random state).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hashes one value with [`FxHasher`] — the workspace's deterministic
+/// content hash for packed code rows (see `sac-storage`'s dedup table).
+#[inline]
+pub fn fx_hash_one<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        assert_eq!(fx_hash_one(&[1u32, 2, 3]), fx_hash_one(&[1u32, 2, 3]));
+        assert_ne!(fx_hash_one(&[1u32, 2, 3]), fx_hash_one(&[3u32, 2, 1]));
+    }
+
+    #[test]
+    fn maps_and_sets_work_with_the_alias_types() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+        let mut set: FxHashSet<Vec<u32>> = FxHashSet::default();
+        assert!(set.insert(vec![1, 2]));
+        assert!(!set.insert(vec![1, 2]));
+    }
+
+    #[test]
+    fn tail_bytes_and_length_are_mixed_in() {
+        use std::hash::Hash;
+        let mut a = FxHasher::default();
+        "ab".hash(&mut a);
+        let mut b = FxHasher::default();
+        "ab\0".hash(&mut b);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn all_zero_rows_of_different_lengths_do_not_collide() {
+        // The length prefix keeps [0, 0] and [0, 0, 0] apart even though
+        // every element contributes the same word.
+        assert_ne!(fx_hash_one(&[0u32; 2][..]), fx_hash_one(&[0u32; 3][..]));
+        assert_ne!(fx_hash_one(&[0u32; 0][..]), fx_hash_one(&[0u32; 1][..]));
+    }
+}

@@ -27,6 +27,7 @@
 pub mod atom;
 pub mod error;
 pub mod fresh;
+pub mod fx;
 pub mod schema;
 pub mod substitution;
 pub mod symbol;
@@ -36,6 +37,7 @@ pub mod term;
 pub use atom::Atom;
 pub use error::{Error, Result};
 pub use fresh::FreshSource;
+pub use fx::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use schema::Schema;
 pub use substitution::Substitution;
 pub use symbol::{intern, resolve, Symbol};

@@ -463,6 +463,12 @@ impl Database {
         self.read_instance().is_empty()
     }
 
+    /// Estimated heap footprint of the stored instance, dictionary
+    /// included (see [`Instance::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.read_instance().heap_bytes()
+    }
+
     /// Whether `atom` is stored.
     pub fn contains(&self, atom: &Atom) -> bool {
         self.read_instance().contains(atom)

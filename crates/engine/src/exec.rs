@@ -1,14 +1,20 @@
 //! The executor: run a compiled [`Plan`] over an indexed [`Instance`].
 //!
 //! The Yannakakis path is the full three-phase algorithm, with every phase a
-//! hash operation rather than a scan:
+//! hash operation rather than a scan — and every hash operation works on
+//! packed rows of dictionary **codes** (`u32`, see [`sac_storage::dict`]),
+//! read straight off the columnar relation buffers; terms are materialized
+//! exactly once, when the final answer set is decoded:
 //!
 //! 1. **match sets** — each join-tree node's atom is matched against its
-//!    relation; atoms with constant positions probe a cached multi-column
+//!    relation by sweeping the relevant column slices (code comparisons for
+//!    repeated variables and constants, gather of the variable columns);
+//!    atoms with constant positions probe a sidecar or cached multi-column
 //!    index instead of scanning;
 //! 2. **semijoin reduction** — an upward (leaf-to-root) sweep removes
 //!    dangling tuples, then for non-Boolean queries a downward sweep makes
-//!    every node consistent with its parent; both are hash semijoins;
+//!    every node consistent with its parent; both are hash semijoins over
+//!    code rows;
 //! 3. **join-back-up** — non-Boolean answers are produced by hash-joining
 //!    each subtree bottom-up, projecting eagerly onto the node's carry set
 //!    (its subtree's head variables plus the join key with the parent), so
@@ -17,7 +23,8 @@
 //!
 //! The fallback path executes the planner's fixed atom order, fetching the
 //! candidates of each step from a cached hash index on exactly the step's
-//! bound columns.
+//! bound columns.  It is the non-hot rung (cyclic cores only) and keeps the
+//! simpler term-level representation via [`Substitution`].
 //!
 //! ## Parallel execution
 //!
@@ -34,8 +41,8 @@
 //!   first atom's relation and merges the per-shard answer sets.
 //!
 //! Merging is order-insensitive (sets all the way down) and the final
-//! answers land in a `BTreeSet`, so results are byte-identical to the
-//! serial path regardless of thread interleaving.
+//! answers land in a `BTreeSet` of decoded terms, so results are
+//! byte-identical to the serial path regardless of thread interleaving.
 //!
 //! Execution itself is **read-only**: [`execute_with`] consumes an immutable
 //! [`ExecContext`] snapshot, so the concurrent [`crate::Database`] can run
@@ -47,9 +54,9 @@
 use crate::index::{PlanIndexes, PlanShards};
 use crate::plan::{ExecPlan, IndexedPlan, NodeShape, Plan, YannakakisPlan};
 use crate::pool;
-use sac_common::{Substitution, Symbol, Term};
-use sac_storage::{Instance, Relation};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use sac_common::{FxHashMap, FxHashSet, Substitution, Symbol, Term};
+use sac_storage::{dict, Instance, Relation};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -191,19 +198,31 @@ pub(crate) fn execute_with(plan: &Plan, db: &Instance, ctx: &ExecContext) -> BTr
     }
 }
 
-/// An intermediate relation over query variables.
+/// An intermediate relation over query variables.  Tuples are packed rows of
+/// dictionary codes; nothing in the Yannakakis phases ever compares a
+/// [`Term`].
 #[derive(Debug, Clone)]
 struct Table {
     vars: Vec<Symbol>,
-    tuples: HashSet<Vec<Term>>,
+    tuples: FxHashSet<Vec<u32>>,
 }
 
 impl Table {
+    /// An empty table over `shape`'s distinct variables.
+    fn empty(shape: &NodeShape) -> Table {
+        Table {
+            vars: shape.vars.clone(),
+            tuples: FxHashSet::default(),
+        }
+    }
+
     /// The relation holding exactly the empty tuple (join identity).
     fn unit() -> Table {
+        let mut tuples = FxHashSet::default();
+        tuples.insert(Vec::new());
         Table {
             vars: Vec::new(),
-            tuples: HashSet::from([Vec::new()]),
+            tuples,
         }
     }
 
@@ -234,8 +253,10 @@ impl Table {
 
     /// Hash semijoin: keeps only tuples agreeing with some tuple of `other`
     /// on the shared variables.  With no shared variables this is "keep all
-    /// iff `other` is non-empty".  Large tables are filtered in parallel
-    /// chunks when the context allows it.
+    /// iff `other` is non-empty".  Single-column join keys (the common case
+    /// on graph-shaped queries) probe a `u32` set with no per-tuple
+    /// allocation.  Large tables are filtered in parallel chunks when the
+    /// context allows it.
     fn semijoin(&mut self, other: &Table, ctx: &ExecContext) {
         let shared: Vec<Symbol> = self
             .vars
@@ -251,22 +272,34 @@ impl Table {
         }
         let my_pos = self.positions_of(&shared);
         let other_pos = other.positions_of(&shared);
-        let keys: HashSet<Vec<Term>> = other
-            .tuples
-            .iter()
-            .map(|t| other_pos.iter().map(|p| t[*p]).collect())
-            .collect();
-        let survives =
-            |t: &Vec<Term>| keys.contains(&my_pos.iter().map(|p| t[*p]).collect::<Vec<_>>());
+        if let ([mp], [op]) = (my_pos.as_slice(), other_pos.as_slice()) {
+            let (mp, op) = (*mp, *op);
+            let keys: FxHashSet<u32> = other.tuples.iter().map(|t| t[op]).collect();
+            self.retain_tuples(ctx, |t| keys.contains(&t[mp]));
+        } else {
+            let keys: FxHashSet<Vec<u32>> = other
+                .tuples
+                .iter()
+                .map(|t| other_pos.iter().map(|p| t[*p]).collect())
+                .collect();
+            self.retain_tuples(ctx, |t| {
+                keys.contains(&my_pos.iter().map(|p| t[*p]).collect::<Vec<_>>())
+            });
+        }
+    }
+
+    /// Keeps exactly the tuples `survives` accepts, chunked across the
+    /// worker pool for large tables when the context allows it.
+    fn retain_tuples<F: Fn(&Vec<u32>) -> bool + Sync>(&mut self, ctx: &ExecContext, survives: F) {
         if ctx.parallelism > 1 && self.tuples.len() >= ctx.min_parallel_rows.max(2) {
             // Workers return keep-masks (chunks partition `drained` in
             // order, and parallel_map returns results in task order), so the
             // surviving tuples are moved, never cloned.
-            let drained: Vec<Vec<Term>> = self.tuples.drain().collect();
+            let drained: Vec<Vec<u32>> = self.tuples.drain().collect();
             let chunk_len = drained.len().div_ceil(ctx.parallelism);
-            let chunks: Vec<&[Vec<Term>]> = drained.chunks(chunk_len).collect();
+            let chunks: Vec<&[Vec<u32>]> = drained.chunks(chunk_len).collect();
             let (masks, threads) = pool::parallel_map(ctx.parallelism, &chunks, |chunk| {
-                chunk.iter().map(survives).collect::<Vec<bool>>()
+                chunk.iter().map(&survives).collect::<Vec<bool>>()
             });
             ctx.note_parallel(chunks.len(), threads);
             self.tuples = drained
@@ -283,6 +316,16 @@ impl Table {
     /// `self.vars` followed by `other`'s non-shared variables.  With no
     /// shared variables this is the cross product.
     fn join(&self, other: &Table) -> Table {
+        self.join_onto(other, None)
+    }
+
+    /// [`Table::join`] with the projection fused into the emit: with
+    /// `keep` set, output tuples are gathered directly onto those variables
+    /// (a subset of the joined variables), so an output-bounded join never
+    /// materializes the wide intermediate only to project it away.
+    /// Single-column join keys index a `u32` map with no per-key
+    /// allocation.
+    fn join_onto(&self, other: &Table, keep: Option<&[Symbol]>) -> Table {
         let shared: Vec<Symbol> = self
             .vars
             .iter()
@@ -295,55 +338,153 @@ impl Table {
             .filter(|p| !other_pos.contains(p))
             .collect();
 
-        let mut vars = self.vars.clone();
-        vars.extend(extra_pos.iter().map(|p| other.vars[*p]));
+        // The emitted columns: each is a side (false = self, true = other)
+        // and a position within that side's tuple.
+        let (vars, out_cols): (Vec<Symbol>, Vec<(bool, usize)>) = match keep {
+            None => {
+                let mut vars = self.vars.clone();
+                vars.extend(extra_pos.iter().map(|p| other.vars[*p]));
+                let mut cols: Vec<(bool, usize)> =
+                    (0..self.vars.len()).map(|p| (false, p)).collect();
+                cols.extend(extra_pos.iter().map(|p| (true, *p)));
+                (vars, cols)
+            }
+            Some(keep) => {
+                let cols = keep
+                    .iter()
+                    .map(|v| {
+                        self.vars
+                            .iter()
+                            .position(|u| u == v)
+                            .map(|p| (false, p))
+                            .or_else(|| other.vars.iter().position(|u| u == v).map(|p| (true, p)))
+                            .expect("carry variable present in the joined table")
+                    })
+                    .collect();
+                (keep.to_vec(), cols)
+            }
+        };
 
         // Index the smaller operand's tuples by join key and probe with the
-        // larger; either way, emitted tuples are `self`'s columns followed by
-        // `other`'s extras.
-        let emit = |mine: &Vec<Term>, theirs: &Vec<Term>| -> Vec<Term> {
-            let mut combined = mine.clone();
-            combined.extend(extra_pos.iter().map(|p| theirs[*p]));
-            combined
+        // larger.
+        let emit = |mine: &Vec<u32>, theirs: &Vec<u32>| -> Vec<u32> {
+            out_cols
+                .iter()
+                .map(|&(from_other, p)| if from_other { theirs[p] } else { mine[p] })
+                .collect()
         };
-        let mut tuples = HashSet::new();
-        if self.tuples.len() <= other.tuples.len() {
-            let mut by_key: HashMap<Vec<Term>, Vec<&Vec<Term>>> = HashMap::new();
-            for t in &self.tuples {
-                let key: Vec<Term> = my_pos.iter().map(|p| t[*p]).collect();
-                by_key.entry(key).or_default().push(t);
+        let mut tuples = FxHashSet::default();
+        let (build, probe, build_pos, probe_pos, build_is_self) =
+            if self.tuples.len() <= other.tuples.len() {
+                (&self.tuples, &other.tuples, &my_pos, &other_pos, true)
+            } else {
+                (&other.tuples, &self.tuples, &other_pos, &my_pos, false)
+            };
+        let pair = |b: &Vec<u32>, p: &Vec<u32>| {
+            if build_is_self {
+                emit(b, p)
+            } else {
+                emit(p, b)
             }
-            for t in &other.tuples {
-                let key: Vec<Term> = other_pos.iter().map(|p| t[*p]).collect();
-                if let Some(matches) = by_key.get(&key) {
+        };
+        if let ([bp], [pp]) = (build_pos.as_slice(), probe_pos.as_slice()) {
+            let (bp, pp) = (*bp, *pp);
+            let mut by_key: FxHashMap<u32, Vec<&Vec<u32>>> = FxHashMap::default();
+            for t in build {
+                by_key.entry(t[bp]).or_default().push(t);
+            }
+            for t in probe {
+                if let Some(matches) = by_key.get(&t[pp]) {
                     for m in matches {
-                        tuples.insert(emit(m, t));
+                        tuples.insert(pair(m, t));
                     }
                 }
             }
         } else {
-            let mut by_key: HashMap<Vec<Term>, Vec<&Vec<Term>>> = HashMap::new();
-            for t in &other.tuples {
-                let key: Vec<Term> = other_pos.iter().map(|p| t[*p]).collect();
+            let mut by_key: FxHashMap<Vec<u32>, Vec<&Vec<u32>>> = FxHashMap::default();
+            for t in build {
+                let key: Vec<u32> = build_pos.iter().map(|p| t[*p]).collect();
                 by_key.entry(key).or_default().push(t);
             }
-            for t in &self.tuples {
-                let key: Vec<Term> = my_pos.iter().map(|p| t[*p]).collect();
+            for t in probe {
+                let key: Vec<u32> = probe_pos.iter().map(|p| t[*p]).collect();
                 if let Some(matches) = by_key.get(&key) {
                     for m in matches {
-                        tuples.insert(emit(t, m));
+                        tuples.insert(pair(m, t));
                     }
                 }
             }
         }
         Table { vars, tuples }
     }
+
+    /// [`Table::project`] by value: the identity projection (same variables,
+    /// same order) is a move, not a copy.
+    fn into_projected(self, keep: &[Symbol]) -> Table {
+        if keep == self.vars {
+            self
+        } else {
+            self.project(keep)
+        }
+    }
+}
+
+/// A [`NodeShape`] with its constant key pushed through the dictionary: the
+/// executor's decode-free admission test over columnar rows.
+///
+/// `const_codes` is `None` when some rigid term of the atom was never
+/// encoded — then no stored tuple can match and the node's match set is
+/// empty without touching the relation (the dictionary's `None` is a
+/// process-wide absence guarantee).
+struct CodeShape<'a> {
+    shape: &'a NodeShape,
+    const_codes: Option<Vec<u32>>,
+}
+
+impl<'a> CodeShape<'a> {
+    fn of(shape: &'a NodeShape) -> CodeShape<'a> {
+        let const_codes = shape
+            .const_key
+            .iter()
+            .map(|t| dict::lookup(*t))
+            .collect::<Option<Vec<u32>>>();
+        CodeShape { shape, const_codes }
+    }
+
+    /// The match-set projection of row `row` of `cols` (its codes at the
+    /// distinct variables' first occurrences) when the row passes the
+    /// shape's repeated-variable and constant filters, `None` otherwise.
+    /// The one definition of "this relation row matches this atom", shared
+    /// by the full scan, per-shard and incremental (delta) paths so they
+    /// can never disagree.
+    #[inline]
+    fn admit_row(&self, cols: &[&[u32]], row: usize) -> Option<Vec<u32>> {
+        let codes = self.const_codes.as_ref()?;
+        let shape = self.shape;
+        let consistent = shape
+            .eq_checks
+            .iter()
+            .all(|(a, b)| cols[*a][row] == cols[*b][row]);
+        let constants = shape
+            .const_positions
+            .iter()
+            .zip(codes)
+            .all(|(p, k)| cols[*p][row] == *k);
+        (consistent && constants).then(|| shape.var_first.iter().map(|p| cols[*p][row]).collect())
+    }
+}
+
+/// The column slices of `rel`, gathered once per sweep so the row loop is
+/// pure slice indexing.
+fn columns_of(rel: &Relation) -> Vec<&[u32]> {
+    (0..rel.arity()).map(|p| rel.column(p)).collect()
 }
 
 /// Computes a node's match set: the projection onto its distinct variables of
 /// the relation tuples matching the atom's constants and repeated variables.
-/// Constant positions are served by a snapshot index when available; the
-/// fallback is a filtered scan.
+/// Constant positions are served by the relation's sidecar index (one
+/// constant) or a snapshot index (several) when available; the fallback is a
+/// keep-mask sweep over the column slices.
 fn node_matches(
     shape: &NodeShape,
     predicate: Symbol,
@@ -351,45 +492,50 @@ fn node_matches(
     db: &Instance,
     indexes: &PlanIndexes,
 ) -> Table {
-    let mut table = Table {
-        vars: shape.vars.clone(),
-        tuples: HashSet::new(),
-    };
+    let mut table = Table::empty(shape);
     let Some(rel) = db.relation(predicate) else {
         return table;
     };
     if rel.arity() != arity {
         return table;
     }
-    let mut admit = |tuple: &[Term]| {
-        if let Some(projected) = shape.admit(tuple) {
+    let code_shape = CodeShape::of(shape);
+    let Some(const_codes) = code_shape.const_codes.as_deref() else {
+        return table; // a rigid term the dictionary never saw: no match
+    };
+    let cols = columns_of(rel);
+    if shape.const_positions.is_empty() {
+        table.tuples.reserve(rel.len());
+    }
+    let mut admit = |row: usize| {
+        if let Some(projected) = code_shape.admit_row(&cols, row) {
             table.tuples.insert(projected);
         }
     };
     match shape.const_positions.len() {
         0 => {
-            for tuple in rel.iter() {
-                admit(tuple);
+            for row in 0..rel.len() {
+                admit(row);
             }
         }
-        // One constant: the storage layer already maintains this index
+        // One constant: the storage layer's sidecar index serves it
         // incrementally — no cached copy needed.
         1 => {
-            for &row in rel.rows_with(shape.const_positions[0], shape.const_key[0]) {
-                admit(rel.row(row).expect("indexed row exists"));
+            for &row in rel.rows_with_code(shape.const_positions[0], const_codes[0]) {
+                admit(row as usize);
             }
         }
         _ => match indexes.get(&(predicate, shape.const_positions.clone())) {
             Some(index) => {
-                for &row in index.rows(&shape.const_key) {
-                    admit(rel.row(row).expect("indexed row exists"));
+                for &row in index.rows_codes(const_codes) {
+                    admit(row as usize);
                 }
             }
             // No snapshot index (e.g. the cache could not build one):
-            // degrade to a filtered scan.
+            // degrade to a keep-mask sweep.
             None => {
-                for tuple in rel.iter() {
-                    admit(tuple);
+                for row in 0..rel.len() {
+                    admit(row);
                 }
             }
         },
@@ -397,15 +543,18 @@ fn node_matches(
     table
 }
 
-/// The shard half of [`node_matches`]: scan one hash shard of a
-/// constant-free node's relation, projecting consistent tuples.
+/// The shard half of [`node_matches`]: sweep one hash shard of a
+/// constant-free node's relation, projecting consistent rows.
 fn node_matches_shard(shape: &NodeShape, shard: &Relation) -> Table {
-    let mut table = Table {
-        vars: shape.vars.clone(),
-        tuples: HashSet::new(),
-    };
-    for tuple in shard.iter() {
-        if let Some(projected) = shape.admit(tuple) {
+    let mut table = Table::empty(shape);
+    let code_shape = CodeShape::of(shape);
+    if code_shape.const_codes.is_none() {
+        return table;
+    }
+    table.tuples.reserve(shard.len());
+    let cols = columns_of(shard);
+    for row in 0..shard.len() {
+        if let Some(projected) = code_shape.admit_row(&cols, row) {
             table.tuples.insert(projected);
         }
     }
@@ -419,31 +568,66 @@ enum MatchTask<'a> {
     Shard(usize, &'a Relation),
 }
 
+/// Whether nodes `i` and `j` provably have identical match-set *tuples*:
+/// same relation, and the same structural shape (projection positions,
+/// repeated-variable checks, constant filters).  Variable *names* may
+/// differ — the star query's `E(c,l1), E(c,l2), E(c,l3)` shares one scan
+/// three ways.
+fn same_match_set(plan: &YannakakisPlan, i: usize, j: usize) -> bool {
+    let (a, b) = (&plan.shapes[i], &plan.shapes[j]);
+    plan.tree.atoms[i].predicate == plan.tree.atoms[j].predicate
+        && a.var_first == b.var_first
+        && a.eq_checks == b.eq_checks
+        && a.const_positions == b.const_positions
+        && a.const_key == b.const_key
+}
+
 /// Phase 1 of Yannakakis: one match-set [`Table`] per join-tree node,
 /// computed in parallel per `(node, shard)` when the context allows it and
-/// merged by hash-set union.
+/// merged by hash-set union.  Structurally identical nodes (common in
+/// self-join queries) are scanned once and shared by tuple-set clone.
 fn match_tables(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> Vec<Table> {
     let n = plan.tree.len();
+    // leaders[i] == i for the first node of each structural class; later
+    // members copy the leader's tuples instead of rescanning.
+    let leaders: Vec<usize> = (0..n)
+        .map(|i| (0..i).find(|&j| same_match_set(plan, i, j)).unwrap_or(i))
+        .collect();
+    let share_duplicates = |tables: &mut Vec<Table>| {
+        for i in 0..n {
+            if leaders[i] != i {
+                let shared = tables[leaders[i]].tuples.clone();
+                tables[i].tuples = shared;
+            }
+        }
+    };
     let serial = || -> Vec<Table> {
-        (0..n)
-            .map(|i| {
-                let atom = &plan.tree.atoms[i];
-                node_matches(
-                    &plan.shapes[i],
-                    atom.predicate,
-                    atom.arity(),
-                    db,
-                    &ctx.indexes,
-                )
-            })
-            .collect()
+        let mut tables: Vec<Table> = plan.shapes.iter().map(Table::empty).collect();
+        for i in 0..n {
+            if leaders[i] != i {
+                continue;
+            }
+            let atom = &plan.tree.atoms[i];
+            tables[i] = node_matches(
+                &plan.shapes[i],
+                atom.predicate,
+                atom.arity(),
+                db,
+                &ctx.indexes,
+            );
+        }
+        share_duplicates(&mut tables);
+        tables
     };
     if ctx.parallelism <= 1 {
         return serial();
     }
     let mut tasks: Vec<MatchTask<'_>> = Vec::with_capacity(n);
     let mut shard_tasks = 0usize;
-    for i in 0..n {
+    for (i, &leader) in leaders.iter().enumerate() {
+        if leader != i {
+            continue;
+        }
         let atom = &plan.tree.atoms[i];
         let shard_set = if plan.shapes[i].const_positions.is_empty() {
             ctx.shards_for(db, atom)
@@ -483,17 +667,11 @@ fn match_tables(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> Vec<
         MatchTask::Shard(i, shard) => (*i, node_matches_shard(&plan.shapes[*i], shard)),
     });
     ctx.note_parallel(shard_tasks, threads);
-    let mut tables: Vec<Table> = plan
-        .shapes
-        .iter()
-        .map(|shape| Table {
-            vars: shape.vars.clone(),
-            tuples: HashSet::new(),
-        })
-        .collect();
+    let mut tables: Vec<Table> = plan.shapes.iter().map(Table::empty).collect();
     for (i, partial) in partials {
         tables[i].tuples.extend(partial.tuples);
     }
+    share_duplicates(&mut tables);
     tables
 }
 
@@ -512,7 +690,9 @@ fn run_yannakakis(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> BT
 /// upward/downward semijoin sweeps and the output-bounded join-back-up.
 /// Shared between the full path ([`run_yannakakis`], whose tables are the
 /// complete match sets) and the incremental path ([`execute_delta`], whose
-/// tables are restricted to tuples joining a relation delta).
+/// tables are restricted to tuples joining a relation delta).  Answers are
+/// decoded from codes to terms here, at the very end — the only
+/// term-materialization point of the whole pipeline.
 fn yannakakis_phases(
     plan: &YannakakisPlan,
     mut tables: Vec<Table>,
@@ -547,27 +727,47 @@ fn yannakakis_phases(
     }
 
     // Phase 3: bottom-up hash join, projecting each subtree onto its carry
-    // set as soon as it is joined.  Joins follow the tree structure and stay
-    // output-bounded, so this phase is kept serial.
+    // set as it is joined — fused into the last join's emit, so the wide
+    // intermediate is never materialized.  Joins follow the tree structure
+    // and stay output-bounded, so this phase is kept serial.
     let mut joined: Vec<Option<Table>> = vec![None; n];
     for &node in plan.order.iter().rev() {
+        let kids = &plan.children[node];
         let mut t = std::mem::replace(&mut tables[node], Table::unit());
-        for &child in &plan.children[node] {
+        for (i, &child) in kids.iter().enumerate() {
             let child_table = joined[child].take().expect("children joined first");
-            t = t.join(&child_table);
+            let keep = (i + 1 == kids.len()).then_some(plan.carry[node].as_slice());
+            t = t.join_onto(&child_table, keep);
         }
-        joined[node] = Some(t.project(&plan.carry[node]));
+        joined[node] = Some(if kids.is_empty() {
+            t.into_projected(&plan.carry[node])
+        } else {
+            t
+        });
     }
-    let mut acc = Table::unit();
+    // Chain the root tables; a single root (the connected-query case) moves
+    // straight through.
+    let mut acc: Option<Table> = None;
     for root in plan.tree.roots() {
         let root_table = joined[root].take().expect("roots joined last");
-        acc = acc.join(&root_table);
+        acc = Some(match acc {
+            None => root_table,
+            Some(done) => done.join(&root_table),
+        });
     }
+    let acc = acc.expect("non-empty tree has a root");
 
-    // Materialize answers in head order (head variables may repeat).
+    // Materialize answers in head order (head variables may repeat),
+    // decoding each projected code row under one dictionary guard.
     let head_pos = acc.positions_of(&plan.query.head);
+    let decoder = dict::decoder();
     for t in &acc.tuples {
-        answers.insert(head_pos.iter().map(|p| t[*p]).collect());
+        answers.insert(
+            head_pos
+                .iter()
+                .map(|p| decoder.decode(t[*p]))
+                .collect::<Vec<Term>>(),
+        );
     }
     answers
 }
@@ -576,7 +776,7 @@ fn yannakakis_phases(
 /// join-tree edges: for every (parent, child) edge and both directions, the
 /// target atom's first-occurrence positions of the variables shared with the
 /// source atom.  Single-column keys are served by the storage layer's
-/// incremental positional indexes and need no cache entry.  Empty for
+/// incremental sidecar indexes and need no cache entry.  Empty for
 /// non-Yannakakis plans (the fallback rung recomputes in full).
 pub(crate) fn delta_edge_indexes(plan: &Plan) -> Vec<(Symbol, Vec<usize>)> {
     let ExecPlan::Yannakakis(yp) = &plan.exec else {
@@ -621,10 +821,11 @@ fn shared_positions(source_vars: &[Symbol], target: &NodeShape) -> Vec<(usize, S
 /// restricted `frontier` table on the shared variables, as a match-set
 /// [`Table`] (shape filters applied, projected onto distinct variables).
 ///
-/// Lookups go through the narrowest structure available: the storage
-/// layer's single-column index for one shared position, a cached
-/// multi-column [`crate::JoinIndex`] from the snapshot when present, and a
-/// [`Relation::select`] scan otherwise.  With no shared variables the
+/// Lookups go through the narrowest structure available: the relation's
+/// sidecar index for one shared position, a cached multi-column
+/// [`crate::JoinIndex`] from the snapshot when present, and a
+/// sparsest-sidecar-driven [`Relation::select_rows`] otherwise — all keyed
+/// by the codes the frontier already carries.  With no shared variables the
 /// restriction is vacuous and the full match set is returned.
 fn restrict_via_edge(
     frontier: &Table,
@@ -634,10 +835,7 @@ fn restrict_via_edge(
     db: &Instance,
     indexes: &PlanIndexes,
 ) -> Table {
-    let mut table = Table {
-        vars: shape.vars.clone(),
-        tuples: HashSet::new(),
-    };
+    let mut table = Table::empty(shape);
     let Some(rel) = db.relation(predicate) else {
         return table;
     };
@@ -649,17 +847,22 @@ fn restrict_via_edge(
         // Disconnected neighbour (no join key): every tuple participates.
         return node_matches(shape, predicate, arity, db, indexes);
     }
+    let code_shape = CodeShape::of(shape);
+    if code_shape.const_codes.is_none() {
+        return table;
+    }
+    let cols = columns_of(rel);
     let positions: Vec<usize> = shared.iter().map(|(pos, _)| *pos).collect();
     let shared_vars: Vec<Symbol> = shared.iter().map(|(_, v)| *v).collect();
     let key_pos = frontier.positions_of(&shared_vars);
-    let keys: HashSet<Vec<Term>> = frontier
+    let keys: FxHashSet<Vec<u32>> = frontier
         .tuples
         .iter()
         .map(|t| key_pos.iter().map(|p| t[*p]).collect())
         .collect();
 
-    let mut add_tuple = |tuple: &[Term]| {
-        if let Some(projected) = shape.admit(tuple) {
+    let mut add_row = |row: usize| {
+        if let Some(projected) = code_shape.admit_row(&cols, row) {
             table.tuples.insert(projected);
         }
     };
@@ -670,20 +873,20 @@ fn restrict_via_edge(
     };
     for key in keys {
         if positions.len() == 1 {
-            for &row in rel.rows_with(positions[0], key[0]) {
-                add_tuple(rel.row(row).expect("indexed row exists"));
+            for &row in rel.rows_with_code(positions[0], key[0]) {
+                add_row(row as usize);
             }
         } else if let Some(index) = cached {
-            for &row in index.rows(&key) {
-                add_tuple(rel.row(row).expect("indexed row exists"));
+            for &row in index.rows_codes(&key) {
+                add_row(row as usize);
             }
         } else {
             // No cached multi-column index: drive the lookup through the
-            // sparsest single-column index and verify the rest.
-            let bound: Vec<(usize, Term)> =
+            // sparsest sidecar and verify the rest against the columns.
+            let bound: Vec<(usize, u32)> =
                 positions.iter().copied().zip(key.iter().copied()).collect();
-            for tuple in rel.select(&bound) {
-                add_tuple(tuple);
+            for row in rel.select_rows(&bound) {
+                add_row(row as usize);
             }
         }
     }
@@ -696,12 +899,13 @@ fn restrict_via_edge(
 /// tree to push deltas through, so callers recompute in full.
 ///
 /// For each join-tree node whose relation grew, the node's match set is
-/// computed from the **delta rows only** and pushed outward through the
-/// tree: each neighbour's table is restricted to tuples joining the
-/// frontier (index lookups, not scans), so the per-refresh work is
-/// proportional to the delta and its join fan-out, not to the database.
-/// The restricted tables then run the ordinary semijoin sweeps and
-/// join-back-up, and contributions from all dirty nodes are unioned.
+/// computed from the **delta rows only** (a tail sweep over the column
+/// buffers) and pushed outward through the tree: each neighbour's table is
+/// restricted to tuples joining the frontier (index lookups, not scans), so
+/// the per-refresh work is proportional to the delta and its join fan-out,
+/// not to the database.  The restricted tables then run the ordinary
+/// semijoin sweeps and join-back-up, and contributions from all dirty nodes
+/// are unioned.
 ///
 /// Conjunctive queries are monotone, so appended facts can only **add**
 /// answers; the union of the returned set into a previously materialized
@@ -748,13 +952,14 @@ pub(crate) fn execute_delta(
         }
         // The dirty node's table: its match set over the delta rows only.
         let shape = &yp.shapes[dirty];
-        let mut delta_table = Table {
-            vars: shape.vars.clone(),
-            tuples: HashSet::new(),
-        };
-        for tuple in rel.rows_from(from_row) {
-            if let Some(projected) = shape.admit(tuple) {
-                delta_table.tuples.insert(projected);
+        let mut delta_table = Table::empty(shape);
+        let code_shape = CodeShape::of(shape);
+        if code_shape.const_codes.is_some() {
+            let cols = columns_of(rel);
+            for row in from_row..rel.len() {
+                if let Some(projected) = code_shape.admit_row(&cols, row) {
+                    delta_table.tuples.insert(projected);
+                }
             }
         }
         if delta_table.tuples.is_empty() {
@@ -848,7 +1053,7 @@ fn run_indexed(plan: &IndexedPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet
                 let mut local = BTreeSet::new();
                 let mut state = Substitution::new();
                 for tuple in shard.iter() {
-                    try_match(plan, db, &step_indexes, 0, tuple, &mut state, &mut local);
+                    try_match(plan, db, &step_indexes, 0, &tuple, &mut state, &mut local);
                 }
                 local
             });
@@ -920,7 +1125,7 @@ fn indexed_step(
 
     if bp.is_empty() {
         for tuple in rel.iter() {
-            try_match(plan, db, step_indexes, depth, tuple, state, answers);
+            try_match(plan, db, step_indexes, depth, &tuple, state, answers);
         }
         return;
     }
@@ -934,10 +1139,10 @@ fn indexed_step(
         return;
     }
     if bp.len() == 1 {
-        // Single bound column: the storage layer's incremental index serves
-        // the lookup directly.
+        // Single bound column: the relation's sidecar index serves the
+        // lookup directly.
         for &row in rel.rows_with(bp[0], key[0]) {
-            let tuple = rel.row(row).expect("indexed row exists").to_vec();
+            let tuple = rel.row(row as usize).expect("indexed row exists");
             try_match(plan, db, step_indexes, depth, &tuple, state, answers);
         }
         return;
@@ -945,7 +1150,7 @@ fn indexed_step(
     match step_indexes[depth] {
         Some(index) => {
             for &row in index.rows(&key) {
-                let tuple = rel.row(row).expect("indexed row exists").to_vec();
+                let tuple = rel.row(row as usize).expect("indexed row exists");
                 try_match(plan, db, step_indexes, depth, &tuple, state, answers);
             }
         }
@@ -957,8 +1162,8 @@ fn indexed_step(
     }
 }
 
-/// Fallback candidate enumeration through the storage layer's single-column
-/// indexes (used only if a snapshot multi-column index is unavailable).
+/// Fallback candidate enumeration through the relation's sidecar indexes
+/// (used only if a snapshot multi-column index is unavailable).
 fn scan_candidates(
     rel: &Relation,
     atom: &sac_common::Atom,
@@ -973,7 +1178,7 @@ fn scan_candidates(
             (!image.is_variable()).then_some((i, image))
         })
         .collect();
-    rel.select(&bound).map(|t| t.to_vec()).collect()
+    rel.select(&bound).collect()
 }
 
 #[cfg(test)]
@@ -1054,6 +1259,21 @@ mod tests {
         assert_eq!(res, evaluate(&q, &db));
         assert_eq!(res.len(), 1);
         assert!(res.contains(&vec![Term::constant("kind_of_blue")]));
+    }
+
+    #[test]
+    fn constants_unknown_to_the_dictionary_match_nothing() {
+        // A constant no relation (in any test) ever stored: the dictionary
+        // lookup fails and the match set short-circuits to empty without
+        // touching the relation.
+        let db = music_db();
+        let q = ConjunctiveQuery::new(
+            vec![intern("z")],
+            vec![atom!("Interest", cst "exec_never_stored_anywhere", var "z")],
+        )
+        .unwrap();
+        assert!(run(&q, &db).is_empty());
+        assert_eq!(run(&q, &db), evaluate(&q, &db));
     }
 
     #[test]

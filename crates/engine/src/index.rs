@@ -30,17 +30,22 @@
 //! incremental updates copy-on-write (`Arc::make_mut`) and leave in-flight
 //! snapshots intact.
 
-use sac_common::{Symbol, Term};
-use sac_storage::{Instance, Relation};
+use sac_common::{FxHashMap, Symbol, Term};
+use sac_storage::{dict, Instance, Relation};
 use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A hash index over the projection of one relation onto a set of columns:
 /// key tuple → row ids sharing it.
+///
+/// Keys are rows of dictionary **codes** (see [`sac_storage::dict`]), so the
+/// engine's hot path probes with the codes it already carries — no term
+/// materialization per lookup.  The [`JoinIndex::rows`] veneer accepts terms
+/// and encodes through the dictionary for callers outside the hot path.
 #[derive(Debug, Clone)]
 pub struct JoinIndex {
     positions: Vec<usize>,
-    map: HashMap<Vec<Term>, Vec<usize>>,
+    map: FxHashMap<Vec<u32>, Vec<u32>>,
     /// How many rows of the backing relation the index covers (relations are
     /// append-only, so `rows_covered..rel.len()` is exactly the new tail).
     rows_covered: usize,
@@ -60,9 +65,8 @@ impl JoinIndex {
     /// result is identical to a from-scratch [`Relation::project_index`].
     fn extend_from(&mut self, rel: &Relation) {
         for row in self.rows_covered..rel.len() {
-            let tuple = rel.row(row).expect("row in range");
-            let key: Vec<Term> = self.positions.iter().map(|p| tuple[*p]).collect();
-            self.map.entry(key).or_default().push(row);
+            let key: Vec<u32> = self.positions.iter().map(|p| rel.column(*p)[row]).collect();
+            self.map.entry(key).or_default().push(row as u32);
         }
         self.rows_covered = rel.len();
     }
@@ -72,8 +76,23 @@ impl JoinIndex {
         &self.positions
     }
 
-    /// Row ids whose projection onto the indexed columns equals `key`.
-    pub fn rows(&self, key: &[Term]) -> &[usize] {
+    /// Row ids whose projection onto the indexed columns equals the term
+    /// tuple `key`.  A key term the dictionary has never seen matches no
+    /// row.
+    pub fn rows(&self, key: &[Term]) -> &[u32] {
+        let mut codes = Vec::with_capacity(key.len());
+        for term in key {
+            match dict::lookup(*term) {
+                Some(code) => codes.push(code),
+                None => return &[],
+            }
+        }
+        self.rows_codes(&codes)
+    }
+
+    /// Row ids whose projection onto the indexed columns equals the code
+    /// tuple `key` — the decode-free probe the executor uses.
+    pub fn rows_codes(&self, key: &[u32]) -> &[u32] {
         self.map.get(key).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
@@ -120,12 +139,13 @@ impl ShardSet {
     }
 
     /// Routes the rows the backing relation gained since the decomposition
-    /// was built or last extended into their hash shards.
+    /// was built or last extended into their hash shards (by code — the
+    /// shards share the parent's dictionary, so no re-encoding happens).
     fn extend_from(&mut self, rel: &Relation) {
         let k = self.shards.len();
         for row in self.rows_covered..rel.len() {
-            let tuple = rel.row(row).expect("row in range");
-            self.shards[Relation::shard_of(&tuple[self.col], k)].insert(tuple.to_vec());
+            let codes = rel.codes_row(row).expect("row in range");
+            self.shards[Relation::shard_of_code(codes[self.col], k)].insert_codes(&codes);
         }
         self.rows_covered = rel.len();
     }
@@ -444,7 +464,7 @@ mod tests {
         let rebuilt = fresh.get(intern("R"), &[0, 1]).unwrap();
         assert_eq!(incremental.distinct_keys(), rebuilt.distinct_keys());
         for tuple in db.relation(intern("R")).unwrap().iter() {
-            assert_eq!(incremental.rows(tuple), rebuilt.rows(tuple));
+            assert_eq!(incremental.rows(&tuple), rebuilt.rows(&tuple));
         }
     }
 
@@ -544,7 +564,7 @@ mod tests {
         for (inc, scr) in set.shards().iter().zip(&scratch) {
             assert_eq!(inc.len(), scr.len());
             for tuple in inc.iter() {
-                assert!(scr.contains(tuple));
+                assert!(scr.contains(&tuple));
             }
         }
         // The snapshot taken before the insert still sees 3 rows.

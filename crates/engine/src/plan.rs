@@ -102,22 +102,6 @@ impl NodeShape {
             const_key,
         }
     }
-
-    /// The match-set projection of `tuple` (its values at the distinct
-    /// variables' first occurrences) when it satisfies the shape's
-    /// repeated-variable and constant filters, `None` otherwise.  The one
-    /// definition of "this relation tuple matches this atom", shared by
-    /// the full scan, per-shard and incremental (delta) paths so they can
-    /// never disagree.
-    pub(crate) fn admit(&self, tuple: &[Term]) -> Option<Vec<Term>> {
-        let consistent = self.eq_checks.iter().all(|(a, b)| tuple[*a] == tuple[*b]);
-        let constants = self
-            .const_positions
-            .iter()
-            .zip(&self.const_key)
-            .all(|(p, k)| tuple[*p] == *k);
-        (consistent && constants).then(|| self.var_first.iter().map(|p| tuple[*p]).collect())
-    }
 }
 
 /// A compiled Yannakakis plan over an acyclic query (the input or a witness).

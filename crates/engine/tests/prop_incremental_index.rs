@@ -73,7 +73,7 @@ fn check_sequence(inserts: usize, k: usize, seed: u64) -> Result<(), TestCaseErr
         for (inc, scr) in incremental.shards().iter().zip(rebuilt.shards()) {
             prop_assert_eq!(inc.len(), scr.len());
             for tuple in inc.iter() {
-                prop_assert!(scr.contains(tuple));
+                prop_assert!(scr.contains(&tuple));
             }
         }
     }

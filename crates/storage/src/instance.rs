@@ -120,7 +120,7 @@ impl Instance {
     pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
         self.order.iter().flat_map(move |p| {
             let rel = &self.relations[p];
-            rel.iter().map(move |tuple| Atom::new(*p, tuple.to_vec()))
+            rel.iter().map(move |tuple| Atom::new(*p, tuple))
         })
     }
 
@@ -177,6 +177,18 @@ impl Instance {
                 .map(|p| self.relations[p].stats())
                 .collect(),
         }
+    }
+
+    /// Estimated heap footprint of the instance's storage: the per-relation
+    /// column buffers, dedup tables and sidecar indexes, plus the global
+    /// term dictionary ([`crate::dict::heap_bytes`]).  The dictionary is
+    /// process-wide and shared by every instance, so summing `heap_bytes`
+    /// over several instances double-counts its share; the number is an
+    /// estimate for capacity planning and benchmark reports, not an exact
+    /// allocator measurement.
+    pub fn heap_bytes(&self) -> usize {
+        let relations: usize = self.relations.values().map(|r| r.heap_bytes()).sum();
+        relations + crate::dict::heap_bytes()
     }
 
     /// Applies a term-level renaming to every atom, producing a new instance.
@@ -295,8 +307,9 @@ impl RelationDelta<'_> {
         self.len() == 0
     }
 
-    /// Iterates over exactly the appended tuples, in insertion order.
-    pub fn rows(&self) -> impl Iterator<Item = &[Term]> + '_ {
+    /// Iterates over exactly the appended tuples, in insertion order
+    /// (decoded from the relation's columns).
+    pub fn rows(&self) -> impl Iterator<Item = Vec<Term>> + '_ {
         self.relation.rows_from(self.from_row)
     }
 }
@@ -510,7 +523,7 @@ mod tests {
         assert_eq!((r.from_row, r.len()), (2, 1));
         assert_eq!(
             r.rows().collect::<Vec<_>>(),
-            vec![&[Term::constant("c"), Term::constant("d")][..]]
+            vec![vec![Term::constant("c"), Term::constant("d")]]
         );
         // The unseen predicate's delta is its whole relation.
         let t = deltas.iter().find(|d| d.predicate == intern("T")).unwrap();

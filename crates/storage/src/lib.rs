@@ -29,6 +29,7 @@
 //! paper's experiments are laptop-scale and CPU-bound in the chase and in
 //! homomorphism search, not I/O bound.
 
+pub mod dict;
 pub mod instance;
 pub mod relation;
 pub mod stats;

@@ -1,23 +1,62 @@
-//! A single relation: a deduplicated, insertion-ordered set of tuples with
-//! per-position hash indexes.
+//! A single relation stored **columnar**: dictionary-coded flat columns with
+//! a packed-row dedup table and per-column hash-bucket sidecar indexes.
+//!
+//! Tuples are rows of `u32` codes from the global [`crate::dict`] term
+//! dictionary, laid out as `arity` parallel `Vec<u32>` buffers in insertion
+//! order.  Three sidecar structures ride along, all keyed by codes:
+//!
+//! * `seen` — packed-row hash → row ids, the O(1) dedup test (candidates
+//!   sharing a 64-bit [`sac_common::FxHasher`] hash are verified against the
+//!   columns, so dedup is exact);
+//! * `sidecars[pos]` — code → row ids whose `pos`-th column holds it, the
+//!   incrementally maintained single-column index (and, as a byproduct, an
+//!   exact per-column distinct count for [`Relation::stats`]);
+//! * nothing else: multi-column join indexes are built on demand by
+//!   [`Relation::project_index`] and cached by `sac-engine`.
+//!
+//! The [`Term`]-level API (`insert` / `contains` / `iter` / `row` /
+//! `select`) is a thin veneer — encode on append, decode on read — so the
+//! storage swap is invisible to the chase, the naive evaluator and the
+//! test oracles, while the engine's hot path reads the raw columns
+//! ([`Relation::column`], [`Relation::rows_with_code`],
+//! [`Relation::project_index`]) and compares codes without ever touching a
+//! `Term`.
 
+use crate::dict;
 use crate::stats::RelationStats;
-use sac_common::{Symbol, Term};
-use std::collections::{HashMap, HashSet};
+use sac_common::{FxHashMap, FxHasher, Symbol, Term};
+use std::hash::Hasher;
 
-/// The tuples of one predicate, with positional indexes.
-///
-/// Tuples are stored in insertion order (`tuples`) with a parallel hash set
-/// (`seen`) for O(1) membership tests, plus one hash index per argument
-/// position mapping a term to the row ids where it occurs at that position.
+/// No-match answer shared by every lookup miss.
+const NO_ROWS: &[u32] = &[];
+
+/// Deterministic content hash of one packed code row (length-prefixed so
+/// rows of different arity never alias; only ever compared within the
+/// process).
+#[inline]
+fn hash_codes(codes: &[u32]) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write_usize(codes.len());
+    for &code in codes {
+        hasher.write_u32(code);
+    }
+    hasher.finish()
+}
+
+/// The tuples of one predicate in columnar, dictionary-coded form.
 #[derive(Debug, Clone)]
 pub struct Relation {
     predicate: Symbol,
     arity: usize,
-    tuples: Vec<Vec<Term>>,
-    seen: HashSet<Vec<Term>>,
-    /// `indexes[pos][term]` = row ids whose `pos`-th component is `term`.
-    indexes: Vec<HashMap<Term, Vec<usize>>>,
+    /// Row count (kept separately so zero-arity relations — no columns —
+    /// still count their single possible tuple).
+    rows: u32,
+    /// `columns[pos][row]` = the code of the `pos`-th component of `row`.
+    columns: Vec<Vec<u32>>,
+    /// Packed-row hash → row ids with that hash (dedup; exact via verify).
+    seen: FxHashMap<u64, Vec<u32>>,
+    /// `sidecars[pos][code]` = row ids whose `pos`-th component is `code`.
+    sidecars: Vec<FxHashMap<u32, Vec<u32>>>,
 }
 
 impl Relation {
@@ -26,9 +65,10 @@ impl Relation {
         Relation {
             predicate,
             arity,
-            tuples: Vec::new(),
-            seen: HashSet::new(),
-            indexes: vec![HashMap::new(); arity],
+            rows: 0,
+            columns: vec![Vec::new(); arity],
+            seen: FxHashMap::default(),
+            sidecars: vec![FxHashMap::default(); arity],
         }
     }
 
@@ -44,15 +84,16 @@ impl Relation {
 
     /// Number of (distinct) tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows as usize
     }
 
     /// Whether the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
-    /// Inserts a tuple; returns `true` if it was new.
+    /// Inserts a tuple, encoding each term through the global dictionary;
+    /// returns `true` if it was new.
     ///
     /// # Panics
     ///
@@ -66,31 +107,102 @@ impl Relation {
             "tuple arity mismatch for {}",
             self.predicate
         );
-        if self.seen.contains(&tuple) {
-            return false;
+        let codes: Vec<u32> = tuple.into_iter().map(dict::encode).collect();
+        self.insert_codes(&codes)
+    }
+
+    /// Inserts an already-encoded row; returns `true` if it was new.  The
+    /// fast path for code-preserving copies (shard routing, bulk loads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's length differs from the relation's arity.
+    pub fn insert_codes(&mut self, codes: &[u32]) -> bool {
+        assert_eq!(
+            codes.len(),
+            self.arity,
+            "code row arity mismatch for {}",
+            self.predicate
+        );
+        let hash = hash_codes(codes);
+        if let Some(candidates) = self.seen.get(&hash) {
+            if candidates.iter().any(|&row| self.row_eq(row, codes)) {
+                return false;
+            }
         }
-        let row = self.tuples.len();
-        for (pos, term) in tuple.iter().enumerate() {
-            self.indexes[pos].entry(*term).or_default().push(row);
+        let row = self.rows;
+        for (pos, &code) in codes.iter().enumerate() {
+            self.columns[pos].push(code);
+            self.sidecars[pos].entry(code).or_default().push(row);
         }
-        self.seen.insert(tuple.clone());
-        self.tuples.push(tuple);
+        self.seen.entry(hash).or_default().push(row);
+        self.rows += 1;
         true
     }
 
-    /// O(1) membership test.
+    /// Whether the stored row `row` equals the code row `codes`.
+    #[inline]
+    fn row_eq(&self, row: u32, codes: &[u32]) -> bool {
+        self.columns
+            .iter()
+            .zip(codes)
+            .all(|(col, &code)| col[row as usize] == code)
+    }
+
+    /// O(1) membership test (decode-free: a term the dictionary has never
+    /// seen cannot be stored anywhere).
     pub fn contains(&self, tuple: &[Term]) -> bool {
-        self.seen.contains(tuple)
+        if tuple.len() != self.arity {
+            return false;
+        }
+        let mut codes = Vec::with_capacity(self.arity);
+        for term in tuple {
+            match dict::lookup(*term) {
+                Some(code) => codes.push(code),
+                None => return false,
+            }
+        }
+        self.contains_codes(&codes)
     }
 
-    /// Iterates over all tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &[Term]> + '_ {
-        self.tuples.iter().map(|t| t.as_slice())
+    /// O(1) membership test on an already-encoded row.
+    pub fn contains_codes(&self, codes: &[u32]) -> bool {
+        if codes.len() != self.arity {
+            return false;
+        }
+        self.seen
+            .get(&hash_codes(codes))
+            .is_some_and(|candidates| candidates.iter().any(|&row| self.row_eq(row, codes)))
     }
 
-    /// Returns the tuple stored at `row`.
-    pub fn row(&self, row: usize) -> Option<&[Term]> {
-        self.tuples.get(row).map(|t| t.as_slice())
+    /// The raw code column at `pos` — the engine's vectorized sweeps read
+    /// these slices directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range for the relation's arity.
+    pub fn column(&self, pos: usize) -> &[u32] {
+        &self.columns[pos]
+    }
+
+    /// The packed code row at `row`, gathered across the columns.
+    pub fn codes_row(&self, row: usize) -> Option<Vec<u32>> {
+        (row < self.len()).then(|| self.columns.iter().map(|col| col[row]).collect())
+    }
+
+    /// Iterates over all tuples in insertion order, decoding each row.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<Term>> + '_ {
+        (0..self.len()).map(|row| self.decode_row(row))
+    }
+
+    /// Returns the tuple stored at `row`, decoded.
+    pub fn row(&self, row: usize) -> Option<Vec<Term>> {
+        (row < self.len()).then(|| self.decode_row(row))
+    }
+
+    fn decode_row(&self, row: usize) -> Vec<Term> {
+        let codes: Vec<u32> = self.columns.iter().map(|col| col[row]).collect();
+        dict::decode_row(&codes)
     }
 
     /// Iterates over the tuples appended at or after row `start`, in
@@ -98,74 +210,107 @@ impl Relation {
     /// Relations are append-only (tuples are never removed or reordered),
     /// so `rows_from(w)` is exactly the growth since `len()` was `w`.
     /// A `start` beyond the current length yields nothing.
-    pub fn rows_from(&self, start: usize) -> impl Iterator<Item = &[Term]> + '_ {
-        self.tuples[start.min(self.tuples.len())..]
-            .iter()
-            .map(|t| t.as_slice())
+    pub fn rows_from(&self, start: usize) -> impl Iterator<Item = Vec<Term>> + '_ {
+        (start.min(self.len())..self.len()).map(|row| self.decode_row(row))
     }
 
     /// Row ids of tuples whose `pos`-th component equals `term`.
-    pub fn rows_with(&self, pos: usize, term: Term) -> &[usize] {
-        self.indexes
+    pub fn rows_with(&self, pos: usize, term: Term) -> &[u32] {
+        match dict::lookup(term) {
+            Some(code) => self.rows_with_code(pos, code),
+            None => NO_ROWS,
+        }
+    }
+
+    /// Row ids of tuples whose `pos`-th component holds `code` — the
+    /// decode-free twin of [`Relation::rows_with`].
+    pub fn rows_with_code(&self, pos: usize, code: u32) -> &[u32] {
+        self.sidecars
             .get(pos)
-            .and_then(|idx| idx.get(&term))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+            .and_then(|sidecar| sidecar.get(&code))
+            .map(|rows| rows.as_slice())
+            .unwrap_or(NO_ROWS)
+    }
+
+    /// Row ids matching a partial binding of codes: every `(pos, code)` pair
+    /// in `bound` must hold.  Drives the scan off the sparsest bound
+    /// sidecar and verifies the remaining positions against the columns;
+    /// with no bindings, every row matches.  Row ids come back ascending.
+    pub fn select_rows(&self, bound: &[(usize, u32)]) -> Vec<u32> {
+        if bound.is_empty() {
+            return (0..self.rows).collect();
+        }
+        let (drive_pos, drive_code) = bound
+            .iter()
+            .copied()
+            .min_by_key(|(pos, code)| self.rows_with_code(*pos, *code).len())
+            .expect("bound is non-empty");
+        self.rows_with_code(drive_pos, drive_code)
+            .iter()
+            .copied()
+            .filter(|&row| {
+                bound
+                    .iter()
+                    .all(|(pos, code)| self.columns[*pos][row as usize] == *code)
+            })
+            .collect()
     }
 
     /// Iterates over the tuples matching a partial binding: every `(pos,
-    /// term)` pair in `bound` must hold.  Uses the sparsest positional index
-    /// available and verifies the remaining positions.
+    /// term)` pair in `bound` must hold.  A bound term unknown to the
+    /// dictionary matches nothing.
     pub fn select<'a>(
         &'a self,
         bound: &[(usize, Term)],
-    ) -> Box<dyn Iterator<Item = &'a [Term]> + 'a> {
-        if bound.is_empty() {
-            return Box::new(self.iter());
+    ) -> Box<dyn Iterator<Item = Vec<Term>> + 'a> {
+        let mut bound_codes = Vec::with_capacity(bound.len());
+        for (pos, term) in bound {
+            match dict::lookup(*term) {
+                Some(code) => bound_codes.push((*pos, code)),
+                None => return Box::new(std::iter::empty()),
+            }
         }
-        // Pick the most selective bound position to drive the scan.
-        let (drive_pos, drive_term) = bound
-            .iter()
-            .copied()
-            .min_by_key(|(pos, term)| self.rows_with(*pos, *term).len())
-            .expect("bound is non-empty");
-        let rows = self.rows_with(drive_pos, drive_term);
-        let bound: Vec<(usize, Term)> = bound.to_vec();
-        Box::new(rows.iter().filter_map(move |&r| {
-            let tuple = self.tuples[r].as_slice();
-            let ok = bound.iter().all(|(pos, term)| tuple[*pos] == *term);
-            ok.then_some(tuple)
-        }))
+        let rows = self.select_rows(&bound_codes);
+        Box::new(rows.into_iter().map(|row| self.decode_row(row as usize)))
     }
 
-    /// Number of distinct terms occurring at position `pos`.
+    /// Number of distinct terms occurring at position `pos` — exact, read
+    /// straight off the sidecar's key count.
     pub fn distinct_at(&self, pos: usize) -> usize {
-        self.indexes.get(pos).map(|idx| idx.len()).unwrap_or(0)
+        self.sidecars
+            .get(pos)
+            .map(|sidecar| sidecar.len())
+            .unwrap_or(0)
     }
 
     /// Builds a hash index over the projection of the relation onto
-    /// `positions`: each key is the tuple of terms at those positions, mapped
-    /// to the row ids sharing it.
+    /// `positions`: each key is the **code** tuple at those positions,
+    /// mapped to the row ids sharing it.
     ///
     /// This is the building block for multi-column (join-key) indexes.  The
-    /// single-column case is already maintained incrementally (`rows_with`);
-    /// multi-column indexes are built on demand by this method and cached by
-    /// the caller — `sac-engine` keeps them in an epoch-validated cache so a
-    /// batch of queries builds each index at most once.
+    /// single-column case is already maintained incrementally
+    /// ([`Relation::rows_with_code`]); multi-column indexes are built on
+    /// demand by this method and cached by the caller — `sac-engine` keeps
+    /// them in an epoch-validated cache so a batch of queries builds each
+    /// index at most once.
     ///
     /// # Panics
     ///
     /// Panics if any position is out of range for the relation's arity.
-    pub fn project_index(&self, positions: &[usize]) -> HashMap<Vec<Term>, Vec<usize>> {
+    pub fn project_index(&self, positions: &[usize]) -> FxHashMap<Vec<u32>, Vec<u32>> {
         assert!(
             positions.iter().all(|p| *p < self.arity),
             "projection position out of range for {}/{}",
             self.predicate,
             self.arity
         );
-        let mut index: HashMap<Vec<Term>, Vec<usize>> = HashMap::new();
-        for (row, tuple) in self.tuples.iter().enumerate() {
-            let key: Vec<Term> = positions.iter().map(|p| tuple[*p]).collect();
+        let mut index: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
+        let cols: Vec<&[u32]> = positions
+            .iter()
+            .map(|p| self.columns[*p].as_slice())
+            .collect();
+        for row in 0..self.rows {
+            let key: Vec<u32> = cols.iter().map(|col| col[row as usize]).collect();
             index.entry(key).or_default().push(row);
         }
         index
@@ -190,16 +335,24 @@ impl Relation {
         (hasher.finish() % k as u64) as usize
     }
 
+    /// [`Relation::shard_of`] for an already-encoded component: decodes the
+    /// code once and hashes the term, so code- and term-level routing agree.
+    pub fn shard_of_code(code: u32, k: usize) -> usize {
+        Relation::shard_of(&dict::decode(code), k)
+    }
+
     /// Hash-partitions the relation into `k` shards on column `col`: shard
     /// `i` holds exactly the tuples whose `col`-th term hashes to `i` (see
     /// [`Relation::shard_of`]).  Each shard is a full [`Relation`] — same
-    /// predicate and arity, its own incrementally maintained positional
-    /// indexes and [`Relation::stats`] — so shards can be scanned, probed
-    /// and summarized independently by parallel workers.
+    /// predicate, arity and dictionary codes, its own incrementally
+    /// maintained sidecar indexes and [`Relation::stats`] — so shards can
+    /// be scanned, probed and summarized independently by parallel workers.
     ///
     /// Within each shard, tuples keep the parent relation's insertion order,
     /// so the decomposition is deterministic and append-only growth of the
-    /// parent maps to append-only growth of the shards.
+    /// parent maps to append-only growth of the shards.  Rows are routed by
+    /// code (one decode per **distinct** partition-column value, not per
+    /// row).
     ///
     /// # Panics
     ///
@@ -216,8 +369,17 @@ impl Relation {
         let mut shards: Vec<Relation> = (0..k)
             .map(|_| Relation::new(self.predicate, self.arity))
             .collect();
-        for tuple in &self.tuples {
-            shards[Self::shard_of(&tuple[col], k)].insert(tuple.clone());
+        // One decode + hash per distinct code in the partition column.
+        let routes: FxHashMap<u32, usize> = self.sidecars[col]
+            .keys()
+            .map(|&code| (code, Relation::shard_of_code(code, k)))
+            .collect();
+        let mut scratch = Vec::with_capacity(self.arity);
+        for row in 0..self.len() {
+            scratch.clear();
+            scratch.extend(self.columns.iter().map(|c| c[row]));
+            let shard = routes[&self.columns[col][row]];
+            shards[shard].insert_codes(&scratch);
         }
         shards
     }
@@ -230,6 +392,31 @@ impl Relation {
             tuples: self.len(),
             distinct_per_column: (0..self.arity).map(|p| self.distinct_at(p)).collect(),
         }
+    }
+
+    /// Estimated heap footprint: column buffers, the dedup table and the
+    /// sidecar indexes (bucket overhead approximated; the global
+    /// dictionary's share is reported separately by
+    /// [`crate::dict::heap_bytes`]).
+    pub fn heap_bytes(&self) -> usize {
+        let u32s = std::mem::size_of::<u32>();
+        let columns: usize = self.columns.iter().map(|c| c.capacity() * u32s).sum();
+        let map_entry = std::mem::size_of::<u64>() + std::mem::size_of::<Vec<u32>>();
+        let seen: usize = self.seen.capacity() * map_entry
+            + self
+                .seen
+                .values()
+                .map(|v| v.capacity() * u32s)
+                .sum::<usize>();
+        let sidecars: usize = self
+            .sidecars
+            .iter()
+            .map(|sidecar| {
+                sidecar.capacity() * map_entry
+                    + sidecar.values().map(|v| v.capacity() * u32s).sum::<usize>()
+            })
+            .sum();
+        columns + seen + sidecars
     }
 }
 
@@ -244,6 +431,10 @@ mod tests {
         r.insert(vec![Term::constant("a"), Term::constant("c")]);
         r.insert(vec![Term::constant("d"), Term::constant("b")]);
         r
+    }
+
+    fn code(name: &str) -> u32 {
+        dict::encode(Term::constant(name))
     }
 
     #[test]
@@ -261,6 +452,14 @@ mod tests {
         let r = rel();
         assert!(r.contains(&[Term::constant("a"), Term::constant("c")]));
         assert!(!r.contains(&[Term::constant("c"), Term::constant("a")]));
+        assert!(!r.contains(&[
+            Term::constant("never_encoded_term_xyz"),
+            Term::constant("a")
+        ]));
+        assert!(
+            !r.contains(&[Term::constant("a")]),
+            "arity mismatch is absent"
+        );
     }
 
     #[test]
@@ -269,6 +468,26 @@ mod tests {
         assert_eq!(r.rows_with(0, Term::constant("a")).len(), 2);
         assert_eq!(r.rows_with(1, Term::constant("b")).len(), 2);
         assert_eq!(r.rows_with(1, Term::constant("zzz")).len(), 0);
+        assert_eq!(r.rows_with_code(0, code("a")), &[0, 1]);
+    }
+
+    #[test]
+    fn columns_hold_the_codes_in_insertion_order() {
+        let r = rel();
+        assert_eq!(r.column(0), &[code("a"), code("a"), code("d")]);
+        assert_eq!(r.column(1), &[code("b"), code("c"), code("b")]);
+        assert_eq!(r.codes_row(1), Some(vec![code("a"), code("c")]));
+        assert_eq!(r.codes_row(3), None);
+    }
+
+    #[test]
+    fn insert_codes_agrees_with_term_insert() {
+        let mut r = Relation::new(intern("R"), 2);
+        assert!(r.insert_codes(&[code("a"), code("b")]));
+        assert!(!r.insert(vec![Term::constant("a"), Term::constant("b")]));
+        assert!(r.contains_codes(&[code("a"), code("b")]));
+        assert!(!r.contains_codes(&[code("b"), code("a")]));
+        assert!(!r.contains_codes(&[code("a")]));
     }
 
     #[test]
@@ -278,17 +497,22 @@ mod tests {
             .select(&[(0, Term::constant("a")), (1, Term::constant("b"))])
             .collect();
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0], &[Term::constant("a"), Term::constant("b")][..]);
+        assert_eq!(hits[0], vec![Term::constant("a"), Term::constant("b")]);
         let empty: Vec<_> = r
             .select(&[(0, Term::constant("d")), (1, Term::constant("c"))])
             .collect();
         assert!(empty.is_empty());
+        let unknown: Vec<_> = r
+            .select(&[(0, Term::constant("select_unknown_term"))])
+            .collect();
+        assert!(unknown.is_empty());
     }
 
     #[test]
     fn select_with_no_bindings_scans_everything() {
         let r = rel();
         assert_eq!(r.select(&[]).count(), 3);
+        assert_eq!(r.select_rows(&[]), vec![0, 1, 2]);
     }
 
     #[test]
@@ -303,12 +527,12 @@ mod tests {
         let r = rel();
         let by_first = r.project_index(&[0]);
         assert_eq!(by_first.len(), 2);
-        assert_eq!(by_first[&vec![Term::constant("a")]].len(), 2);
+        assert_eq!(by_first[&vec![code("a")]].len(), 2);
         let by_both = r.project_index(&[0, 1]);
         assert_eq!(by_both.len(), 3);
         // Reversed position order produces reversed keys.
         let reversed = r.project_index(&[1, 0]);
-        assert!(reversed.contains_key(&vec![Term::constant("b"), Term::constant("a")]));
+        assert!(reversed.contains_key(&vec![code("b"), code("a")]));
     }
 
     #[test]
@@ -341,6 +565,30 @@ mod tests {
     }
 
     #[test]
+    fn zero_arity_relations_hold_at_most_one_tuple() {
+        let mut r = Relation::new(intern("P"), 0);
+        assert!(r.is_empty());
+        assert!(r.insert(Vec::new()));
+        assert!(!r.insert(Vec::new()));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![Vec::<Term>::new()]);
+    }
+
+    #[test]
+    fn rows_decode_back_to_their_terms() {
+        let r = rel();
+        assert_eq!(
+            r.row(2),
+            Some(vec![Term::constant("d"), Term::constant("b")])
+        );
+        assert_eq!(r.row(3), None);
+        let all: Vec<_> = r.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], vec![Term::constant("a"), Term::constant("b")]);
+    }
+
+    #[test]
     fn partition_by_routes_every_tuple_to_its_hash_shard() {
         let r = rel();
         for k in 1..=4 {
@@ -352,7 +600,7 @@ mod tests {
                 assert_eq!(shard.arity(), r.arity());
                 for tuple in shard.iter() {
                     assert_eq!(Relation::shard_of(&tuple[0], k), i);
-                    assert!(r.contains(tuple));
+                    assert!(r.contains(&tuple));
                 }
                 total += shard.len();
             }
@@ -396,6 +644,7 @@ mod tests {
                 assert!(shard.rows_with(0, a).is_empty());
             }
         }
+        assert_eq!(Relation::shard_of_code(code("a"), k), home);
     }
 
     #[test]
@@ -408,5 +657,20 @@ mod tests {
     #[should_panic]
     fn partition_by_rejects_zero_shards() {
         rel().partition_by(0, 0);
+    }
+
+    #[test]
+    fn heap_bytes_grows_with_the_relation() {
+        let mut r = Relation::new(intern("HB"), 2);
+        let empty = r.heap_bytes();
+        for i in 0..100 {
+            r.insert(vec![
+                Term::constant(&format!("hb{i}")),
+                Term::constant(&format!("hb{}", i / 2)),
+            ]);
+        }
+        assert!(r.heap_bytes() > empty);
+        // Flat columns: at least 2 columns x 100 rows x 4 bytes of data.
+        assert!(r.heap_bytes() >= 800);
     }
 }

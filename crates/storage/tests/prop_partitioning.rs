@@ -110,15 +110,21 @@ proptest! {
         for pos in 0..arity {
             prop_assert_eq!(rel.distinct_at(pos), rebuilt.distinct_at(pos));
             // project_index builds the single-column index from scratch;
-            // rows_with serves the incrementally maintained one.
+            // rows_with_code serves the incrementally maintained sidecar,
+            // and rows_with routes a decoded term to the same answer.
             let scratch = rel.project_index(&[pos]);
             for (key, rows) in &scratch {
-                prop_assert_eq!(rel.rows_with(pos, key[0]), rows.as_slice());
-                let scan: Vec<usize> = rel
+                prop_assert_eq!(rel.rows_with_code(pos, key[0]), rows.as_slice());
+                prop_assert_eq!(
+                    rel.rows_with(pos, sac_storage::dict::decode(key[0])),
+                    rows.as_slice()
+                );
+                let scan: Vec<u32> = rel
+                    .column(pos)
                     .iter()
                     .enumerate()
-                    .filter(|(_, t)| t[pos] == key[0])
-                    .map(|(i, _)| i)
+                    .filter(|(_, &code)| code == key[0])
+                    .map(|(i, _)| i as u32)
                     .collect();
                 prop_assert_eq!(rows.as_slice(), scan.as_slice());
             }

@@ -139,6 +139,56 @@ impl_tuple_strategy! {
     (A 0, B 1, C 2, D 3, E 4, F 5)
 }
 
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A collection size specification: an exact length or a half-open
+    /// range, mirroring `proptest::collection::SizeRange`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange(exact..exact + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> SizeRange {
+            SizeRange(range)
+        }
+    }
+
+    /// The result of [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` whose length is drawn from `size` and whose elements come
+    /// from `element`, mirroring `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let range = &self.size.0;
+            assert!(range.start < range.end, "cannot sample empty size range");
+            let span = (range.end - range.start) as u64;
+            let len = range.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// Namespaced built-in strategies, mirroring `proptest::prelude::prop`.
 pub mod prop {
     pub mod bool {
@@ -282,6 +332,17 @@ mod tests {
         ) {
             prop_assert!(pair.0 >= 2 && pair.0 <= 6);
             prop_assert_eq!(pair.1, pair.1);
+        }
+
+        #[test]
+        fn vec_strategies_honour_exact_and_ranged_sizes(
+            exact in crate::collection::vec(0u32..5, 3usize),
+            ranged in crate::collection::vec(crate::collection::vec(0u32..5, 2usize), 0..4),
+        ) {
+            prop_assert_eq!(exact.len(), 3);
+            prop_assert!(exact.iter().all(|&n| n < 5));
+            prop_assert!(ranged.len() < 4);
+            prop_assert!(ranged.iter().all(|row| row.len() == 2));
         }
     }
 
