@@ -139,6 +139,9 @@ fn json_report() {
     let cores = thread::available_parallelism().map_or(1, |n| n.get());
     let mut rows = Vec::new();
     for threads in THREAD_COUNTS {
+        // Fresh histogram window per thread count: the percentiles below
+        // describe this configuration only, not the accumulated session.
+        db.reset_metrics();
         let done = AtomicUsize::new(0);
         let start = Instant::now();
         thread::scope(|scope| {
@@ -157,10 +160,16 @@ fn json_report() {
         });
         let queries = done.load(Ordering::Relaxed);
         let rate = queries as f64 / start.elapsed().as_secs_f64();
+        let latency = db.metrics().run_latency;
         rows.push(sac_bench::json_object(&[
             ("threads", threads.to_string()),
             ("queries", queries.to_string()),
             ("queries_per_sec", format!("{rate:.1}")),
+            ("latency_samples", latency.count.to_string()),
+            ("p50_latency_ns", latency.p50().to_string()),
+            ("p90_latency_ns", latency.p90().to_string()),
+            ("p99_latency_ns", latency.p99().to_string()),
+            ("max_latency_ns", latency.max_ns.to_string()),
         ]));
     }
     let doc = sac_bench::json_document(

@@ -131,18 +131,27 @@ fn main() {
             if parallelism == 1 {
                 single = rate;
             }
-            // Metrics for exactly one run (see the batch axis above).
+            // Metrics for exactly one run (see the batch axis above), plus a
+            // traced run: the per-phase timers say *where* the time goes at
+            // each pool width — the diagnosis for any scaling plateau.
             db.reset_metrics();
             std::hint::black_box(db.run(query).len());
             let m = db.metrics();
+            let (_, trace) = db.run_traced(query);
+            let (dominant, dominant_ns) = trace.phases.dominant().unwrap_or((Phase::Plan, 0));
+            let phase_fields: Vec<(&str, String)> = Phase::ALL
+                .iter()
+                .map(|p| (p.as_str(), (trace.phases.get(*p) / 1_000).to_string()))
+                .collect();
             let label = format!("{}-atom body", query.size());
             println!(
-                "{label:>24} {parallelism:>12} {rate:>12.0} {:>9.2}x {shard_sets_built:>12} {:>12} {:>12}",
+                "{label:>24} {parallelism:>12} {rate:>12.0} {:>9.2}x {shard_sets_built:>12} {:>12} {:>12}  dominant: {dominant} ({}%)",
                 rate / single,
                 m.shard_tasks,
                 m.threads_spawned,
+                100 * dominant_ns / trace.total_ns.max(1),
             );
-            rows.push(json_object(&[
+            let mut fields: Vec<(&str, String)> = vec![
                 ("axis", "\"single\"".to_owned()),
                 ("query_atoms", query.size().to_string()),
                 ("parallelism", parallelism.to_string()),
@@ -152,7 +161,12 @@ fn main() {
                 ("shard_sets_built", shard_sets_built.to_string()),
                 ("shard_tasks", m.shard_tasks.to_string()),
                 ("threads_spawned", m.threads_spawned.to_string()),
-            ]));
+                ("dominant_phase", format!("\"{dominant}\"")),
+            ];
+            for (phase, micros) in &phase_fields {
+                fields.push((phase, micros.to_string()));
+            }
+            rows.push(json_object(&fields));
         }
     }
 

@@ -1,0 +1,185 @@
+//! Schema-checks the telemetry emitted by the bench JSON reports — the CI
+//! gate behind the latency histograms.
+//!
+//! Reads `BENCH_e12.json` at the workspace root (produced by
+//! `cargo bench -p sac-bench --bench e12_concurrent_throughput -- --json`)
+//! and validates, without any JSON dependency, that every result row
+//! carries the latency fields and that the percentiles are ordered
+//! (`p50 <= p90 <= p99 <= max`).  It then re-derives a live histogram from
+//! a traced workload and applies the same invariants, so the gate holds
+//! even if the bench file format drifts.
+//!
+//! Exits non-zero (with a message) on any violation.
+//!
+//! Run with `cargo run --release -p sac-bench --bin telemetry_check`.
+
+use sac::prelude::*;
+use std::process::ExitCode;
+
+/// Extracts `"key": <unsigned integer>` from a JSON object line blob.
+/// Hand-rolled on purpose: the workspace has no JSON parser dependency and
+/// the bench reports are flat objects the workspace itself wrote.
+fn field_u64(object: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let rest = &object[object.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn check_e12_report(doc: &str) -> Result<usize, String> {
+    // Split on "{" and keep the chunks that look like result rows.
+    let rows: Vec<&str> = doc
+        .split('{')
+        .filter(|chunk| chunk.contains("\"threads\""))
+        .collect();
+    if rows.is_empty() {
+        return Err("BENCH_e12.json holds no result rows".to_owned());
+    }
+    for row in &rows {
+        let threads =
+            field_u64(row, "threads").ok_or_else(|| format!("row missing \"threads\": {row}"))?;
+        for key in [
+            "queries",
+            "latency_samples",
+            "p50_latency_ns",
+            "p90_latency_ns",
+            "p99_latency_ns",
+            "max_latency_ns",
+        ] {
+            if field_u64(row, key).is_none() {
+                return Err(format!("row for threads={threads} missing \"{key}\""));
+            }
+        }
+        let samples = field_u64(row, "latency_samples").unwrap();
+        let queries = field_u64(row, "queries").unwrap();
+        if samples != queries {
+            return Err(format!(
+                "threads={threads}: {samples} histogram samples for {queries} queries \
+                 (lost or phantom increments)"
+            ));
+        }
+        let p50 = field_u64(row, "p50_latency_ns").unwrap();
+        let p90 = field_u64(row, "p90_latency_ns").unwrap();
+        let p99 = field_u64(row, "p99_latency_ns").unwrap();
+        let max = field_u64(row, "max_latency_ns").unwrap();
+        if !(p50 <= p90 && p90 <= p99 && p99 <= max) {
+            return Err(format!(
+                "threads={threads}: percentiles out of order \
+                 (p50 {p50} / p90 {p90} / p99 {p99} / max {max})"
+            ));
+        }
+        if queries > 0 && p50 == 0 {
+            return Err(format!("threads={threads}: ran queries but p50 is 0"));
+        }
+    }
+    Ok(rows.len())
+}
+
+/// The same invariants against a live session, independent of any file.
+fn check_live_session() -> Result<(), String> {
+    let db = Database::from_instance(sac::gen::random_graph_database(12, 60, 5));
+    let queries = [sac::gen::path_query(2), sac::gen::cycle_query(3)];
+    for q in &queries {
+        let (result, trace) = db.run_traced(q);
+        if trace.phases.total_ns() != trace.total_ns {
+            return Err(format!(
+                "trace phases for {q} sum to {} but total is {}",
+                trace.phases.total_ns(),
+                trace.total_ns
+            ));
+        }
+        if trace.answers != result.len() {
+            return Err(format!("trace answer count drifted on {q}"));
+        }
+    }
+    let m = db.metrics();
+    let lat = &m.run_latency;
+    if lat.count != queries.len() as u64 {
+        return Err(format!(
+            "live histogram holds {} samples for {} runs",
+            lat.count,
+            queries.len()
+        ));
+    }
+    if !(lat.p50() <= lat.p90() && lat.p90() <= lat.p99() && lat.p99() <= lat.max_ns) {
+        return Err("live percentiles out of order".to_owned());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    // The bench file lives at the workspace root, like the benches write it.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_e12.json");
+    match std::fs::read_to_string(&path) {
+        Ok(doc) => match check_e12_report(&doc) {
+            Ok(rows) => println!("telemetry check: BENCH_e12.json ok ({rows} rows)"),
+            Err(err) => {
+                eprintln!("telemetry check FAILED: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(err) => {
+            eprintln!(
+                "telemetry check FAILED: cannot read {}: {err}",
+                path.display()
+            );
+            eprintln!("(run `cargo bench -p sac-bench --bench e12_concurrent_throughput -- --json` first)");
+            return ExitCode::FAILURE;
+        }
+    }
+    match check_live_session() {
+        Ok(()) => println!("telemetry check: live-session invariants ok"),
+        Err(err) => {
+            eprintln!("telemetry check FAILED: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_rows_pass() {
+        let doc = r#"{"bench": "e12", "results": [
+            {"threads": 1, "queries": 10, "latency_samples": 10,
+             "p50_latency_ns": 5, "p90_latency_ns": 9,
+             "p99_latency_ns": 9, "max_latency_ns": 12}
+        ]}"#;
+        assert_eq!(check_e12_report(doc), Ok(1));
+    }
+
+    #[test]
+    fn out_of_order_percentiles_fail() {
+        let doc = r#"{"results": [
+            {"threads": 2, "queries": 10, "latency_samples": 10,
+             "p50_latency_ns": 9, "p90_latency_ns": 5,
+             "p99_latency_ns": 9, "max_latency_ns": 12}
+        ]}"#;
+        assert!(check_e12_report(doc).unwrap_err().contains("out of order"));
+    }
+
+    #[test]
+    fn missing_keys_and_lost_samples_fail() {
+        let missing = r#"{"results": [{"threads": 1, "queries": 3}]}"#;
+        assert!(check_e12_report(missing)
+            .unwrap_err()
+            .contains("latency_samples"));
+        let lost = r#"{"results": [
+            {"threads": 1, "queries": 10, "latency_samples": 9,
+             "p50_latency_ns": 5, "p90_latency_ns": 9,
+             "p99_latency_ns": 9, "max_latency_ns": 12}
+        ]}"#;
+        assert!(check_e12_report(lost).unwrap_err().contains("lost"));
+    }
+
+    #[test]
+    fn live_session_invariants_hold() {
+        assert_eq!(check_live_session(), Ok(()));
+    }
+}

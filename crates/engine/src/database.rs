@@ -45,10 +45,12 @@ use sac_core::SemAcConfig;
 use sac_deps::Tgd;
 use sac_query::ConjunctiveQuery;
 use sac_storage::{Instance, InstanceStats};
+use sac_telemetry::{bus, Event, Histogram, HistogramSnapshot, Phase, Probe, QueryTrace};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::time::Instant;
 
 /// Planner knobs.
 #[derive(Debug, Clone, Copy)]
@@ -148,6 +150,16 @@ pub struct EngineMetrics {
     /// Appended rows consumed by incremental view refreshes — the total
     /// "Δ" that maintenance was proportional to instead of the database.
     pub view_delta_rows: usize,
+    /// Latency distribution of query runs (every [`Database::run`] /
+    /// [`PreparedQuery::execute`] / batch-worker execution), excluding
+    /// planning: `p50()` / `p90()` / `p99()` answer in nanoseconds.
+    pub run_latency: HistogramSnapshot,
+    /// Latency distribution of plan compilations (plan-cache misses only —
+    /// cache hits are not planning work).
+    pub prepare_latency: HistogramSnapshot,
+    /// Latency distribution of view refreshes that did work (incremental
+    /// delta pushes and full recomputes; already-fresh no-ops are skipped).
+    pub view_refresh_latency: HistogramSnapshot,
 }
 
 impl EngineMetrics {
@@ -168,6 +180,19 @@ impl EngineMetrics {
     /// live database).
     pub fn reset(&mut self) {
         *self = EngineMetrics::default();
+    }
+
+    /// This snapshot with the latency histograms cleared — the plain
+    /// counters, for comparisons where wall-clock distributions are
+    /// expected to differ (two sessions running the same workload take
+    /// different times but must count the same work).
+    pub fn counters_only(&self) -> EngineMetrics {
+        EngineMetrics {
+            run_latency: HistogramSnapshot::default(),
+            prepare_latency: HistogramSnapshot::default(),
+            view_refresh_latency: HistogramSnapshot::default(),
+            ..self.clone()
+        }
     }
 }
 
@@ -191,7 +216,17 @@ impl fmt::Display for EngineMetrics {
             self.view_refreshes_incremental,
             self.view_refreshes_full,
             self.view_delta_rows,
-        )
+        )?;
+        if !self.run_latency.is_empty() {
+            write!(f, "; run latency: {}", self.run_latency)?;
+        }
+        if !self.prepare_latency.is_empty() {
+            write!(f, "; prepare latency: {}", self.prepare_latency)?;
+        }
+        if !self.view_refresh_latency.is_empty() {
+            write!(f, "; view refresh latency: {}", self.view_refresh_latency)?;
+        }
+        Ok(())
     }
 }
 
@@ -239,6 +274,10 @@ impl MetricCounters {
             view_refreshes_incremental: self.view_refreshes_incremental.load(Ordering::Relaxed),
             view_refreshes_full: self.view_refreshes_full.load(Ordering::Relaxed),
             view_delta_rows: self.view_delta_rows.load(Ordering::Relaxed),
+            // Filled in by `Database::metrics` from the live histograms.
+            run_latency: HistogramSnapshot::default(),
+            prepare_latency: HistogramSnapshot::default(),
+            view_refresh_latency: HistogramSnapshot::default(),
         }
     }
 
@@ -256,6 +295,25 @@ impl MetricCounters {
         self.view_refreshes_full.store(0, Ordering::Relaxed);
         self.view_delta_rows.store(0, Ordering::Relaxed);
     }
+}
+
+/// The session's lock-free latency histograms (see
+/// [`sac_telemetry::Histogram`]): recorded unconditionally — a record is
+/// three relaxed atomic adds — and snapshotted into [`EngineMetrics`].
+#[derive(Debug, Default)]
+struct LatencyRecorders {
+    run: Histogram,
+    prepare: Histogram,
+    view_refresh: Histogram,
+}
+
+/// Everything a traced run carries from its entry point into
+/// [`Database::run_plan_core`]: the already-started probe, the plan-cache
+/// outcome, and the query's display form for the trace.
+struct TraceStart {
+    probe: Probe,
+    plan_cache_hit: bool,
+    query: String,
 }
 
 /// Plans are keyed by the query's semantic identity (head + body), ignoring
@@ -331,6 +389,7 @@ pub struct Database {
     /// pruned on the next registration or growth).
     views: RwLock<Vec<Weak<ViewCore>>>,
     metrics: MetricCounters,
+    latency: LatencyRecorders,
 }
 
 impl Default for Database {
@@ -357,6 +416,7 @@ impl Database {
             indexes,
             views: RwLock::new(Vec::new()),
             metrics: MetricCounters::default(),
+            latency: LatencyRecorders::default(),
         }
     }
 
@@ -557,10 +617,17 @@ impl Database {
 
     /// Compiles (or fetches from the plan cache) the plan for `query`.
     pub(crate) fn plan_arc(&self, query: &ConjunctiveQuery) -> Arc<Plan> {
+        self.plan_arc_cached(query).0
+    }
+
+    /// [`Database::plan_arc`] plus whether the plan came from the cache.
+    /// Cache misses time the compilation into the prepare-latency histogram
+    /// and emit a [`Event::PlanBuilt`].
+    fn plan_arc_cached(&self, query: &ConjunctiveQuery) -> (Arc<Plan>, bool) {
         let key: PlanKey = (query.head.clone(), query.body.clone());
         if let Some(plan) = self.read_plans().get(&key) {
             self.metrics.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(plan);
+            return (Arc::clone(plan), true);
         }
         // Plan outside the plan-cache lock: the witness search can be
         // expensive and must not block concurrent cache hits.  Two threads
@@ -573,10 +640,18 @@ impl Database {
         // cache — a stale witness plan can never be re-published after the
         // invalidation.
         let tgds = self.read_tgds();
+        let planning_started = Instant::now();
         let plan = {
             let instance = self.read_instance();
             Arc::new(plan_query(query, &tgds, &instance, &self.config))
         };
+        let planning_elapsed = planning_started.elapsed();
+        self.latency.prepare.record(planning_elapsed);
+        bus::emit(|| Event::PlanBuilt {
+            query: query.to_string(),
+            strategy: plan.strategy().as_str().to_owned(),
+            micros: u64::try_from(planning_elapsed.as_micros()).unwrap_or(u64::MAX),
+        });
         self.metrics.plans_built.fetch_add(1, Ordering::Relaxed);
         let published = Arc::clone(
             self.write_plans()
@@ -584,7 +659,7 @@ impl Database {
                 .or_insert_with(|| Arc::clone(&plan)),
         );
         drop(tgds);
-        published
+        (published, false)
     }
 
     /// The planner's decision for `query`, for inspection.
@@ -621,6 +696,25 @@ impl Database {
     pub fn run(&self, query: &ConjunctiveQuery) -> ResultSet {
         let plan = self.plan_arc(query);
         self.run_plan(&plan)
+    }
+
+    /// [`Database::run`] with a [`QueryTrace`] alongside the results: the
+    /// rung chosen, plan- and index-cache outcomes, per-phase wall times
+    /// (which sum to the recorded total by construction — see
+    /// [`sac_telemetry::Probe`]), per-join-tree-node rows in/out, and the
+    /// run's parallel fan-out.  Tracing adds a handful of `Instant` reads
+    /// to this run only; untraced runs are unaffected.
+    pub fn run_traced(&self, query: &ConjunctiveQuery) -> (ResultSet, QueryTrace) {
+        let mut probe = Probe::start();
+        let (plan, plan_cache_hit) = self.plan_arc_cached(query);
+        probe.mark(Phase::Plan);
+        let start = TraceStart {
+            probe,
+            plan_cache_hit,
+            query: query.to_string(),
+        };
+        let (result, trace) = self.run_plan_core(&plan, self.exec.parallelism, Some(start));
+        (result, trace.expect("traced runs always produce a trace"))
     }
 
     /// Evaluates a Boolean query (or the Boolean shadow of a non-Boolean
@@ -660,14 +754,40 @@ impl Database {
     }
 
     fn run_plan_at(&self, plan: &Plan, parallelism: usize) -> ResultSet {
+        self.run_plan_core(plan, parallelism, None).0
+    }
+
+    /// The single execution funnel.  Every run records its wall time into
+    /// the run-latency histogram and announces itself on the event bus;
+    /// with `trace` set, the attached probe additionally collects phase
+    /// boundaries, cache outcomes and per-node rows into a [`QueryTrace`].
+    fn run_plan_core(
+        &self,
+        plan: &Plan,
+        parallelism: usize,
+        trace: Option<TraceStart>,
+    ) -> (ResultSet, Option<QueryTrace>) {
         self.metrics.record_run(plan.strategy());
+        let run_started = Instant::now();
         let instance = self.read_instance();
         // Short locked section: build/fetch exactly the plan's indexes and —
         // for a parallel run — the shard decompositions of the relations it
         // scans…
-        let (indexes, shards) = {
+        let required = exec::required_indexes(plan);
+        let requested = if trace.is_some() {
+            required.len()
+                + if parallelism > 1 {
+                    exec::required_shards(plan).len()
+                } else {
+                    0
+                }
+        } else {
+            0
+        };
+        let (indexes, shards, cache_misses) = {
             let mut cache = self.lock_indexes();
-            let indexes = cache.snapshot(&instance, &exec::required_indexes(plan));
+            let built_before = cache.built() + cache.shard_sets_built();
+            let indexes = cache.snapshot(&instance, &required);
             let shards = if parallelism > 1 {
                 cache.snapshot_shards(
                     &instance,
@@ -678,14 +798,57 @@ impl Database {
             } else {
                 PlanShards::new()
             };
-            (indexes, shards)
+            let misses = cache.built() + cache.shard_sets_built() - built_before;
+            (indexes, shards, misses)
         };
         // …then execute lock-free (the instance read guard is still held, so
         // the snapshots stay consistent with the data for the whole run).
-        let ctx = exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows);
+        let mut ctx =
+            exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows);
+        let (plan_cache_hit, query_text) = match trace {
+            Some(TraceStart {
+                mut probe,
+                plan_cache_hit,
+                query,
+            }) => {
+                probe.mark(Phase::Snapshot);
+                ctx = ctx.with_probe(probe);
+                (plan_cache_hit, query)
+            }
+            None => (false, String::new()),
+        };
         let tuples = exec::execute_with(plan, &instance, &ctx);
         self.note_exec_work(&ctx);
-        ResultSet::from_tuples(Arc::clone(plan.columns()), tuples)
+        let result = ResultSet::from_tuples(Arc::clone(plan.columns()), tuples);
+        let elapsed = run_started.elapsed();
+        self.latency.run.record(elapsed);
+        bus::emit(|| Event::RunCompleted {
+            strategy: plan.strategy().as_str().to_owned(),
+            answers: result.len(),
+            micros: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        });
+        let trace = ctx.take_probe().map(|mut probe| {
+            // Charge result materialization to the decode phase, keeping the
+            // boundary chain contiguous through to the final total.
+            probe.mark(Phase::Decode);
+            let (phases, node_rows, total_ns) = probe.finish();
+            QueryTrace {
+                query: query_text,
+                strategy: plan.strategy().as_str().to_owned(),
+                plan_cache_hit,
+                index_cache_hits: requested.saturating_sub(cache_misses),
+                index_cache_misses: cache_misses,
+                phases,
+                total_ns,
+                node_rows,
+                shard_tasks: ctx.shard_tasks(),
+                threads_spawned: ctx.threads_spawned(),
+                answers: result.len(),
+                refresh_mode: None,
+                delta_rows: None,
+            }
+        });
+        (result, trace)
     }
 
     /// Registers `source` as a [`MaterializedView`] with default
@@ -732,6 +895,10 @@ impl Database {
         self.metrics
             .views_registered
             .fetch_add(1, Ordering::Relaxed);
+        bus::emit(|| Event::ViewRegistered {
+            query: core.query.to_string(),
+            strategy: core.plan.strategy().as_str().to_owned(),
+        });
         Ok(MaterializedView::new(self, core))
     }
 
@@ -748,6 +915,18 @@ impl Database {
     pub(crate) fn view_refresh(&self, core: &ViewCore) -> ViewRefresh {
         let instance = self.read_instance();
         self.refresh_core(core, &instance)
+    }
+
+    /// [`MaterializedView::refresh_traced`]: the refresh report plus a
+    /// [`QueryTrace`] over the maintenance work (phases of the delta push
+    /// or recompute, refresh mode, delta rows).
+    pub(crate) fn view_refresh_traced(&self, core: &ViewCore) -> (ViewRefresh, QueryTrace) {
+        let instance = self.read_instance();
+        let (refresh, trace) = self.refresh_core_traced(core, &instance, Some(Probe::start()));
+        (
+            refresh,
+            trace.expect("traced refreshes always produce a trace"),
+        )
     }
 
     /// [`MaterializedView::is_fresh`]: whether no relation the view reads
@@ -807,10 +986,35 @@ impl Database {
     /// [`ViewOptions::max_incremental_fraction`] → push the delta through
     /// the join tree; otherwise → recompute.
     fn refresh_core(&self, core: &ViewCore, instance: &Instance) -> ViewRefresh {
+        self.refresh_core_traced(core, instance, None).0
+    }
+
+    /// [`Database::refresh_core`] with an optional probe: refreshes that do
+    /// work (delta push or recompute) are timed into the view-refresh
+    /// histogram and announced on the event bus; with a probe attached the
+    /// maintenance run additionally yields a [`QueryTrace`] carrying the
+    /// refresh mode and delta rows.
+    fn refresh_core_traced(
+        &self,
+        core: &ViewCore,
+        instance: &Instance,
+        probe: Option<Probe>,
+    ) -> (ViewRefresh, Option<QueryTrace>) {
+        // Assembles the trace for the no-work shortcuts below: no phases
+        // beyond whatever the probe accumulated, current answer count.
+        let fresh_trace = |probe: Option<Probe>, refresh: &ViewRefresh, answers: usize| {
+            probe.map(|p| {
+                let (phases, node_rows, total_ns) = p.finish();
+                self.view_query_trace(core, refresh, phases, node_rows, total_ns, 0, 0, answers)
+            })
+        };
         let mut state = core.lock_state();
         if let Some(cursor) = &state.cursor {
             if cursor.epoch() == instance.epoch() {
-                return ViewRefresh::FRESH;
+                let answers = state.answers.len();
+                drop(state);
+                let trace = fresh_trace(probe, &ViewRefresh::FRESH, answers);
+                return (ViewRefresh::FRESH, trace);
             }
         }
         let initialized = state.cursor.is_some();
@@ -827,19 +1031,27 @@ impl Database {
         if initialized && watermarks.is_empty() {
             // Growth only on predicates the view never reads.
             state.cursor = Some(instance.delta_cursor());
-            return ViewRefresh::FRESH;
+            let answers = state.answers.len();
+            drop(state);
+            let trace = fresh_trace(probe, &ViewRefresh::FRESH, answers);
+            return (ViewRefresh::FRESH, trace);
         }
         if initialized && core.plan.columns().is_empty() && !state.answers.is_empty() {
             // A satisfied Boolean view can never become unsatisfied under
             // appends: skip the evaluation entirely.
             state.cursor = Some(instance.delta_cursor());
-            return ViewRefresh {
+            let refresh = ViewRefresh {
                 mode: RefreshMode::Fresh,
                 delta_rows,
                 rows_added: 0,
             };
+            let answers = state.answers.len();
+            drop(state);
+            let trace = fresh_trace(probe, &refresh, answers);
+            return (refresh, trace);
         }
 
+        let refresh_started = Instant::now();
         let relevant_rows: usize = core
             .relevant
             .iter()
@@ -851,15 +1063,26 @@ impl Database {
             && (delta_rows as f64) <= core.options.max_incremental_fraction * relevant_rows as f64;
         let before = state.answers.len();
         let parallelism = self.exec.parallelism;
-        let mode = if incremental {
+        let attach = |mut ctx: exec::ExecContext, probe: Option<Probe>| match probe {
+            Some(mut p) => {
+                p.mark(Phase::Snapshot);
+                ctx = ctx.with_probe(p);
+                ctx
+            }
+            None => ctx,
+        };
+        let (mode, mut ctx) = if incremental {
             let indexes = self
                 .lock_indexes()
                 .snapshot(instance, &core.incremental_indexes);
-            let ctx = exec::ExecContext::new(
-                indexes,
-                PlanShards::new(),
-                parallelism,
-                self.exec.min_parallel_rows,
+            let ctx = attach(
+                exec::ExecContext::new(
+                    indexes,
+                    PlanShards::new(),
+                    parallelism,
+                    self.exec.min_parallel_rows,
+                ),
+                probe,
             );
             let delta = exec::execute_delta(&core.plan, instance, &watermarks, &ctx)
                 .expect("the direct rung compiles to a Yannakakis plan");
@@ -871,7 +1094,7 @@ impl Database {
             self.metrics
                 .view_delta_rows
                 .fetch_add(delta_rows, Ordering::Relaxed);
-            RefreshMode::Incremental
+            (RefreshMode::Incremental, ctx)
         } else {
             let (indexes, shards) = {
                 let mut cache = self.lock_indexes();
@@ -888,22 +1111,80 @@ impl Database {
                 };
                 (indexes, shards)
             };
-            let ctx =
-                exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows);
+            let ctx = attach(
+                exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows),
+                probe,
+            );
             state.answers = Arc::new(exec::execute_with(&core.plan, instance, &ctx));
             self.note_exec_work(&ctx);
             self.metrics
                 .view_refreshes_full
                 .fetch_add(1, Ordering::Relaxed);
-            RefreshMode::Full
+            (RefreshMode::Full, ctx)
         };
         state.cursor = Some(instance.delta_cursor());
-        ViewRefresh {
+        let refresh = ViewRefresh {
             mode,
             delta_rows,
             // Appends are monotone so this never truncates; saturate anyway
             // rather than panic if an oracle recompute ever shrinks.
             rows_added: state.answers.len().saturating_sub(before),
+        };
+        let answers = state.answers.len();
+        drop(state);
+        let elapsed = refresh_started.elapsed();
+        self.latency.view_refresh.record(elapsed);
+        bus::emit(|| Event::ViewRefreshed {
+            mode: refresh.mode.to_string(),
+            delta_rows: refresh.delta_rows,
+            rows_added: refresh.rows_added,
+            micros: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        });
+        let trace = ctx.take_probe().map(|probe| {
+            let (phases, node_rows, total_ns) = probe.finish();
+            self.view_query_trace(
+                core,
+                &refresh,
+                phases,
+                node_rows,
+                total_ns,
+                ctx.shard_tasks(),
+                ctx.threads_spawned(),
+                answers,
+            )
+        });
+        (refresh, trace)
+    }
+
+    /// Assembles the [`QueryTrace`] for one view maintenance pass.
+    #[allow(clippy::too_many_arguments)]
+    fn view_query_trace(
+        &self,
+        core: &ViewCore,
+        refresh: &ViewRefresh,
+        phases: sac_telemetry::PhaseTimes,
+        node_rows: Vec<sac_telemetry::NodeRows>,
+        total_ns: u64,
+        shard_tasks: usize,
+        threads_spawned: usize,
+        answers: usize,
+    ) -> QueryTrace {
+        QueryTrace {
+            query: core.query.to_string(),
+            strategy: core.plan.strategy().as_str().to_owned(),
+            // The view's plan was pinned at materialization: by definition
+            // every maintenance pass reuses it.
+            plan_cache_hit: true,
+            index_cache_hits: 0,
+            index_cache_misses: 0,
+            phases,
+            total_ns,
+            node_rows,
+            shard_tasks,
+            threads_spawned,
+            answers,
+            refresh_mode: Some(refresh.mode.to_string()),
+            delta_rows: Some(refresh.delta_rows),
         }
     }
 
@@ -924,7 +1205,11 @@ impl Database {
             let cache = self.lock_indexes();
             (cache.built(), cache.shard_sets_built())
         };
-        self.metrics.snapshot(indexes_built, shard_sets_built)
+        let mut m = self.metrics.snapshot(indexes_built, shard_sets_built);
+        m.run_latency = self.latency.run.snapshot();
+        m.prepare_latency = self.latency.prepare.snapshot();
+        m.view_refresh_latency = self.latency.view_refresh.snapshot();
+        m
     }
 
     /// Zeroes every metric counter, including the index-build counter.  The
@@ -932,6 +1217,9 @@ impl Database {
     pub fn reset_metrics(&self) {
         self.metrics.reset();
         self.lock_indexes().reset_built();
+        self.latency.run.reset();
+        self.latency.prepare.reset();
+        self.latency.view_refresh.reset();
     }
 
     /// Maintenance hook: drops every cached plan and join index.  Subsequent
@@ -1020,6 +1308,24 @@ impl PreparedQuery<'_> {
     /// The Boolean reading of [`PreparedQuery::execute`].
     pub fn execute_boolean(&self) -> bool {
         self.execute().is_true()
+    }
+
+    /// [`PreparedQuery::execute`] with a [`QueryTrace`] alongside the
+    /// results — [`Database::run_traced`] over the pinned plan.  The plan
+    /// phase is empty and `plan_cache_hit` is `true` by definition: prepared
+    /// queries never touch the plan cache again.
+    pub fn run_traced(&self) -> (ResultSet, QueryTrace) {
+        let mut probe = Probe::start();
+        probe.mark(Phase::Plan);
+        let start = TraceStart {
+            probe,
+            plan_cache_hit: true,
+            query: self.query.to_string(),
+        };
+        let (result, trace) =
+            self.database
+                .run_plan_core(&self.plan, self.database.exec.parallelism, Some(start));
+        (result, trace.expect("traced runs always produce a trace"))
     }
 
     /// The strategy the pinned plan uses.
@@ -1394,5 +1700,119 @@ mod tests {
             }
         });
         assert_eq!(db.metrics().queries_run, 9);
+    }
+
+    #[test]
+    fn traced_runs_report_phases_summing_to_the_total_on_every_rung() {
+        let db = Database::from_instance(sac_gen::random_graph_database(12, 50, 19));
+        for (q, strategy) in [
+            (sac_gen::path_query(2), "yannakakis-direct"),
+            (sac_gen::cycle_query(3), "indexed-search"),
+        ] {
+            let (result, trace) = db.run_traced(&q);
+            assert_eq!(trace.strategy, strategy, "on {q}");
+            assert_eq!(trace.answers, result.len());
+            assert_eq!(result.into_tuples(), db.run(&q).into_tuples());
+            // Boundary-mark timing: the phases partition the traced span, so
+            // the sum is the total *exactly* — far inside the 10% budget.
+            assert_eq!(trace.phases.total_ns(), trace.total_ns, "on {q}");
+            assert!(trace.total_ns > 0, "a real run takes nonzero time");
+        }
+        // The witness rung, on constraint-closed data.
+        let db = Database::from_instance(sac_gen::music_database(20, 40, 3))
+            .with_tgds(vec![sac_gen::collector_tgd()]);
+        let (_, trace) = db.run_traced(&sac_gen::example1_triangle());
+        assert_eq!(trace.strategy, "yannakakis-witness");
+        assert_eq!(trace.phases.total_ns(), trace.total_ns);
+    }
+
+    #[test]
+    fn traces_report_cache_outcomes_and_node_rows() {
+        let db = graph_database();
+        let q = sac_gen::path_query(2);
+        let (_, cold) = db.run_traced(&q);
+        assert!(!cold.plan_cache_hit, "first request plans");
+        let (_, warm) = db.run_traced(&q);
+        assert!(warm.plan_cache_hit, "second request hits the cache");
+        assert_eq!(warm.index_cache_misses, 0, "indexes were already built");
+        // One node per join-tree atom, rows_in = the scanned relation.
+        assert_eq!(warm.node_rows.len(), 2);
+        let e_rows = db
+            .snapshot()
+            .relation(sac_common::intern("E"))
+            .unwrap()
+            .len();
+        for node in &warm.node_rows {
+            assert_eq!(node.rows_in, e_rows);
+            assert!(node.rows_out <= node.rows_in, "match sets only filter");
+        }
+        // Identical requests produce an identical trace *structure* even
+        // though wall times differ.
+        assert_eq!(
+            warm.structure_digest(),
+            db.run_traced(&q).1.structure_digest()
+        );
+    }
+
+    #[test]
+    fn prepared_run_traced_pins_the_plan() {
+        let db = graph_database();
+        let prepared = db.prepare(sac_gen::path_query(2)).unwrap();
+        let (result, trace) = prepared.run_traced();
+        assert!(trace.plan_cache_hit, "prepared queries never re-plan");
+        assert_eq!(trace.answers, result.len());
+        assert_eq!(trace.phases.total_ns(), trace.total_ns);
+        assert!(trace.phases.get(Phase::MatchSets) > 0);
+        assert_eq!(result, prepared.execute());
+    }
+
+    #[test]
+    fn traced_runs_feed_the_latency_histograms() {
+        let db = graph_database();
+        let q = sac_gen::path_query(2);
+        db.run(&q);
+        let _ = db.run_traced(&q);
+        let m = db.metrics();
+        assert_eq!(
+            m.run_latency.count, 2,
+            "traced and untraced runs both record"
+        );
+        assert_eq!(m.prepare_latency.count, 1, "one plan was compiled");
+        assert!(m.run_latency.p50() <= m.run_latency.p99());
+        db.reset_metrics();
+        assert!(
+            db.metrics().run_latency.is_empty(),
+            "reset clears histograms"
+        );
+    }
+
+    #[test]
+    fn traced_view_refreshes_report_modes() {
+        let db = Database::from_facts("E(a, b). E(u, v). E(w, x).").unwrap();
+        let view = db
+            .materialize_with(
+                "q(X, Z) :- E(X, Y), E(Y, Z).",
+                crate::ViewOptions {
+                    auto_refresh: false,
+                    ..crate::ViewOptions::default()
+                },
+            )
+            .unwrap();
+        let (fresh, trace) = view.refresh_traced();
+        assert_eq!(fresh.mode, crate::RefreshMode::Fresh);
+        assert_eq!(trace.refresh_mode.as_deref(), Some("fresh"));
+        assert_eq!(trace.delta_rows, Some(0));
+
+        db.load_facts("E(b, c).").unwrap();
+        let (incr, trace) = view.refresh_traced();
+        assert_eq!(incr.mode, crate::RefreshMode::Incremental);
+        assert_eq!(trace.refresh_mode.as_deref(), Some("incremental"));
+        assert_eq!(trace.delta_rows, Some(1));
+        assert_eq!(trace.answers, view.len());
+        assert_eq!(trace.phases.total_ns(), trace.total_ns);
+        assert!(
+            db.metrics().view_refresh_latency.count >= 2,
+            "initial + incremental refresh recorded"
+        );
     }
 }

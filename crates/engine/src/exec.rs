@@ -56,9 +56,10 @@ use crate::plan::{ExecPlan, IndexedPlan, NodeShape, Plan, YannakakisPlan};
 use crate::pool;
 use sac_common::{FxHashMap, FxHashSet, Substitution, Symbol, Term};
 use sac_storage::{dict, Instance, Relation};
+use sac_telemetry::{Phase, Probe};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Everything one plan execution works from: immutable index and shard
 /// snapshots, the configured parallelism and size gate, and counters the
@@ -73,6 +74,11 @@ pub(crate) struct ExecContext {
     pub(crate) min_parallel_rows: usize,
     shard_tasks: AtomicUsize,
     threads_spawned: AtomicUsize,
+    /// Phase timers and per-node row counts for a traced run; `None` for
+    /// ordinary runs, whose only tracing cost is this `Option` check.
+    /// Only the orchestrating thread marks, so the mutex is uncontended —
+    /// it exists because the context is shared as `&self`.
+    probe: Option<Mutex<Probe>>,
 }
 
 impl ExecContext {
@@ -89,6 +95,7 @@ impl ExecContext {
             min_parallel_rows,
             shard_tasks: AtomicUsize::new(0),
             threads_spawned: AtomicUsize::new(0),
+            probe: None,
         }
     }
 
@@ -96,6 +103,46 @@ impl ExecContext {
     #[cfg(test)]
     pub(crate) fn serial(indexes: PlanIndexes) -> ExecContext {
         ExecContext::new(indexes, PlanShards::new(), 1, 0)
+    }
+
+    /// Attaches `probe`: execution phases and per-node row counts are
+    /// recorded into it from here on.
+    pub(crate) fn with_probe(mut self, probe: Probe) -> ExecContext {
+        self.probe = Some(Mutex::new(probe));
+        self
+    }
+
+    /// Detaches the probe to read the collected trace back out.
+    pub(crate) fn take_probe(&mut self) -> Option<Probe> {
+        self.probe.take().map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+        })
+    }
+
+    /// Whether a probe is attached (callers gate string formatting on it).
+    fn probing(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// Ends `phase` on the attached probe, if any.
+    pub(crate) fn mark(&self, phase: Phase) {
+        if let Some(probe) = &self.probe {
+            probe
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .mark(phase);
+        }
+    }
+
+    /// Records one join-tree node's rows in/out on the attached probe.
+    fn note_node(&self, node: impl Into<String>, rows_in: usize, rows_out: usize) {
+        if let Some(probe) = &self.probe {
+            probe
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .node(node, rows_in, rows_out);
+        }
     }
 
     fn note_parallel(&self, tasks: usize, threads: usize) {
@@ -296,7 +343,12 @@ impl Table {
             // order, and parallel_map returns results in task order), so the
             // surviving tuples are moved, never cloned.
             let drained: Vec<Vec<u32>> = self.tuples.drain().collect();
-            let chunk_len = drained.len().div_ceil(ctx.parallelism);
+            // 4 chunks per worker, not 1: with chunks == workers the pool's
+            // claim-next-task balancing has nothing to balance, and one
+            // expensive chunk (skewed semijoin keys) serializes the sweep —
+            // e13's phase timers show the semijoin share growing with pool
+            // width under the old sizing.
+            let chunk_len = drained.len().div_ceil(ctx.parallelism * 4);
             let chunks: Vec<&[Vec<u32>]> = drained.chunks(chunk_len).collect();
             let (masks, threads) = pool::parallel_map(ctx.parallelism, &chunks, |chunk| {
                 chunk.iter().map(&survives).collect::<Vec<bool>>()
@@ -682,8 +734,18 @@ fn run_yannakakis(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> BT
     }
     // Phase 1: match sets (per shard when parallel)…
     let tables = match_tables(plan, db, ctx);
+    ctx.mark(Phase::MatchSets);
     // …then the semijoin sweeps and the join-back-up.
     yannakakis_phases(plan, tables, ctx)
+}
+
+/// Reports every node's rows in/out to an attached probe: match-set sizes
+/// entering the semijoin sweeps vs the sizes in `tables` now.  A no-op
+/// (including the display formatting) on untraced runs.
+fn note_node_rows(plan: &YannakakisPlan, rows_in: &[usize], tables: &[Table], ctx: &ExecContext) {
+    for (i, atom) in plan.tree.atoms.iter().enumerate() {
+        ctx.note_node(atom.to_string(), rows_in[i], tables[i].tuples.len());
+    }
 }
 
 /// Phases 2–3 of Yannakakis over already-computed per-node tables: the
@@ -700,6 +762,13 @@ fn yannakakis_phases(
 ) -> BTreeSet<Vec<Term>> {
     let n = plan.tree.len();
     let mut answers = BTreeSet::new();
+    // Match-set sizes entering the sweeps, for the trace's per-node rows.
+    // Collected only under a probe so untraced runs pay one branch.
+    let rows_in: Vec<usize> = if ctx.probing() {
+        tables.iter().map(|t| t.tuples.len()).collect()
+    } else {
+        Vec::new()
+    };
 
     // Phase 2a: upward semijoin sweep (children into parents, leaves first).
     for &node in plan.order.iter().rev() {
@@ -709,10 +778,18 @@ fn yannakakis_phases(
             tables[child] = child_table;
         }
         if tables[node].tuples.is_empty() {
+            ctx.mark(Phase::SemijoinUp);
+            if ctx.probing() {
+                note_node_rows(plan, &rows_in, &tables, ctx);
+            }
             return answers; // no homomorphism covers this node
         }
     }
+    ctx.mark(Phase::SemijoinUp);
     if plan.query.head.is_empty() {
+        if ctx.probing() {
+            note_node_rows(plan, &rows_in, &tables, ctx);
+        }
         answers.insert(Vec::new());
         return answers;
     }
@@ -724,6 +801,10 @@ fn yannakakis_phases(
             tables[node].semijoin(&parent_table, ctx);
             tables[parent] = parent_table;
         }
+    }
+    ctx.mark(Phase::SemijoinDown);
+    if ctx.probing() {
+        note_node_rows(plan, &rows_in, &tables, ctx);
     }
 
     // Phase 3: bottom-up hash join, projecting each subtree onto its carry
@@ -756,6 +837,7 @@ fn yannakakis_phases(
         });
     }
     let acc = acc.expect("non-empty tree has a root");
+    ctx.mark(Phase::JoinBack);
 
     // Materialize answers in head order (head variables may repeat),
     // decoding each projected code row under one dictionary guard.
@@ -769,6 +851,7 @@ fn yannakakis_phases(
                 .collect::<Vec<Term>>(),
         );
     }
+    ctx.mark(Phase::Decode);
     answers
 }
 
@@ -1062,6 +1145,7 @@ fn run_indexed(plan: &IndexedPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet
             for partial in partials {
                 answers.extend(partial);
             }
+            ctx.mark(Phase::Search);
             return answers;
         }
     }
@@ -1069,6 +1153,7 @@ fn run_indexed(plan: &IndexedPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet
     let mut answers = BTreeSet::new();
     let mut state = Substitution::new();
     indexed_step(plan, db, &step_indexes, 0, &mut state, &mut answers);
+    ctx.mark(Phase::Search);
     answers
 }
 

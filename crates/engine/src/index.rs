@@ -32,6 +32,7 @@
 
 use sac_common::{FxHashMap, Symbol, Term};
 use sac_storage::{dict, Instance, Relation};
+use sac_telemetry::{bus, Event};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -290,6 +291,10 @@ impl IndexCache {
         let key = (predicate, positions.to_vec());
         if !self.indexes.contains_key(&key) {
             self.built += 1;
+            bus::emit(|| Event::IndexBuilt {
+                predicate: predicate.to_string(),
+                positions: positions.to_vec(),
+            });
             self.indexes
                 .insert(key, Arc::new(JoinIndex::build(rel, positions)));
         }
@@ -314,6 +319,11 @@ impl IndexCache {
         let key = (predicate, k);
         if !self.shards.contains_key(&key) {
             self.shard_sets_built += 1;
+            bus::emit(|| Event::ShardSetBuilt {
+                predicate: predicate.to_string(),
+                column: 0,
+                shards: k,
+            });
             self.shards
                 .insert(key, Arc::new(ShardSet::build(rel, 0, k)));
         }

@@ -113,6 +113,26 @@
 //! (`snapshot` / `refresh` / `is_fresh`) and the `view_*` counters of
 //! [`EngineMetrics`] for observability.
 //!
+//! ## Observability
+//!
+//! The engine is instrumented end to end through the std-only
+//! [`sac_telemetry`] crate, re-exported here as [`telemetry`]:
+//!
+//! - [`Database::run_traced`] / [`PreparedQuery::run_traced`] /
+//!   [`MaterializedView::refresh_traced`] return a [`QueryTrace`] alongside
+//!   the answers — rung chosen, plan- and index-cache outcomes, per-phase
+//!   wall times that sum to the recorded total by construction, per-node
+//!   rows in/out, and the parallel fan-out.
+//! - [`EngineMetrics`] carries lock-free log-bucketed latency histograms
+//!   ([`HistogramSnapshot`]: p50/p90/p99) for runs, plan compilations and
+//!   view refreshes, recorded on **every** operation at the cost of a few
+//!   relaxed atomic adds.
+//! - An optional process-wide [`EventSink`] ([`telemetry::bus`]) receives
+//!   structured [`Event`]s (plans built, runs completed, indexes and shard
+//!   sets built, parallel regions, view registrations and refreshes).  With
+//!   no sink installed the emit sites are a single relaxed atomic load and
+//!   the event is never constructed.
+//!
 //! The legacy single-owner [`Engine`] survives as a deprecated shim over
 //! [`Database`]; see [`engine`] for the migration table.
 
@@ -126,6 +146,10 @@ mod pool;
 mod result;
 pub mod view;
 
+/// The engine's observability layer (the `sac-telemetry` crate): traces,
+/// histograms, and the process-wide event bus.
+pub use sac_telemetry as telemetry;
+
 pub use database::{
     Database, EngineConfig, EngineMetrics, ExecOptions, PreparedQuery, QuerySource,
 };
@@ -135,4 +159,8 @@ pub use error::{SacError, SacResult};
 pub use index::{IndexCache, JoinIndex, ShardSet};
 pub use plan::{Explain, Plan, Strategy};
 pub use result::{ResultSet, Row};
+pub use sac_telemetry::{
+    fmt_ns, Event, EventSink, HistogramSnapshot, JsonLinesSink, NodeRows, Phase, PhaseTimes,
+    QueryTrace, RingSink,
+};
 pub use view::{MaterializedView, RefreshMode, ViewOptions, ViewRefresh};

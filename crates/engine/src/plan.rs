@@ -45,13 +45,21 @@ pub enum Strategy {
     IndexedSearch,
 }
 
-impl fmt::Display for Strategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+impl Strategy {
+    /// The strategy's stable display name, as used in traces, telemetry
+    /// events and bench JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
             Strategy::YannakakisDirect => "yannakakis-direct",
             Strategy::YannakakisWitness => "yannakakis-witness",
             Strategy::IndexedSearch => "indexed-search",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 

@@ -15,6 +15,7 @@
 //! Results come back **in task order**, regardless of which worker ran
 //! what, so parallel regions stay deterministic for everything downstream.
 
+use sac_telemetry::{bus, Event};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
@@ -35,6 +36,10 @@ where
         return (items.iter().map(f).collect(), 0);
     }
     let workers = threads.min(items.len());
+    bus::emit(|| Event::ParallelRegion {
+        tasks: items.len(),
+        threads: workers,
+    });
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     thread::scope(|scope| {

@@ -246,6 +246,14 @@ impl<'db> MaterializedView<'db> {
         self.database.view_refresh(&self.core)
     }
 
+    /// [`MaterializedView::refresh`] with a [`sac_telemetry::QueryTrace`]
+    /// over the maintenance work: the trace's `refresh_mode` and
+    /// `delta_rows` report which path ran, and — for refreshes that did
+    /// work — the phase timers cover the delta push or recompute.
+    pub fn refresh_traced(&self) -> (ViewRefresh, sac_telemetry::QueryTrace) {
+        self.database.view_refresh_traced(&self.core)
+    }
+
     /// Whether the view reflects every fact currently in the database.
     /// Always `true` between operations for auto-refresh views; a lazy view
     /// goes stale when a relevant relation grows.

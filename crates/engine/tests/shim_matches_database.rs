@@ -70,14 +70,21 @@ fn shim_and_database_return_identical_results_and_metrics() {
     assert_eq!(format!("{shim_single:?}"), format!("{db_single:?}"));
     assert_eq!(format!("{shim_second:?}"), format!("{db_second:?}"));
 
-    // …and byte-identical metrics: same runs, same strategy counts, same
-    // cache behaviour, same index/shard accounting.
-    let shim_metrics = engine.metrics();
-    let db_metrics = db.metrics();
+    // …and byte-identical work counters: same runs, same strategy counts,
+    // same cache behaviour, same index/shard accounting.  The latency
+    // histograms are wall-clock and legitimately differ between the two
+    // sessions, so compare the counter projection.
+    let shim_metrics = engine.metrics().counters_only();
+    let db_metrics = db.metrics().counters_only();
     assert_eq!(shim_metrics, db_metrics);
     assert_eq!(format!("{shim_metrics:?}"), format!("{db_metrics:?}"));
     assert_eq!(format!("{shim_metrics}"), format!("{db_metrics}"));
     assert_eq!(engine.cached_plans(), db.cached_plans());
+    // Both sessions did record latencies — the distributions just differ.
+    assert_eq!(
+        engine.metrics().run_latency.count,
+        db.metrics().run_latency.count
+    );
 
     // The workload really exercised all three rungs.
     assert!(db_metrics.runs_yannakakis_direct > 0);
@@ -100,5 +107,8 @@ fn shim_and_database_agree_under_constraints() {
         format!("{:?}", engine.explain(&q)),
         format!("{:?}", db.explain(&q))
     );
-    assert_eq!(engine.metrics(), db.metrics());
+    assert_eq!(
+        engine.metrics().counters_only(),
+        db.metrics().counters_only()
+    );
 }

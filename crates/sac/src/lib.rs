@@ -98,6 +98,7 @@ pub use sac_parser as parser;
 pub use sac_query as query;
 pub use sac_rewrite as rewrite;
 pub use sac_storage as storage;
+pub use sac_telemetry as telemetry;
 
 // The service façade, promoted to the crate root: `sac::Database` is the
 // front door for evaluation workloads.
@@ -146,4 +147,8 @@ pub mod prelude {
     };
     pub use sac_rewrite::{contained_via_rewriting, rewrite, RewriteBudget};
     pub use sac_storage::{DeltaCursor, Instance, InstanceStats, RelationDelta, RelationStats};
+    pub use sac_telemetry::{
+        fmt_ns, Event, EventSink, HistogramSnapshot, JsonLinesSink, Phase, PhaseTimes, QueryTrace,
+        RingSink,
+    };
 }

@@ -84,6 +84,13 @@ impl InstanceStats {
     pub fn relation(&self, predicate: Symbol) -> Option<&RelationStats> {
         self.relations.iter().find(|r| r.predicate == predicate)
     }
+
+    /// The relation holding the most tuples — the scan any per-shard
+    /// parallelism or trace node-row report is dominated by.  `None` on an
+    /// empty instance.
+    pub fn largest_relation(&self) -> Option<&RelationStats> {
+        self.relations.iter().max_by_key(|r| r.tuples)
+    }
 }
 
 impl fmt::Display for InstanceStats {
@@ -130,6 +137,21 @@ mod tests {
         let s = sample();
         assert!(s.relation(intern("R")).is_some());
         assert!(s.relation(intern("Missing")).is_none());
+    }
+
+    #[test]
+    fn largest_relation_picks_the_biggest_scan() {
+        let mut s = sample();
+        assert_eq!(s.largest_relation().unwrap().predicate, intern("R"));
+        s.relations.push(RelationStats {
+            predicate: intern("Big"),
+            arity: 1,
+            tuples: 99,
+            distinct_per_column: vec![99],
+        });
+        assert_eq!(s.largest_relation().unwrap().predicate, intern("Big"));
+        s.relations.clear();
+        assert!(s.largest_relation().is_none());
     }
 
     #[test]

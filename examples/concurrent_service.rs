@@ -53,9 +53,15 @@ fn main() {
     let window = Duration::from_millis(400);
     let cores = thread::available_parallelism().map_or(1, |n| n.get());
     println!("\ndriving the shared database ({cores} core(s) available):");
-    println!("{:>8} {:>12} {:>14}", "threads", "queries", "queries/sec");
+    println!(
+        "{:>8} {:>12} {:>14} {:>10} {:>10} {:>10}",
+        "threads", "queries", "queries/sec", "p50", "p99", "max"
+    );
     let mut single = 0.0f64;
     for threads in [1usize, 2, 4, 8] {
+        // A fresh histogram window per thread count: the percentiles
+        // describe this configuration's latencies, not the whole session.
+        db.reset_metrics();
         let done = AtomicUsize::new(0);
         let start = Instant::now();
         thread::scope(|scope| {
@@ -79,19 +85,26 @@ fn main() {
         if threads == 1 {
             single = rate;
         }
+        let latency = db.metrics().run_latency;
         println!(
-            "{threads:>8} {total:>12} {rate:>14.0}   ({:.2}x vs 1 thread)",
+            "{threads:>8} {total:>12} {rate:>14.0} {:>10} {:>10} {:>10}   ({:.2}x vs 1 thread)",
+            fmt_ns(latency.p50()),
+            fmt_ns(latency.p99()),
+            fmt_ns(latency.max_ns),
             rate / single
         );
     }
 
-    let m = db.metrics();
-    println!("\nmetrics: {m}");
     println!(
-        "plan cache: {:.1}% hit rate over {} cached plans",
-        100.0 * m.plan_cache_hit_rate(),
+        "\nplan cache: {} entries pinned by the prepared handles (no re-planning under traffic)",
         db.cached_plans()
     );
+
+    // One traced execution shows where a request's time goes under the
+    // warmed caches: plan phase empty (prepared), snapshot, then the
+    // Yannakakis sweeps.
+    let (_, trace) = prepared[0].run_traced();
+    println!("sample trace: {trace}");
 
     // The other axis of parallelism: a single client, but every batch fans
     // out over the database's worker pool and every scan is partitioned
@@ -114,7 +127,17 @@ fn main() {
         "  identical to the serial batch: {}",
         serial_answers == parallel_answers
     );
-    println!("  {}", par_db.metrics());
+    let pm = par_db.metrics();
+    println!(
+        "  fan-out: {} shard sets built, {} shard tasks on {} worker threads",
+        pm.shard_sets_built, pm.shard_tasks, pm.threads_spawned
+    );
+    println!(
+        "  run latency: p50 {} / p99 {} over {} runs",
+        fmt_ns(pm.run_latency.p50()),
+        fmt_ns(pm.run_latency.p99()),
+        pm.run_latency.count
+    );
 
     // Sanity: concurrent serving returned exactly the naive answers.
     let q = sac::gen::example1_triangle();

@@ -20,7 +20,11 @@ fn main() {
     seed.extend_from(&sac::gen::random_graph_database(60, 400, 7))
         .expect("disjoint schemas merge cleanly");
     let db = Database::from_instance(seed).with_tgds(vec![sac::gen::collector_tgd()]);
-    println!("database: {}", db.stats());
+    let stats = db.stats();
+    println!("database: {stats}");
+    if let Some(hot) = stats.largest_relation() {
+        println!("hottest scan: {hot}");
+    }
 
     // A traffic mix of distinct query shapes, repeated over many rounds the
     // way a serving workload repeats its hot queries.
@@ -59,16 +63,42 @@ fn main() {
         elapsed,
         answers
     );
-    println!("metrics: {m}");
+
+    // The telemetry snapshot: latency percentiles and cache hit rates, the
+    // numbers a dashboard would chart, instead of a raw counter dump.
+    println!("\ntelemetry snapshot:");
     println!(
-        "plan cache: {:.1}% hit rate over {} cached plans",
-        100.0 * m.plan_cache_hit_rate(),
-        db.cached_plans()
+        "  run latency      p50 {:>9} | p90 {:>9} | p99 {:>9} | max {:>9}  ({} samples)",
+        fmt_ns(m.run_latency.p50()),
+        fmt_ns(m.run_latency.p90()),
+        fmt_ns(m.run_latency.p99()),
+        fmt_ns(m.run_latency.max_ns),
+        m.run_latency.count,
     );
     println!(
-        "strategies: {} yannakakis-direct, {} yannakakis-witness, {} indexed-search",
+        "  prepare latency  p50 {:>9} | max {:>9}  ({} compilations)",
+        fmt_ns(m.prepare_latency.p50()),
+        fmt_ns(m.prepare_latency.max_ns),
+        m.prepare_latency.count,
+    );
+    println!(
+        "  plan cache       {:.1}% hit rate ({} hits / {} builds, {} cached plans)",
+        100.0 * m.plan_cache_hit_rate(),
+        m.plan_cache_hits,
+        m.plans_built,
+        db.cached_plans(),
+    );
+    println!(
+        "  strategies       {} yannakakis-direct / {} yannakakis-witness / {} indexed-search",
         m.runs_yannakakis_direct, m.runs_yannakakis_witness, m.runs_indexed_search
     );
+
+    // One traced run per shape: where does a request's time actually go?
+    println!("\nper-shape traces (warm caches):");
+    for q in &shapes {
+        let (_, trace) = db.run_traced(q);
+        println!("  {q}\n    → {trace}");
+    }
 
     // Sanity: the engine's answers are byte-identical to naive evaluation.
     let q = sac::gen::example1_triangle();

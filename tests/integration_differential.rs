@@ -330,3 +330,38 @@ fn parallel_batches_are_identical_to_serial_batches() {
     }
     println!("differential digest: batch sweep {:016x}", digest.0);
 }
+
+#[test]
+fn trace_structure_is_deterministic_across_runs() {
+    // Query traces carry wall times (nondeterministic by nature) next to
+    // structure (rung, cache outcomes, per-node rows, fan-out, answers).
+    // The structure must be a pure function of (data, query, config): this
+    // digest folds `QueryTrace::structure_digest` for the whole sweep into
+    // one `differential digest:` line, so the CI double-run diff catches
+    // any scheduling nondeterminism that leaks into what traces *say*.
+    let data = sac::gen::random_graph_database(10, 25, 7);
+    let mut digest = Digest::new();
+    for parallelism in PARALLELISM_LEVELS {
+        for query in graph_queries() {
+            let db = Database::from_instance(data.clone()).with_exec_options(ExecOptions {
+                parallelism,
+                min_parallel_rows: 0,
+            });
+            let (cold_result, cold) = db.run_traced(&query);
+            let (warm_result, warm) = db.run_traced(&query);
+            assert_eq!(cold_result, warm_result);
+            assert!(!cold.plan_cache_hit && warm.plan_cache_hit);
+            assert_eq!(
+                warm.structure_digest(),
+                db.run_traced(&query).1.structure_digest(),
+                "repeat runs must agree structurally on {query}"
+            );
+            digest.absorb(&format!(
+                "par={parallelism} | {query} -> {:016x} {:016x}",
+                cold.structure_digest(),
+                warm.structure_digest()
+            ));
+        }
+    }
+    println!("differential digest: trace structure {:016x}", digest.0);
+}
