@@ -104,9 +104,10 @@ fn json_row(
 /// written to `BENCH_e11.json` at the workspace root.
 ///
 /// With `smoke` set (the CI `--smoke` mode) only the smallest acyclic-star
-/// size runs, the document goes to `BENCH_e11_smoke.json`, and the process
-/// exits non-zero unless the cached engine beats the naive evaluator —
-/// a cheap merge gate against engine-path regressions.
+/// size runs, the document goes to a temp-dir `BENCH_e11_smoke.json` (the
+/// workspace tree stays clean), and the process exits non-zero unless the
+/// cached engine beats the naive evaluator — a cheap merge gate against
+/// engine-path regressions.
 fn json_report(smoke: bool) {
     let mut rows = Vec::new();
     let mut star_engine_speedups = Vec::new();
@@ -214,13 +215,17 @@ fn json_report(smoke: bool) {
         }
     }
 
-    let file = if smoke {
-        "BENCH_e11_smoke.json"
-    } else {
-        "BENCH_e11.json"
-    };
     let doc = sac_bench::json_document("e11_engine_vs_naive", &[], &rows);
-    let path = sac_bench::write_workspace_file(file, &doc);
+    let path = if smoke {
+        // Smoke runs are a pass/fail gate; their report is a scratch
+        // artifact and must not dirty the workspace tree.
+        let path = std::env::temp_dir().join("BENCH_e11_smoke.json");
+        std::fs::write(&path, &doc)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        path
+    } else {
+        sac_bench::write_workspace_file("BENCH_e11.json", &doc)
+    };
     print!("{doc}");
     eprintln!("wrote {}", path.display());
 

@@ -1,0 +1,218 @@
+//! E15 — durability costs: WAL append overhead and recovery time.
+//!
+//! Two questions, answered with self-timed medians over the same
+//! reproducible graph workloads as E14:
+//!
+//! 1. **What does the append path pay for durability?**  The same edge
+//!    stream is inserted into a non-durable `Database`, a durable one with
+//!    `SyncMode::Never` (WAL framing + buffered write, no fsync), and a
+//!    durable one with `SyncMode::Always` (the default: fsync before every
+//!    acknowledge).  Reported as appends/sec and per-append overhead.
+//! 2. **What does recovery cost as the log grows?**  A durable database is
+//!    killed with N batches in the WAL tail and reopened; `Database::open`
+//!    wall time (replay + the end-of-open compacting checkpoint) is
+//!    reported per N, plus the post-checkpoint row where the WAL is empty
+//!    and recovery is a snapshot load.
+//!
+//! **Differential gate:** every recovered database is asserted to hold
+//! exactly as many atoms as the never-killed writer, before anything is
+//! reported.  The experiment always writes `BENCH_e15.json` at the
+//! workspace root; `--json` additionally echoes the JSON to stdout.
+
+use sac::prelude::*;
+use sac_bench::{json_document, json_object, write_workspace_file};
+use std::path::PathBuf;
+use std::time::Instant;
+
+const APPEND_EDGES: usize = 600;
+const RECOVERY_BATCH_EDGES: usize = 50;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sac-bench-e15-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One reproducible single-edge append stream.
+fn append_stream() -> Vec<Atom> {
+    let (_, stream) = sac::gen::streaming_graph_workload(120, 200, APPEND_EDGES, 1, 55);
+    stream.into_iter().flatten().collect()
+}
+
+fn append_overhead(rows: &mut Vec<String>) -> f64 {
+    println!(
+        "{:>12} {:>12} {:>14} {:>12} {:>11}",
+        "append path", "appends", "total s", "appends/s", "µs/append"
+    );
+    let mut baseline_secs = 0.0f64;
+    let mut fsync_per_append = 0.0f64;
+    for (label, durable, sync) in [
+        ("none", false, SyncMode::Never),
+        ("wal-nosync", true, SyncMode::Never),
+        ("wal-fsync", true, SyncMode::Always),
+    ] {
+        let stream = append_stream();
+        let dir = scratch_dir(label);
+        let db = if durable {
+            Database::open_with(
+                &dir,
+                DurabilityOptions {
+                    sync_mode: sync,
+                    snapshot_every: 0,
+                },
+            )
+            .expect("create durable database")
+        } else {
+            Database::from_instance(Instance::new())
+        };
+        let start = Instant::now();
+        for atom in &stream {
+            db.insert(atom.clone()).expect("consistent append");
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let per_append_us = secs / stream.len() as f64 * 1e6;
+        if label == "none" {
+            baseline_secs = secs;
+        }
+        if label == "wal-fsync" {
+            fsync_per_append = per_append_us;
+        }
+        let metrics = db.metrics();
+        println!(
+            "{label:>12} {:>12} {secs:>14.4} {:>12.0} {per_append_us:>11.1}",
+            stream.len(),
+            stream.len() as f64 / secs.max(1e-9),
+        );
+        rows.push(json_object(&[
+            ("experiment", "\"append_overhead\"".to_owned()),
+            ("path", format!("\"{label}\"")),
+            ("appends", stream.len().to_string()),
+            ("total_secs", format!("{secs:.6}")),
+            ("per_append_micros", format!("{per_append_us:.2}")),
+            (
+                "overhead_vs_none",
+                format!("{:.2}", secs / baseline_secs.max(1e-9)),
+            ),
+            ("wal_appends", metrics.wal_appends.to_string()),
+            ("wal_bytes", metrics.wal_bytes.to_string()),
+        ]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    fsync_per_append
+}
+
+fn recovery_time(rows: &mut Vec<String>) -> f64 {
+    println!(
+        "\n{:>16} {:>9} {:>9} {:>12} {:>10}",
+        "wal tail", "batches", "atoms", "recover s", "replayed"
+    );
+    let mut longest_recover = 0.0f64;
+    for batches in [8usize, 32, 128] {
+        let dir = scratch_dir(&format!("recover-{batches}"));
+        let (base, stream) =
+            sac::gen::streaming_graph_workload(200, 800, batches, RECOVERY_BATCH_EDGES, 91);
+        let expected = {
+            let db = Database::open_with(
+                &dir,
+                DurabilityOptions {
+                    sync_mode: SyncMode::Never,
+                    snapshot_every: 0,
+                },
+            )
+            .expect("create durable database");
+            db.extend_from(&base).expect("load base");
+            db.checkpoint().expect("baseline snapshot");
+            for batch in &stream {
+                let mut delta = Instance::new();
+                for atom in batch {
+                    let _ = delta.insert(atom.clone());
+                }
+                // One extend_from = one WAL frame, so `batches` frames sit
+                // in the tail when the process "dies".
+                db.extend_from(&delta).expect("durable append");
+            }
+            db.len()
+        };
+
+        let start = Instant::now();
+        let db = Database::open(&dir).expect("recover");
+        let secs = start.elapsed().as_secs_f64();
+        longest_recover = longest_recover.max(secs);
+        let report = db.recovery_report().expect("opened from disk").clone();
+        // The differential gate: recovery restored every acknowledged atom.
+        assert_eq!(db.len(), expected, "recovery lost or invented atoms");
+        println!(
+            "{:>16} {batches:>9} {:>9} {secs:>12.4} {:>10}",
+            format!("{} frames", report.replayed_batches),
+            db.len(),
+            report.replayed_batches,
+        );
+        rows.push(json_object(&[
+            ("experiment", "\"recovery_time\"".to_owned()),
+            ("wal_batches", batches.to_string()),
+            ("batch_edges", RECOVERY_BATCH_EDGES.to_string()),
+            ("atoms", db.len().to_string()),
+            ("replayed_batches", report.replayed_batches.to_string()),
+            ("replayed_rows", report.replayed_rows.to_string()),
+            ("snapshot_atoms", report.snapshot_atoms.to_string()),
+            ("recover_secs", format!("{secs:.6}")),
+        ]));
+
+        // The post-checkpoint contrast: the reopen above already compacted
+        // the WAL, so a second reopen replays nothing.
+        drop(db);
+        let start = Instant::now();
+        let db = Database::open(&dir).expect("recover from snapshot");
+        let secs = start.elapsed().as_secs_f64();
+        let report = db.recovery_report().expect("opened from disk").clone();
+        assert_eq!(db.len(), expected, "snapshot-only recovery drifted");
+        assert_eq!(report.replayed_batches, 0, "reopen left WAL frames behind");
+        println!(
+            "{:>16} {batches:>9} {:>9} {secs:>12.4} {:>10}",
+            "post-checkpoint",
+            db.len(),
+            report.replayed_batches,
+        );
+        rows.push(json_object(&[
+            ("experiment", "\"recovery_time\"".to_owned()),
+            ("wal_batches", "0".to_owned()),
+            ("batch_edges", RECOVERY_BATCH_EDGES.to_string()),
+            ("atoms", db.len().to_string()),
+            ("replayed_batches", "0".to_owned()),
+            ("replayed_rows", "0".to_owned()),
+            ("snapshot_atoms", report.snapshot_atoms.to_string()),
+            ("recover_secs", format!("{secs:.6}")),
+        ]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    longest_recover
+}
+
+fn main() {
+    println!("e15 — durability: WAL append overhead and recovery time\n");
+    let mut rows = Vec::new();
+    let fsync_us = append_overhead(&mut rows);
+    let longest = recovery_time(&mut rows);
+    let doc = json_document(
+        "e15_persistence",
+        &[
+            ("append_edges", APPEND_EDGES.to_string()),
+            ("fsync_per_append_micros", format!("{fsync_us:.2}")),
+            ("longest_recover_secs", format!("{longest:.6}")),
+            (
+                "gate",
+                "\"every recovered database asserted atom-identical to the writer\"".to_owned(),
+            ),
+        ],
+        &rows,
+    );
+    let path = write_workspace_file("BENCH_e15.json", &doc);
+    println!(
+        "\nheadline: fsync'd append {fsync_us:.0} µs; longest recovery {longest:.3} s \
+         (128-frame WAL tail)"
+    );
+    println!("wrote {}", path.display());
+    if sac_bench::json_flag() {
+        print!("{doc}");
+    }
+}

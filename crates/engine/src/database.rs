@@ -33,6 +33,9 @@
 //! data change (see [`crate::view`]), so freshness is atomic with
 //! visibility.
 
+use crate::durability::{
+    self, CheckpointReport, DurabilityCore, DurabilityOptions, DurableState, RecoveryReport,
+};
 use crate::error::{SacError, SacResult};
 use crate::exec;
 use crate::index::{IndexCache, PlanShards};
@@ -48,6 +51,7 @@ use sac_storage::{Instance, InstanceStats};
 use sac_telemetry::{bus, Event, Histogram, HistogramSnapshot, Phase, Probe, QueryTrace};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::time::Instant;
@@ -150,6 +154,17 @@ pub struct EngineMetrics {
     /// Appended rows consumed by incremental view refreshes — the total
     /// "Δ" that maintenance was proportional to instead of the database.
     pub view_delta_rows: usize,
+    /// WAL records appended (durable databases only; see
+    /// [`Database::open`]).
+    pub wal_appends: usize,
+    /// Framed WAL bytes written (headers included).
+    pub wal_bytes: usize,
+    /// Compacted snapshots written ([`Database::checkpoint`] calls plus
+    /// automatic checkpoints).
+    pub snapshots_written: usize,
+    /// WAL records replayed during this database's recovery (0 on a fresh
+    /// or non-durable database).
+    pub recovery_replayed_batches: usize,
     /// Latency distribution of query runs (every [`Database::run`] /
     /// [`PreparedQuery::execute`] / batch-worker execution), excluding
     /// planning: `p50()` / `p90()` / `p99()` answer in nanoseconds.
@@ -217,6 +232,17 @@ impl fmt::Display for EngineMetrics {
             self.view_refreshes_full,
             self.view_delta_rows,
         )?;
+        if self.wal_appends > 0 || self.snapshots_written > 0 || self.recovery_replayed_batches > 0
+        {
+            write!(
+                f,
+                "; durability: {} WAL appends ({} bytes), {} snapshots, {} batches replayed",
+                self.wal_appends,
+                self.wal_bytes,
+                self.snapshots_written,
+                self.recovery_replayed_batches,
+            )?;
+        }
         if !self.run_latency.is_empty() {
             write!(f, "; run latency: {}", self.run_latency)?;
         }
@@ -245,6 +271,10 @@ struct MetricCounters {
     view_refreshes_incremental: AtomicUsize,
     view_refreshes_full: AtomicUsize,
     view_delta_rows: AtomicUsize,
+    wal_appends: AtomicUsize,
+    wal_bytes: AtomicUsize,
+    snapshots_written: AtomicUsize,
+    recovery_replayed_batches: AtomicUsize,
 }
 
 impl MetricCounters {
@@ -274,6 +304,10 @@ impl MetricCounters {
             view_refreshes_incremental: self.view_refreshes_incremental.load(Ordering::Relaxed),
             view_refreshes_full: self.view_refreshes_full.load(Ordering::Relaxed),
             view_delta_rows: self.view_delta_rows.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
+            snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
+            recovery_replayed_batches: self.recovery_replayed_batches.load(Ordering::Relaxed),
             // Filled in by `Database::metrics` from the live histograms.
             run_latency: HistogramSnapshot::default(),
             prepare_latency: HistogramSnapshot::default(),
@@ -294,6 +328,10 @@ impl MetricCounters {
         self.view_refreshes_incremental.store(0, Ordering::Relaxed);
         self.view_refreshes_full.store(0, Ordering::Relaxed);
         self.view_delta_rows.store(0, Ordering::Relaxed);
+        self.wal_appends.store(0, Ordering::Relaxed);
+        self.wal_bytes.store(0, Ordering::Relaxed);
+        self.snapshots_written.store(0, Ordering::Relaxed);
+        self.recovery_replayed_batches.store(0, Ordering::Relaxed);
     }
 }
 
@@ -388,6 +426,15 @@ pub struct Database {
     /// [`MaterializedView`] handle unregisters its view (dead entries are
     /// pruned on the next registration or growth).
     views: RwLock<Vec<Weak<ViewCore>>>,
+    /// Strong pins for views recovered from disk: the weak registry alone
+    /// would unregister them the moment the recovery-time handle dropped.
+    /// [`Database::durable_views`] hands out fresh handles over these.
+    pinned_views: Mutex<Vec<Arc<ViewCore>>>,
+    /// The persistence engine; `None` on non-durable databases (including
+    /// every database the legacy [`crate::Engine`] shim creates).
+    durability: Option<DurabilityCore>,
+    /// What recovery found, for databases created by [`Database::open`].
+    recovery: Option<RecoveryReport>,
     metrics: MetricCounters,
     latency: LatencyRecorders,
 }
@@ -415,6 +462,9 @@ impl Database {
             plans: RwLock::new(HashMap::new()),
             indexes,
             views: RwLock::new(Vec::new()),
+            pinned_views: Mutex::new(Vec::new()),
+            durability: None,
+            recovery: None,
             metrics: MetricCounters::default(),
             latency: LatencyRecorders::default(),
         }
@@ -480,9 +530,17 @@ impl Database {
         // `plan_arc` (which publishes under the tgds read guard): no plan
         // compiled under the old constraints can slip into the cache after
         // this clear.
-        let mut guard = self.write_tgds();
-        *guard = tgds;
-        self.write_plans().clear();
+        {
+            let mut guard = self.write_tgds();
+            *guard = tgds.clone();
+            self.write_plans().clear();
+        }
+        if let Some(core) = &self.durability {
+            // Checkpoints read this cached structural copy instead of the
+            // tgds lock (which sits *before* the instance guard in the lock
+            // order; see `crate::durability`).
+            *core.lock_tgds_repr() = tgds.iter().map(durability::tgd_repr).collect();
+        }
     }
 
     /// The constraints the planner reformulates under.
@@ -551,8 +609,23 @@ impl Database {
     /// plans survive — a plan's strategy choice never depends on the data,
     /// only its fallback atom order does, and a stale order is a performance
     /// matter, not a correctness one.
+    ///
+    /// On a durable database ([`Database::open`]) a new atom is appended to
+    /// the write-ahead log before the instance write guard is released, so
+    /// durability is atomic with visibility; see [`crate::durability`].
     pub fn insert(&self, atom: Atom) -> SacResult<bool> {
-        Ok(self.insert_common(atom)?)
+        if self.durability.is_none() {
+            return Ok(self.insert_common(atom)?);
+        }
+        let mut instance = self.write_instance();
+        let cursor = instance.delta_cursor();
+        let added = instance.insert(atom)?;
+        if added {
+            self.lock_indexes().note_growth(&instance);
+            self.refresh_auto_views(&instance);
+            self.persist_growth(&instance, &cursor)?;
+        }
+        Ok(added)
     }
 
     /// [`Database::insert`] with the workspace-internal error type, for the
@@ -579,8 +652,38 @@ impl Database {
     /// atom.  On error (e.g. an arity clash part-way through) the
     /// already-inserted prefix **remains** — there is no rollback; the index
     /// cache is resynchronized before the error is returned.
+    ///
+    /// On a durable database the whole batch lands as **one** WAL record,
+    /// appended under the same write guard — so one fsync (and one replay
+    /// step) covers the entire load.
     pub fn extend_from(&self, other: &Instance) -> SacResult<usize> {
-        Ok(self.extend_from_common(other)?)
+        if self.durability.is_none() {
+            return Ok(self.extend_from_common(other)?);
+        }
+        let mut instance = self.write_instance();
+        let cursor = instance.delta_cursor();
+        let mut added = 0;
+        for atom in other.atoms() {
+            match instance.insert(atom) {
+                Ok(true) => added += 1,
+                Ok(false) => {}
+                Err(e) => {
+                    // Partial batch: catch the caches up AND persist the
+                    // applied prefix — it is visible, so it must survive a
+                    // crash like any other visible state.
+                    self.lock_indexes().note_growth(&instance);
+                    self.refresh_auto_views(&instance);
+                    self.persist_growth(&instance, &cursor)?;
+                    return Err(e.into());
+                }
+            }
+        }
+        if added > 0 {
+            self.lock_indexes().note_growth(&instance);
+            self.refresh_auto_views(&instance);
+            self.persist_growth(&instance, &cursor)?;
+        }
+        Ok(added)
     }
 
     /// [`Database::extend_from`] with the workspace-internal error type, for
@@ -899,6 +1002,11 @@ impl Database {
             query: core.query.to_string(),
             strategy: core.plan.strategy().as_str().to_owned(),
         });
+        if self.durability.is_some() {
+            // View definitions live in snapshots, not the fact WAL; a
+            // checkpoint here makes the registration itself durable.
+            self.checkpoint()?;
+        }
         Ok(MaterializedView::new(self, core))
     }
 
@@ -1235,6 +1343,248 @@ impl Database {
     /// Number of plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.read_plans().len()
+    }
+
+    // ------------------------------------------------------------------
+    // Durable persistence (see `crate::durability` for the model).
+    // ------------------------------------------------------------------
+
+    /// Opens (or creates) a durable database in directory `path` with
+    /// default [`DurabilityOptions`]: every append fsynced, automatic
+    /// snapshots.
+    ///
+    /// Recovery loads the newest valid snapshot, replays the WAL tail
+    /// (truncating a torn final record), re-registers and refreshes every
+    /// persisted materialized view, warms the plan cache from the persisted
+    /// query fingerprints, and checkpoints the rebuilt state so this
+    /// process's dictionary codes become the on-disk baseline.  The
+    /// constraint set is restored before any plan is warmed.
+    pub fn open(path: impl AsRef<Path>) -> SacResult<Database> {
+        Database::open_with(path, DurabilityOptions::default())
+    }
+
+    /// [`Database::open`] with explicit durability options.
+    pub fn open_with(path: impl AsRef<Path>, options: DurabilityOptions) -> SacResult<Database> {
+        let started = Instant::now();
+        let dir = path.as_ref().to_path_buf();
+        let disk = durability::load_disk_state(&dir, options)?;
+        let mut report = disk.report;
+
+        let mut db = Database::from_instance(disk.instance);
+        let tgds = disk
+            .tgds
+            .iter()
+            .map(durability::tgd_from_repr)
+            .collect::<SacResult<Vec<_>>>()?;
+        db.durability = Some(DurabilityCore {
+            dir,
+            options,
+            state: Mutex::new(DurableState {
+                wal: disk.wal,
+                next_seq: disk.last_seq + 1,
+                // 0 until the checkpoint below re-baselines: the persisted
+                // dictionary codes belong to the dead process, not this one.
+                dict_mark: 0,
+                since_snapshot: 0,
+            }),
+            tgds_repr: Mutex::new(disk.tgds.clone()),
+        });
+        db.set_tgds(tgds);
+        db.metrics
+            .recovery_replayed_batches
+            .fetch_add(report.replayed_batches, Ordering::Relaxed);
+
+        // Re-register the persisted views (initial refresh included) and
+        // pin them: the recovery-time handles drop right here, and the weak
+        // registry alone would unregister the views with them.
+        for view in &disk.views {
+            let query = durability::query_from_repr(&view.query)?;
+            let options = ViewOptions {
+                auto_refresh: view.auto_refresh,
+                max_incremental_fraction: view.max_incremental_fraction,
+            };
+            let handle = db.materialize_with(query, options)?;
+            let core = handle.core_arc();
+            drop(handle);
+            db.pinned_views
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(core);
+            report.views += 1;
+        }
+
+        // Warm the plan cache from the persisted fingerprints.  A repr the
+        // current validation rejects (e.g. written by a newer build) is
+        // skipped, not fatal: the cache is an optimization.
+        for repr in &disk.plans {
+            if let Ok(query) = durability::query_from_repr(repr) {
+                db.plan_arc(&query);
+                report.plans += 1;
+            }
+        }
+
+        // Checkpoint the rebuilt state: the WAL is compacted away and the
+        // dictionary watermark re-baselines to this process's codes.
+        db.checkpoint()?;
+
+        report.micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        bus::emit(|| Event::RecoveryCompleted {
+            replayed_batches: report.replayed_batches,
+            replayed_rows: report.replayed_rows,
+            views: report.views,
+            plans: report.plans,
+            micros: report.micros,
+        });
+        db.recovery = Some(report);
+        Ok(db)
+    }
+
+    /// Whether this database persists its mutations (created by
+    /// [`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durability options this database was opened with, if durable.
+    pub fn durability_options(&self) -> Option<DurabilityOptions> {
+        self.durability.as_ref().map(|core| core.options)
+    }
+
+    /// What recovery found and did, for databases created by
+    /// [`Database::open`]; `None` on non-durable databases.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Fresh handles over the materialized views recovered from disk, in
+    /// their persisted registration order.  Empty on non-durable databases
+    /// and on durable ones that had no views.
+    pub fn durable_views(&self) -> Vec<MaterializedView<'_>> {
+        self.pinned_views
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|core| MaterializedView::new(self, Arc::clone(core)))
+            .collect()
+    }
+
+    /// Writes a compacted snapshot covering every append so far and
+    /// truncates the WAL it covers.  Errors on a non-durable database.
+    pub fn checkpoint(&self) -> SacResult<CheckpointReport> {
+        let core = self
+            .durability
+            .as_ref()
+            .ok_or_else(|| SacError::Persistence {
+                message: "checkpoint on a non-durable database (use Database::open)".to_owned(),
+            })?;
+        // Same lock order as the append path: instance guard, then the
+        // durability state.  A read guard suffices — appends (which hold
+        // the write guard) serialize against us on the state mutex.
+        let instance = self.read_instance();
+        let mut state = core.lock_state();
+        self.checkpoint_locked(core, &instance, &mut state)
+    }
+
+    /// Forces every WAL byte written so far to disk, regardless of the
+    /// sync mode — the graceful-shutdown companion of
+    /// [`SyncMode::Never`](sac_wal::SyncMode::Never).  No-op answer on a
+    /// non-durable database.
+    pub fn sync_wal(&self) -> SacResult<()> {
+        if let Some(core) = &self.durability {
+            core.lock_state().wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// The append-path durability hook: called by [`Database::insert`] /
+    /// [`Database::extend_from`] **under the instance write guard** with
+    /// the pre-mutation cursor; appends one WAL record covering exactly
+    /// the growth, then checkpoints if the auto-snapshot threshold is hit.
+    fn persist_growth(
+        &self,
+        instance: &Instance,
+        cursor: &sac_storage::DeltaCursor,
+    ) -> SacResult<()> {
+        let core = self
+            .durability
+            .as_ref()
+            .expect("persist_growth on a non-durable database");
+        let mut state = core.lock_state();
+        let seq = state.next_seq;
+        let Some((batch, dict_len)) =
+            durability::delta_batch(instance, cursor, seq, state.dict_mark)
+        else {
+            return Ok(());
+        };
+        let bytes = state.wal.append(&batch)?;
+        state.next_seq += 1;
+        state.dict_mark = dict_len;
+        state.since_snapshot += 1;
+        self.metrics.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.metrics.wal_bytes.fetch_add(
+            usize::try_from(bytes).unwrap_or(usize::MAX),
+            Ordering::Relaxed,
+        );
+        bus::emit(|| Event::WalAppended {
+            seq,
+            bytes,
+            rows: batch.rows(),
+        });
+        if core.options.snapshot_every > 0 && state.since_snapshot >= core.options.snapshot_every {
+            self.checkpoint_locked(core, instance, &mut state)?;
+        }
+        Ok(())
+    }
+
+    /// The checkpoint workhorse; the caller holds an instance guard (read
+    /// or write) and the durability state lock.
+    fn checkpoint_locked(
+        &self,
+        core: &DurabilityCore,
+        instance: &Instance,
+        state: &mut DurableState,
+    ) -> SacResult<CheckpointReport> {
+        let started = Instant::now();
+        let tgds = core.lock_tgds_repr().clone();
+        // Live views (upgradable weaks), in registration order.  `views`
+        // comes after `instance` in the lock order, so this is safe from
+        // both checkpoint entry points.
+        let views: Vec<_> = self
+            .read_views()
+            .iter()
+            .filter_map(|weak| weak.upgrade())
+            .map(|view| durability::view_repr(&view.query, view.options))
+            .collect();
+        // The plan cache is last and released before any I/O.
+        let plans: Vec<_> = self
+            .read_plans()
+            .keys()
+            .map(|(head, body)| durability::query_repr(None, head, body))
+            .collect();
+        let last_seq = state.next_seq.saturating_sub(1);
+        let (snapshot, dict_len) = durability::snapshot_of(instance, last_seq, tgds, views, plans);
+        let atoms = snapshot.atoms();
+        let (path, bytes) = durability::persist_snapshot(&core.dir, &snapshot)?;
+        state.wal.reset()?;
+        state.dict_mark = dict_len;
+        state.since_snapshot = 0;
+        self.metrics
+            .snapshots_written
+            .fetch_add(1, Ordering::Relaxed);
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        bus::emit(|| Event::SnapshotWritten {
+            seq: last_seq,
+            bytes,
+            atoms,
+            micros,
+        });
+        Ok(CheckpointReport {
+            seq: last_seq,
+            path,
+            bytes,
+            atoms,
+            micros,
+        })
     }
 
     /// Exclusive access to the instance, for single-owner callers (the
@@ -1814,5 +2164,169 @@ mod tests {
             db.metrics().view_refresh_latency.count >= 2,
             "initial + incremental refresh recorded"
         );
+    }
+
+    /// A fresh per-test durability directory under the system temp dir.
+    fn durability_dir(tag: &str) -> std::path::PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("sac_db_{tag}_{}_{n}", std::process::id()))
+    }
+
+    #[test]
+    fn durable_databases_survive_reopen() {
+        let dir = durability_dir("reopen");
+        let expected = {
+            let db = Database::open(&dir).unwrap();
+            assert!(db.is_durable());
+            db.load_facts("E(a, b). E(b, c). E(c, d).").unwrap();
+            db.insert(atom!("E", cst "d", cst "e")).unwrap();
+            let m = db.metrics();
+            assert!(m.wal_appends >= 2, "both mutations hit the WAL: {m:?}");
+            assert!(m.wal_bytes > 0);
+            db.query("q(X, Z) :- E(X, Y), E(Y, Z).")
+                .unwrap()
+                .into_tuples()
+        };
+        let db = Database::open(&dir).unwrap();
+        let report = db.recovery_report().unwrap().clone();
+        assert!(
+            report.replayed_batches >= 2,
+            "the un-checkpointed appends replay: {report:?}"
+        );
+        assert_eq!(
+            db.query("q(X, Z) :- E(X, Y), E(Y, Z).")
+                .unwrap()
+                .into_tuples(),
+            expected
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoints_compact_the_wal() {
+        let dir = durability_dir("checkpoint");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.load_facts("E(a, b). E(b, c).").unwrap();
+            let report = db.checkpoint().unwrap();
+            assert_eq!(report.atoms, 2);
+            assert!(db.metrics().snapshots_written >= 1);
+        }
+        let db = Database::open(&dir).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert_eq!(report.replayed_batches, 0, "the WAL was compacted away");
+        assert_eq!(report.snapshot_atoms, 2);
+        assert_eq!(db.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn automatic_snapshots_fire_on_the_append_threshold() {
+        let dir = durability_dir("auto_snap");
+        let db = Database::open_with(
+            &dir,
+            crate::DurabilityOptions {
+                sync_mode: crate::SyncMode::Never,
+                snapshot_every: 2,
+            },
+        )
+        .unwrap();
+        let before = db.metrics().snapshots_written;
+        db.load_facts("E(a, b).").unwrap();
+        db.load_facts("E(b, c).").unwrap();
+        assert!(
+            db.metrics().snapshots_written > before,
+            "two appends cross the snapshot_every = 2 threshold"
+        );
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_views_and_tgds_are_restored() {
+        let dir = durability_dir("views");
+        let expected = {
+            let db = Database::open(&dir).unwrap();
+            db.set_tgds(vec![sac_gen::collector_tgd()]);
+            let view = db.materialize("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+            db.load_facts("E(a, b). E(b, c). E(c, d).").unwrap();
+            view.snapshot().into_tuples()
+        };
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.tgds(), vec![sac_gen::collector_tgd()]);
+        assert_eq!(db.recovery_report().unwrap().views, 1);
+        let views = db.durable_views();
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].snapshot().into_tuples(), expected);
+        // The recovered view is live: it tracks new appends.
+        db.load_facts("E(d, e).").unwrap();
+        views[0].refresh();
+        assert!(views[0].snapshot().into_tuples().len() > expected.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_warms_the_plan_cache() {
+        let dir = durability_dir("plans");
+        {
+            let db = Database::open(&dir).unwrap();
+            db.load_facts("E(a, b). E(b, c).").unwrap();
+            db.query("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+            assert_eq!(db.cached_plans(), 1);
+            // Plan fingerprints live in snapshots, not the fact WAL.
+            db.checkpoint().unwrap();
+        }
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(db.recovery_report().unwrap().plans, 1);
+        assert_eq!(db.cached_plans(), 1);
+        let before = db.metrics().plans_built;
+        db.query("q(X, Z) :- E(X, Y), E(Y, Z).").unwrap();
+        assert_eq!(
+            db.metrics().plans_built,
+            before,
+            "the warmed plan serves the repeat query without compiling"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tails_recover_the_acknowledged_prefix() {
+        let dir = durability_dir("torn");
+        {
+            let db = Database::open_with(
+                &dir,
+                crate::DurabilityOptions {
+                    sync_mode: crate::SyncMode::Always,
+                    snapshot_every: 0,
+                },
+            )
+            .unwrap();
+            db.load_facts("E(a, b).").unwrap();
+            db.load_facts("E(b, c).").unwrap();
+        }
+        // Tear the final record, as a crash mid-append would.
+        let wal = dir.join("wal.sacwal");
+        let bytes = std::fs::read(&wal).unwrap();
+        std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+
+        let db = Database::open(&dir).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert!(report.truncated_bytes > 0, "the torn record was dropped");
+        assert!(db.contains(&atom!("E", cst "a", cst "b")));
+        assert!(
+            !db.contains(&atom!("E", cst "b", cst "c")),
+            "the torn (never-acknowledged) batch is gone"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_on_a_non_durable_database_is_an_error() {
+        let db = Database::new();
+        assert!(!db.is_durable());
+        assert!(db.recovery_report().is_none());
+        assert!(db.durable_views().is_empty());
+        assert!(matches!(db.checkpoint(), Err(SacError::Persistence { .. })));
     }
 }

@@ -63,6 +63,13 @@ pub enum SacError {
         /// The unsupported feature or class.
         message: String,
     },
+    /// The durability layer failed: a WAL or snapshot I/O error, or
+    /// corruption in the on-disk state that the torn-tail repair rule
+    /// cannot absorb (see [`crate::durability`]).
+    Persistence {
+        /// What failed, with the underlying cause folded in.
+        message: String,
+    },
 }
 
 impl fmt::Display for SacError {
@@ -89,6 +96,7 @@ impl fmt::Display for SacError {
             SacError::ChaseFailure { message } => write!(f, "chase failure: {message}"),
             SacError::BudgetExhausted { message } => write!(f, "budget exhausted: {message}"),
             SacError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            SacError::Persistence { message } => write!(f, "persistence failure: {message}"),
         }
     }
 }

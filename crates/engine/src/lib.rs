@@ -137,6 +137,7 @@
 //! [`Database`]; see [`engine`] for the migration table.
 
 pub mod database;
+pub mod durability;
 pub mod engine;
 mod error;
 mod exec;
@@ -153,6 +154,7 @@ pub use sac_telemetry as telemetry;
 pub use database::{
     Database, EngineConfig, EngineMetrics, ExecOptions, PreparedQuery, QuerySource,
 };
+pub use durability::{CheckpointReport, DurabilityOptions, RecoveryReport, SyncMode};
 #[allow(deprecated)]
 pub use engine::Engine;
 pub use error::{SacError, SacResult};

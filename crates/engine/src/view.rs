@@ -228,6 +228,13 @@ impl<'db> MaterializedView<'db> {
         MaterializedView { database, core }
     }
 
+    /// The shared maintained state, for callers that must keep the view
+    /// alive beyond this handle (the durability layer pins recovered views
+    /// so they are not unregistered when the recovery-time handle drops).
+    pub(crate) fn core_arc(&self) -> Arc<ViewCore> {
+        Arc::clone(&self.core)
+    }
+
     /// The current materialized answers, as a typed [`ResultSet`].  No
     /// recomputation happens: this is a read of the maintained state (call
     /// [`MaterializedView::refresh`] first if the view may be stale and

@@ -99,12 +99,14 @@ pub use sac_query as query;
 pub use sac_rewrite as rewrite;
 pub use sac_storage as storage;
 pub use sac_telemetry as telemetry;
+pub use sac_wal as wal;
 
 // The service façade, promoted to the crate root: `sac::Database` is the
 // front door for evaluation workloads.
 pub use sac_engine::{
-    Database, EngineConfig, EngineMetrics, ExecOptions, MaterializedView, PreparedQuery,
-    QuerySource, RefreshMode, ResultSet, Row, SacError, SacResult, ViewOptions, ViewRefresh,
+    CheckpointReport, Database, DurabilityOptions, EngineConfig, EngineMetrics, ExecOptions,
+    MaterializedView, PreparedQuery, QuerySource, RecoveryReport, RefreshMode, ResultSet, Row,
+    SacError, SacResult, SyncMode, ViewOptions, ViewRefresh,
 };
 
 /// The most commonly used items, importable with `use sac::prelude::*`.
@@ -136,9 +138,10 @@ pub mod prelude {
     pub use sac_engine::Engine;
     pub use sac_engine::Strategy as PlanStrategy;
     pub use sac_engine::{
-        Database, EngineConfig, EngineMetrics, ExecOptions, Explain, IndexCache, JoinIndex,
-        MaterializedView, Plan, PreparedQuery, QuerySource, RefreshMode, ResultSet, Row, SacError,
-        SacResult, ShardSet, ViewOptions, ViewRefresh,
+        CheckpointReport, Database, DurabilityOptions, EngineConfig, EngineMetrics, ExecOptions,
+        Explain, IndexCache, JoinIndex, MaterializedView, Plan, PreparedQuery, QuerySource,
+        RecoveryReport, RefreshMode, ResultSet, Row, SacError, SacResult, ShardSet, SyncMode,
+        ViewOptions, ViewRefresh,
     };
     pub use sac_parser::{parse_database, parse_egd, parse_program, parse_query, parse_tgd};
     pub use sac_query::{

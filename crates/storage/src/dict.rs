@@ -130,6 +130,20 @@ pub fn decoder() -> Decoder {
     }
 }
 
+/// The terms behind the code range `start..end`, in code order — the
+/// export the `sac-wal` persistence layer uses to ship dictionary deltas
+/// alongside encoded rows (codes are process-local; a WAL record or
+/// snapshot must carry the `(code, term)` assignments it references).
+///
+/// `end` is clamped to the dictionary's current length, so callers can
+/// pass a watermark pair without racing later encodes.
+pub fn terms_range(start: u32, end: u32) -> Vec<Term> {
+    let guard = global().read().expect("term dictionary poisoned");
+    let end = (end as usize).min(guard.terms.len());
+    let start = (start as usize).min(end);
+    guard.terms[start..end].to_vec()
+}
+
 /// Number of distinct terms ever encoded, process-wide.
 pub fn len() -> usize {
     global()
@@ -214,5 +228,22 @@ mod tests {
         encode(Term::constant("dict_sizing"));
         assert!(len() > 0);
         assert!(heap_bytes() > 0);
+    }
+
+    #[test]
+    fn terms_range_exports_in_code_order() {
+        let a = encode(Term::constant("dict_range_a"));
+        let b = encode(Term::constant("dict_range_b"));
+        // Codes are dense but other tests encode concurrently; read back
+        // exactly the two codes we were handed.
+        let exported = terms_range(a, a + 1);
+        assert_eq!(exported, vec![decode(a)]);
+        // Other tests encode concurrently, so only lower-bound the size.
+        let all = terms_range(0, u32::MAX);
+        assert!(all.len() > b as usize);
+        assert_eq!(all[a as usize], decode(a));
+        assert_eq!(all[b as usize], decode(b));
+        // Clamping: inverted and out-of-range bounds yield empty, not panic.
+        assert!(terms_range(u32::MAX - 1, u32::MAX).is_empty());
     }
 }

@@ -171,6 +171,8 @@ impl Instance {
                 .map(|r| r.arity())
                 .max()
                 .unwrap_or(0),
+            dict_len: crate::dict::len(),
+            dict_bytes: crate::dict::heap_bytes(),
             relations: self
                 .order
                 .iter()
@@ -533,6 +535,89 @@ mod tests {
         // Advancing the cursor drains the delta.
         let cursor = inst.delta_cursor();
         assert!(inst.delta_since(&cursor).is_empty());
+    }
+
+    #[test]
+    fn cursor_on_an_empty_instance_sees_all_later_growth() {
+        // The WAL recovery path takes its first cursor before any insert —
+        // an empty instance must hand out a cursor that later reports the
+        // entire contents as delta.
+        let mut inst = Instance::new();
+        let cursor = inst.delta_cursor();
+        assert_eq!(cursor.epoch(), 0);
+        assert!(inst.delta_since(&cursor).is_empty());
+
+        assert!(inst.insert(atom!("R", cst "a", cst "b")).unwrap());
+        assert!(inst.insert(atom!("S", cst "a")).unwrap());
+        let deltas = inst.delta_since(&cursor);
+        assert_eq!(deltas.len(), 2);
+        let total: usize = deltas.iter().map(|d| d.len()).sum();
+        assert_eq!(
+            total,
+            inst.len(),
+            "everything after an empty cursor is delta"
+        );
+        for delta in &deltas {
+            assert_eq!(delta.from_row, 0);
+        }
+    }
+
+    #[test]
+    fn cursor_spans_relations_created_after_it() {
+        // A WAL append batch may introduce a brand-new predicate; the
+        // durability hook's pre-insert cursor must report the new
+        // relation's full contents, watermark 0, even across repeated
+        // growth of that relation.
+        let mut inst = sample();
+        let cursor = inst.delta_cursor();
+        assert_eq!(
+            cursor.rows_covered(intern("Later")),
+            0,
+            "never-seen predicate"
+        );
+
+        assert!(inst.insert(atom!("Later", cst "x")).unwrap());
+        assert!(inst.insert(atom!("Later", cst "y")).unwrap());
+        let deltas = inst.delta_since(&cursor);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!((deltas[0].from_row, deltas[0].len()), (0, 2));
+
+        // A fresh cursor taken *between* the new relation's rows covers
+        // only the prefix it saw.
+        let mid = inst.delta_cursor();
+        assert_eq!(mid.rows_covered(intern("Later")), 2);
+        assert!(inst.insert(atom!("Later", cst "z")).unwrap());
+        let deltas = inst.delta_since(&mid);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!((deltas[0].from_row, deltas[0].len()), (2, 1));
+    }
+
+    #[test]
+    fn delta_since_spans_checkpoint_style_boundaries() {
+        // Recovery interleaves checkpoints with appends: a cursor taken
+        // before a snapshot boundary keeps describing growth correctly
+        // after it, because relations are append-only and a checkpoint
+        // reads — never rewrites — the instance.
+        let mut inst = sample();
+        let before = inst.delta_cursor();
+        assert!(inst.insert(atom!("R", cst "c", cst "d")).unwrap());
+
+        // "Checkpoint": a full read pass over the instance (what snapshot
+        // dumping does), which must not disturb the growth history.
+        let dumped: Vec<_> = inst.atoms().collect();
+        assert_eq!(dumped.len(), inst.len());
+
+        assert!(inst.insert(atom!("R", cst "d", cst "e")).unwrap());
+        let deltas = inst.delta_since(&before);
+        assert_eq!(deltas.len(), 1);
+        let r = &deltas[0];
+        assert_eq!((r.from_row, r.len()), (2, 2), "both sides of the boundary");
+        // A cursor taken at the boundary sees only the post-boundary row.
+        let at_boundary_rows = r.relation.rows_from(3).collect::<Vec<_>>();
+        assert_eq!(
+            at_boundary_rows,
+            vec![vec![Term::constant("d"), Term::constant("e")]]
+        );
     }
 
     #[test]

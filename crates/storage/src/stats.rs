@@ -75,6 +75,12 @@ pub struct InstanceStats {
     pub nulls: usize,
     /// Maximum predicate arity.
     pub max_arity: usize,
+    /// Distinct terms in the **process-wide** term dictionary (shared by
+    /// every instance, so this is a process number, not an instance one;
+    /// recovery debugging watches it to see dictionary growth).
+    pub dict_len: usize,
+    /// Estimated heap bytes of the process-wide term dictionary.
+    pub dict_bytes: usize,
     /// Per-relation breakdown (in first-insertion predicate order).
     pub relations: Vec<RelationStats>,
 }
@@ -97,8 +103,14 @@ impl fmt::Display for InstanceStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} atoms over {} predicates (domain {}, nulls {}, max arity {})",
-            self.atoms, self.predicates, self.domain_size, self.nulls, self.max_arity
+            "{} atoms over {} predicates (domain {}, nulls {}, max arity {}); dict {} terms / {} bytes",
+            self.atoms,
+            self.predicates,
+            self.domain_size,
+            self.nulls,
+            self.max_arity,
+            self.dict_len,
+            self.dict_bytes
         )
     }
 }
@@ -115,6 +127,8 @@ mod tests {
             domain_size: 7,
             nulls: 2,
             max_arity: 4,
+            dict_len: 123,
+            dict_bytes: 4096,
             relations: vec![RelationStats {
                 predicate: intern("R"),
                 arity: 2,
@@ -127,7 +141,7 @@ mod tests {
     #[test]
     fn display_mentions_all_fields() {
         let out = format!("{}", sample());
-        for needle in ["10", "3", "7", "2", "4"] {
+        for needle in ["10", "3", "7", "2", "4", "123 terms", "4096 bytes"] {
             assert!(out.contains(needle), "missing {needle} in {out}");
         }
     }

@@ -80,6 +80,39 @@ pub enum Event {
         /// Refresh wall time in microseconds.
         micros: u64,
     },
+    /// A durable database appended one fact batch to its write-ahead log.
+    WalAppended {
+        /// The batch's WAL sequence number.
+        seq: u64,
+        /// Framed bytes written (header + body).
+        bytes: u64,
+        /// Fact rows the batch carries.
+        rows: usize,
+    },
+    /// A durable database wrote a compacted snapshot and reset its WAL.
+    SnapshotWritten {
+        /// Last WAL sequence number the snapshot covers.
+        seq: u64,
+        /// Snapshot file size in bytes.
+        bytes: u64,
+        /// Atoms the snapshot holds.
+        atoms: usize,
+        /// Checkpoint wall time in microseconds.
+        micros: u64,
+    },
+    /// Crash recovery reopened a durable database from disk.
+    RecoveryCompleted {
+        /// WAL records replayed on top of the snapshot.
+        replayed_batches: usize,
+        /// Fact rows those records carried.
+        replayed_rows: usize,
+        /// Materialized views re-registered and refreshed.
+        views: usize,
+        /// Plans warmed back into the plan cache.
+        plans: usize,
+        /// Recovery wall time in microseconds.
+        micros: u64,
+    },
 }
 
 impl Event {
@@ -93,6 +126,9 @@ impl Event {
             Event::ParallelRegion { .. } => "parallel_region",
             Event::ViewRegistered { .. } => "view_registered",
             Event::ViewRefreshed { .. } => "view_refreshed",
+            Event::WalAppended { .. } => "wal_appended",
+            Event::SnapshotWritten { .. } => "snapshot_written",
+            Event::RecoveryCompleted { .. } => "recovery_completed",
         }
     }
 
@@ -151,6 +187,26 @@ impl Event {
             } => format!(
                 "{{\"event\":\"view_refreshed\",\"mode\":{},\"delta_rows\":{delta_rows},\"rows_added\":{rows_added},\"micros\":{micros}}}",
                 json_string(mode)
+            ),
+            Event::WalAppended { seq, bytes, rows } => format!(
+                "{{\"event\":\"wal_appended\",\"seq\":{seq},\"bytes\":{bytes},\"rows\":{rows}}}"
+            ),
+            Event::SnapshotWritten {
+                seq,
+                bytes,
+                atoms,
+                micros,
+            } => format!(
+                "{{\"event\":\"snapshot_written\",\"seq\":{seq},\"bytes\":{bytes},\"atoms\":{atoms},\"micros\":{micros}}}"
+            ),
+            Event::RecoveryCompleted {
+                replayed_batches,
+                replayed_rows,
+                views,
+                plans,
+                micros,
+            } => format!(
+                "{{\"event\":\"recovery_completed\",\"replayed_batches\":{replayed_batches},\"replayed_rows\":{replayed_rows},\"views\":{views},\"plans\":{plans},\"micros\":{micros}}}"
             ),
         }
     }
@@ -420,6 +476,24 @@ mod tests {
                 delta_rows: 5,
                 rows_added: 2,
                 micros: 30,
+            },
+            Event::WalAppended {
+                seq: 7,
+                bytes: 128,
+                rows: 3,
+            },
+            Event::SnapshotWritten {
+                seq: 7,
+                bytes: 4096,
+                atoms: 1000,
+                micros: 250,
+            },
+            Event::RecoveryCompleted {
+                replayed_batches: 2,
+                replayed_rows: 6,
+                views: 1,
+                plans: 3,
+                micros: 900,
             },
         ];
         #[derive(Clone)]

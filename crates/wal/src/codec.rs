@@ -1,0 +1,200 @@
+//! The byte codec shared by WAL records and snapshots: little-endian
+//! fixed-width integers, length-prefixed UTF-8 strings, and the FNV-1a
+//! checksum that guards every frame.  Hand-rolled on purpose — the
+//! workspace vendors no serialization dependency, and the format is small
+//! enough that explicitness beats a derive.
+
+use crate::{WalError, WalResult};
+
+/// FNV-1a over `bytes`: the same cheap, deterministic digest the
+/// differential test suites use, here guarding record frames.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An append-only byte buffer with typed writers.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` travels as `u64` so the format is identical across hosts.
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    pub fn str(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string over 4 GiB"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn codes(&mut self, codes: &[u32]) {
+        self.buf.reserve(codes.len() * 4);
+        for &c in codes {
+            self.u32(c);
+        }
+    }
+}
+
+/// A checked reader over a byte slice; every read that runs off the end or
+/// finds malformed data reports [`WalError::Corrupt`].
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> WalResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| WalError::corrupt("record truncated mid-field"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn u8(&mut self) -> WalResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> WalResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> WalResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn len(&mut self) -> WalResult<usize> {
+        usize::try_from(self.u64()?).map_err(|_| WalError::corrupt("length exceeds address space"))
+    }
+
+    /// A length bounded by what the remaining bytes could possibly hold
+    /// (each element at least `min_element_bytes` wide) — the guard that
+    /// keeps a corrupt length field from turning into a giant allocation.
+    pub fn bounded_len(&mut self, min_element_bytes: usize) -> WalResult<usize> {
+        let n = self.len()?;
+        let remaining = self.buf.len() - self.pos;
+        if n.checked_mul(min_element_bytes.max(1))
+            .is_none_or(|need| need > remaining)
+        {
+            return Err(WalError::corrupt(format!(
+                "declared {n} elements but only {remaining} bytes remain"
+            )));
+        }
+        Ok(n)
+    }
+
+    pub fn str(&mut self) -> WalResult<String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WalError::corrupt("string field is not UTF-8"))
+    }
+
+    pub fn codes(&mut self, n: usize) -> WalResult<Vec<u32>> {
+        let bytes = self.take(
+            n.checked_mul(4)
+                .ok_or_else(|| WalError::corrupt("code-row length overflows"))?,
+        )?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv64_matches_known_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut enc = Encoder::new();
+        enc.u8(7);
+        enc.u32(0xdead_beef);
+        enc.u64(u64::MAX - 1);
+        enc.len(42);
+        enc.str("héllo");
+        enc.codes(&[1, 2, 3]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u32().unwrap(), 0xdead_beef);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(dec.len().unwrap(), 42);
+        assert_eq!(dec.str().unwrap(), "héllo");
+        assert_eq!(dec.codes(3).unwrap(), vec![1, 2, 3]);
+        assert!(dec.is_done());
+    }
+
+    #[test]
+    fn truncated_reads_report_corruption() {
+        let mut enc = Encoder::new();
+        enc.u32(5);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.u64().is_err());
+    }
+
+    #[test]
+    fn bounded_len_rejects_absurd_counts() {
+        let mut enc = Encoder::new();
+        enc.len(usize::MAX / 2);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.bounded_len(4).is_err());
+    }
+
+    #[test]
+    fn non_utf8_strings_report_corruption() {
+        let mut enc = Encoder::new();
+        enc.u32(2);
+        enc.u8(0xff);
+        enc.u8(0xfe);
+        let bytes = enc.into_bytes();
+        assert!(Decoder::new(&bytes).str().is_err());
+    }
+}

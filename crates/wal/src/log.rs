@@ -1,0 +1,319 @@
+//! The write-ahead log file: framing, appends, fsync discipline, and the
+//! torn-tail repair rule.
+//!
+//! ## Byte layout
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ magic: b"SACWAL01"                                  8 bytes  │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ record 0:  body_len  u32 LE                         4 bytes  │
+//! │            checksum  u64 LE   (FNV-1a of body)      8 bytes  │
+//! │            body      FactBatch::encode       body_len bytes  │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ record 1:  …                                                 │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! ## The torn-tail truncation rule
+//!
+//! A crash mid-append leaves a partial frame at the end of the file: a
+//! short header, a body shorter than its declared length, or a body whose
+//! checksum does not match.  On open, the reader walks the frames and stops
+//! at the first invalid one; everything before it is the recovered log,
+//! and the file is truncated back to that point so the next append starts
+//! on a clean boundary.  In an append-only log an invalid frame mid-file
+//! can only mean the writer died there (or the medium lost the suffix), so
+//! truncation discards nothing that was ever acknowledged under
+//! [`SyncMode::Always`].
+
+use crate::codec::fnv64;
+use crate::record::FactBatch;
+use crate::{SyncMode, WalError, WalResult};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// The log file's magic header.
+pub const WAL_MAGIC: &[u8; 8] = b"SACWAL01";
+
+/// Frame header size: `u32` body length + `u64` checksum.
+const FRAME_HEADER: usize = 4 + 8;
+
+/// What reading (and repairing) a log produced.
+#[derive(Debug)]
+pub struct LogReadOutcome {
+    /// Every valid record, in append order.
+    pub batches: Vec<FactBatch>,
+    /// Bytes of torn tail that were truncated away (0 for a clean log).
+    pub truncated_bytes: u64,
+}
+
+/// An open, append-positioned WAL file.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    sync: SyncMode,
+}
+
+impl WalWriter {
+    /// Opens (creating or repairing) the log at `path`, returning the
+    /// writer positioned after the last valid record together with
+    /// everything that was already on disk.
+    ///
+    /// A missing file is created with just the magic header; an existing
+    /// file has its torn tail (if any) truncated away per the module-level
+    /// rule.  A file that does not start with the magic is corruption, not
+    /// a torn tail — refusing to append to it beats silently destroying
+    /// whatever it actually is.
+    pub fn open(path: &Path, sync: SyncMode) -> WalResult<(WalWriter, LogReadOutcome)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| WalError::io(format!("open WAL {}", path.display()), e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| WalError::io(format!("read WAL {}", path.display()), e))?;
+
+        let (batches, valid_len) = if bytes.is_empty() {
+            file.write_all(WAL_MAGIC)
+                .map_err(|e| WalError::io(format!("initialize WAL {}", path.display()), e))?;
+            file.sync_all()
+                .map_err(|e| WalError::io(format!("sync WAL {}", path.display()), e))?;
+            (Vec::new(), WAL_MAGIC.len() as u64)
+        } else {
+            parse_frames(&bytes)?
+        };
+
+        let truncated_bytes = (bytes.len() as u64).saturating_sub(valid_len);
+        if truncated_bytes > 0 {
+            file.set_len(valid_len)
+                .map_err(|e| WalError::io(format!("truncate torn WAL {}", path.display()), e))?;
+            file.sync_all()
+                .map_err(|e| WalError::io(format!("sync WAL {}", path.display()), e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| WalError::io(format!("seek WAL {}", path.display()), e))?;
+
+        Ok((
+            WalWriter {
+                file,
+                path: path.to_path_buf(),
+                sync,
+            },
+            LogReadOutcome {
+                batches,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    /// Appends one record; returns the frame's size in bytes.  Under
+    /// [`SyncMode::Always`] the record is fsynced before returning.
+    pub fn append(&mut self, batch: &FactBatch) -> WalResult<u64> {
+        let body = batch.encode();
+        let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
+        frame.extend_from_slice(
+            &u32::try_from(body.len())
+                .map_err(|_| WalError::corrupt("record body over 4 GiB"))?
+                .to_le_bytes(),
+        );
+        frame.extend_from_slice(&fnv64(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| WalError::io(format!("append to WAL {}", self.path.display()), e))?;
+        if self.sync == SyncMode::Always {
+            self.file
+                .sync_data()
+                .map_err(|e| WalError::io(format!("sync WAL {}", self.path.display()), e))?;
+        }
+        Ok(frame.len() as u64)
+    }
+
+    /// Truncates the log back to just the magic header — called after a
+    /// snapshot has durably covered every record.
+    pub fn reset(&mut self) -> WalResult<()> {
+        self.file
+            .set_len(WAL_MAGIC.len() as u64)
+            .map_err(|e| WalError::io(format!("reset WAL {}", self.path.display()), e))?;
+        self.file
+            .sync_all()
+            .map_err(|e| WalError::io(format!("sync WAL {}", self.path.display()), e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| WalError::io(format!("seek WAL {}", self.path.display()), e))?;
+        Ok(())
+    }
+
+    /// Forces everything written so far to disk regardless of the sync
+    /// mode (e.g. on graceful shutdown under [`SyncMode::Never`]).
+    pub fn sync(&mut self) -> WalResult<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| WalError::io(format!("sync WAL {}", self.path.display()), e))
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Walks `bytes` as magic + frames; returns the valid records and the byte
+/// offset the valid prefix ends at.  Invalid framing past the magic is a
+/// torn tail (recoverable, by truncation); a bad magic is corruption.
+fn parse_frames(bytes: &[u8]) -> WalResult<(Vec<FactBatch>, u64)> {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(WalError::corrupt("WAL file does not start with SACWAL01"));
+    }
+    let mut batches = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    // Every break is a torn tail: the valid prefix ends at `pos`.
+    while let Some(header) = bytes.get(pos..pos + FRAME_HEADER) {
+        let body_len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(header[4..].try_into().unwrap());
+        let Some(body) = bytes.get(pos + FRAME_HEADER..pos + FRAME_HEADER + body_len) else {
+            break; // body shorter than declared: torn tail
+        };
+        if fnv64(body) != checksum {
+            break; // checksum mismatch: torn (or lost) suffix
+        }
+        let Ok(batch) = FactBatch::decode(body) else {
+            break; // checksummed but undecodable: treat as torn, keep prefix
+        };
+        batches.push(batch);
+        pos += FRAME_HEADER + body_len;
+    }
+    Ok((batches, pos as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RelationBatch, TermRepr};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "sac_wal_log_{tag}_{}_{n}.sacwal",
+            std::process::id()
+        ))
+    }
+
+    fn batch(seq: u64) -> FactBatch {
+        FactBatch {
+            seq,
+            dict_start: 0,
+            dict_terms: vec![TermRepr::Constant(format!("c{seq}"))],
+            relations: vec![RelationBatch {
+                predicate: "E".into(),
+                arity: 1,
+                row_count: 1,
+                rows: vec![0],
+            }],
+        }
+    }
+
+    #[test]
+    fn append_and_reopen_round_trips() {
+        let path = temp_path("roundtrip");
+        {
+            let (mut writer, outcome) = WalWriter::open(&path, SyncMode::Always).unwrap();
+            assert!(outcome.batches.is_empty());
+            for seq in 1..=3 {
+                writer.append(&batch(seq)).unwrap();
+            }
+        }
+        let (_, outcome) = WalWriter::open(&path, SyncMode::Never).unwrap();
+        assert_eq!(outcome.truncated_bytes, 0);
+        assert_eq!(
+            outcome.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tails_truncate_to_the_valid_prefix() {
+        let path = temp_path("torn");
+        {
+            let (mut writer, _) = WalWriter::open(&path, SyncMode::Never).unwrap();
+            writer.append(&batch(1)).unwrap();
+            writer.append(&batch(2)).unwrap();
+        }
+        // Tear the final record: chop bytes off the end of the file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+
+        let (mut writer, outcome) = WalWriter::open(&path, SyncMode::Never).unwrap();
+        // The whole partial frame goes, not just the chopped bytes.
+        assert!(outcome.truncated_bytes > 0);
+        assert_eq!(
+            outcome.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1],
+            "the torn record is gone, the valid prefix survives"
+        );
+        // The repaired log accepts appends on the clean boundary.
+        writer.append(&batch(9)).unwrap();
+        drop(writer);
+        let (_, outcome) = WalWriter::open(&path, SyncMode::Never).unwrap();
+        assert_eq!(
+            outcome.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![1, 9]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_checksum_drops_the_suffix() {
+        let path = temp_path("checksum");
+        {
+            let (mut writer, _) = WalWriter::open(&path, SyncMode::Never).unwrap();
+            writer.append(&batch(1)).unwrap();
+            writer.append(&batch(2)).unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one byte in the second record's body.
+        let len = bytes.len();
+        bytes[len - 3] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, outcome) = WalWriter::open(&path, SyncMode::Never).unwrap();
+        assert_eq!(outcome.batches.len(), 1);
+        assert!(outcome.truncated_bytes > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reset_empties_the_log() {
+        let path = temp_path("reset");
+        let (mut writer, _) = WalWriter::open(&path, SyncMode::Never).unwrap();
+        writer.append(&batch(1)).unwrap();
+        writer.reset().unwrap();
+        writer.append(&batch(2)).unwrap();
+        drop(writer);
+        let (_, outcome) = WalWriter::open(&path, SyncMode::Never).unwrap();
+        assert_eq!(
+            outcome.batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![2]
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_refused() {
+        let path = temp_path("foreign");
+        std::fs::write(&path, b"definitely not a WAL").unwrap();
+        assert!(matches!(
+            WalWriter::open(&path, SyncMode::Never),
+            Err(WalError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests over the WAL record codec: a randomly generated
+//! [`FactBatch`] must survive encode → decode bit-exactly, and the same
+//! batch must survive a trip through the framed log file — including a log
+//! holding many batches at once.
+
+use proptest::prelude::*;
+use sac_wal::{FactBatch, RelationBatch, SyncMode, TermRepr, WalWriter};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One random term repr: tag picks the variant, `n` seeds the payload.
+fn term_repr((tag, n): (u8, u64)) -> TermRepr {
+    match tag % 3 {
+        0 => TermRepr::Constant(format!("c_{n}")),
+        1 => TermRepr::Null(n),
+        _ => TermRepr::Variable(format!("V{n}")),
+    }
+}
+
+/// A random relation batch; `arity` may be 0 (propositional facts).
+fn relation_batch((pred, arity, row_count, seed): (u64, usize, usize, u64)) -> RelationBatch {
+    let rows = (0..row_count * arity)
+        .map(|i| (seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9)) as u32 % 1000)
+        .collect();
+    RelationBatch {
+        predicate: format!("R{pred}"),
+        arity,
+        row_count,
+        rows,
+    }
+}
+
+fn batch_strategy() -> impl Strategy<Value = FactBatch> {
+    (
+        1u64..1_000_000,
+        0u32..5_000,
+        proptest::collection::vec((0u8..3, 0u64..100_000).prop_map(term_repr), 0..12),
+        proptest::collection::vec(
+            (0u64..6, 0usize..4, 0usize..8, 0u64..u64::MAX).prop_map(relation_batch),
+            0..5,
+        ),
+    )
+        .prop_map(|(seq, dict_start, dict_terms, relations)| FactBatch {
+            seq,
+            dict_start,
+            dict_terms,
+            relations,
+        })
+}
+
+fn temp_log() -> std::path::PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sac_wal_prop_{}_{n}.sacwal", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_is_identity(batch in batch_strategy()) {
+        let decoded = FactBatch::decode(&batch.encode());
+        prop_assert!(decoded.is_ok(), "decode failed: {:?}", decoded.err());
+        prop_assert_eq!(decoded.unwrap(), batch);
+    }
+
+    #[test]
+    fn truncated_bodies_never_decode_to_a_batch_with_more_data(
+        batch in batch_strategy(),
+        cut in 1usize..64,
+    ) {
+        // Chopping bytes off the end must yield an error, never a batch
+        // that silently lost rows (the frame checksum catches bit flips;
+        // this guards the decoder against structural truncation).
+        let bytes = batch.encode();
+        if cut < bytes.len() {
+            let truncated = &bytes[..bytes.len() - cut];
+            if let Ok(decoded) = FactBatch::decode(truncated) {
+                prop_assert!(
+                    decoded == batch,
+                    "truncation must not fabricate a different batch"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    // File-backed cases are slower; fewer cases keep the suite quick.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn framed_log_round_trips_many_batches(batches in proptest::collection::vec(batch_strategy(), 1..8)) {
+        let path = temp_log();
+        {
+            let (mut writer, outcome) = WalWriter::open(&path, SyncMode::Never).unwrap();
+            prop_assert!(outcome.batches.is_empty());
+            for batch in &batches {
+                writer.append(batch).unwrap();
+            }
+        }
+        let (_, outcome) = WalWriter::open(&path, SyncMode::Never).unwrap();
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(outcome.truncated_bytes, 0);
+        prop_assert_eq!(outcome.batches, batches);
+    }
+}

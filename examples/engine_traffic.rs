@@ -25,6 +25,10 @@ fn main() {
     if let Some(hot) = stats.largest_relation() {
         println!("hottest scan: {hot}");
     }
+    println!(
+        "dictionary: {} interned terms, {} heap bytes shared across every column",
+        stats.dict_len, stats.dict_bytes
+    );
 
     // A traffic mix of distinct query shapes, repeated over many rounds the
     // way a serving workload repeats its hot queries.
