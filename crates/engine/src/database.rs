@@ -32,6 +32,14 @@
 //! Materialized-view maintenance runs under the same write guard as the
 //! data change (see [`crate::view`]), so freshness is atomic with
 //! visibility.
+//!
+//! The **worker pool** sits outside that order entirely: its queue mutex
+//! is leaf-level (the pool never takes an engine lock, and morsel closures
+//! only ever read the immutable snapshots they captured), so submitting a
+//! region while holding the instance *read* guard — what every parallel
+//! run does — cannot participate in a lock cycle.  The pool is created
+//! lazily at the first `parallelism > 1` run (a `OnceLock`), parked while
+//! idle, and joined when the database drops.
 
 use crate::durability::{
     self, CheckpointReport, DurabilityCore, DurabilityOptions, DurableState, RecoveryReport,
@@ -40,7 +48,7 @@ use crate::error::{SacError, SacResult};
 use crate::exec;
 use crate::index::{IndexCache, PlanShards};
 use crate::plan::{plan_query, Explain, Plan, Strategy};
-use crate::pool;
+use crate::pool::WorkerPool;
 use crate::result::ResultSet;
 use crate::view::{MaterializedView, RefreshMode, ViewCore, ViewOptions, ViewRefresh};
 use sac_common::{Atom, Symbol};
@@ -52,8 +60,8 @@ use sac_telemetry::{bus, Event, Histogram, HistogramSnapshot, Phase, Probe, Quer
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock, Weak};
 use std::time::Instant;
 
 /// Planner knobs.
@@ -87,22 +95,29 @@ impl Default for EngineConfig {
 
 /// Execution-layer knobs, fixed per [`Database`].
 ///
-/// `parallelism` is the width of the scoped worker pool used by
+/// `parallelism` is the width of the **persistent worker pool** used by
 /// [`Database::run_batch`] (queries fan out across workers) and by single
 /// runs (match sets, semijoin sweeps and fallback searches fan out across
-/// cached relation shards).  `1` (the default) is the plain serial path —
-/// no threads are ever spawned, no shard decompositions are built.
+/// cached relation shards as morsels).  The pool is created lazily at the
+/// first `parallelism > 1` run — `parallelism - 1` OS threads, because the
+/// submitting thread executes morsels too while it waits — then reused for
+/// every subsequent region and joined when the database drops.  `1` (the
+/// default) is the plain serial path — no pool is ever created, no thread
+/// is ever spawned, no shard decompositions are built.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
-    /// Worker threads per parallel region; clamped to at least 1.
+    /// Effective threads per parallel region (pool workers + the
+    /// submitting thread); clamped to at least 1.
     pub parallelism: usize,
     /// Minimum table/relation size (in tuples) before a parallel region
-    /// fans out.  Spawning scoped workers costs tens of microseconds per
-    /// thread, so sharding a small scan or chunking a small semijoin is a
-    /// net loss; below this bound the run stays serial (and no shard
-    /// decomposition is built or maintained for the relation).  The default
-    /// keeps small-data workloads on the serial fast path; tests set it to
-    /// 0 to force the parallel machinery on tiny fixtures.
+    /// fans out, and the target **rows per morsel** once it does: a region
+    /// over `n` rows splits into roughly `n / min_parallel_rows` morsels
+    /// (clamped to `[2, 4 * parallelism]` for sweeps, `[parallelism,
+    /// 4 * parallelism]` for shard decompositions).  Below this bound the
+    /// dispatch cost exceeds the scan, so the run stays serial (and no
+    /// shard decomposition is built or maintained for the relation).  The
+    /// default keeps small-data workloads on the serial fast path; tests
+    /// set it to 0 to force the parallel machinery on tiny fixtures.
     pub min_parallel_rows: usize,
 }
 
@@ -139,9 +154,26 @@ pub struct EngineMetrics {
     /// Per-shard parallel work items executed (match-set shards, semijoin
     /// chunks, fallback-search shards).  Zero on the serial path.
     pub shard_tasks: usize,
-    /// Scoped worker threads spawned across all parallel regions (batch
-    /// fan-out and per-shard sweeps).  Zero on the serial path.
+    /// Worker threads alive in the persistent pool — reported **once**
+    /// (the live pool size, `parallelism - 1`), not accumulated per
+    /// region, and surviving [`Database::reset_metrics`] like
+    /// [`EngineMetrics::indexes_built`] the pool itself does.  Zero until
+    /// the first `parallelism > 1` run creates the pool, and always zero
+    /// on a serial database.
     pub threads_spawned: usize,
+    /// Morsels submitted to the worker pool (batch queries, match-set
+    /// shards, semijoin chunks, fallback-search shards).  Zero on the
+    /// serial path.  Deterministic for a given workload.
+    pub morsels_dispatched: usize,
+    /// Morsels a pool thread claimed from another worker's deque.  Purely
+    /// scheduler-dependent — two identical runs steal different amounts —
+    /// so [`EngineMetrics::counters_only`] clears it alongside the latency
+    /// histograms.
+    pub morsel_steals: usize,
+    /// Total enqueue→claim wait across all morsels, nanoseconds.  Like
+    /// `morsel_steals`, scheduler-dependent and cleared by
+    /// [`EngineMetrics::counters_only`].
+    pub pool_queue_wait_ns: u64,
     /// Materialized views registered over the session's lifetime
     /// ([`Database::materialize`] calls).
     pub views_registered: usize,
@@ -197,15 +229,19 @@ impl EngineMetrics {
         *self = EngineMetrics::default();
     }
 
-    /// This snapshot with the latency histograms cleared — the plain
-    /// counters, for comparisons where wall-clock distributions are
-    /// expected to differ (two sessions running the same workload take
-    /// different times but must count the same work).
+    /// This snapshot with the latency histograms and the
+    /// scheduler-dependent pool counters (`morsel_steals`,
+    /// `pool_queue_wait_ns`) cleared — the plain deterministic counters,
+    /// for comparisons where wall-clock and scheduling are expected to
+    /// differ (two sessions running the same workload take different
+    /// times and steal different morsels but must count the same work).
     pub fn counters_only(&self) -> EngineMetrics {
         EngineMetrics {
             run_latency: HistogramSnapshot::default(),
             prepare_latency: HistogramSnapshot::default(),
             view_refresh_latency: HistogramSnapshot::default(),
+            morsel_steals: 0,
+            pool_queue_wait_ns: 0,
             ..self.clone()
         }
     }
@@ -215,7 +251,7 @@ impl fmt::Display for EngineMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} runs ({} planned, {} cache hits, {:.0}% hit rate); strategies: {} direct / {} witness / {} fallback; {} indexes + {} shard sets built; {} shard tasks on {} worker threads; {} views ({} incremental / {} full refreshes, {} delta rows)",
+            "{} runs ({} planned, {} cache hits, {:.0}% hit rate); strategies: {} direct / {} witness / {} fallback; {} indexes + {} shard sets built; {} shard tasks / {} morsels ({} stolen) on a {}-thread pool; {} views ({} incremental / {} full refreshes, {} delta rows)",
             self.queries_run,
             self.plans_built,
             self.plan_cache_hits,
@@ -226,6 +262,8 @@ impl fmt::Display for EngineMetrics {
             self.indexes_built,
             self.shard_sets_built,
             self.shard_tasks,
+            self.morsels_dispatched,
+            self.morsel_steals,
             self.threads_spawned,
             self.views_registered,
             self.view_refreshes_incremental,
@@ -256,6 +294,15 @@ impl fmt::Display for EngineMetrics {
     }
 }
 
+/// Live worker-pool readings [`Database::metrics`] folds into a snapshot
+/// (zeroes when no pool exists).
+#[derive(Debug, Default, Clone, Copy)]
+struct PoolStats {
+    threads: usize,
+    steals: usize,
+    queue_wait_ns: u64,
+}
+
 /// Lock-free counters backing [`Database::metrics`].
 #[derive(Debug, Default)]
 struct MetricCounters {
@@ -266,7 +313,12 @@ struct MetricCounters {
     runs_yannakakis_witness: AtomicUsize,
     runs_indexed_search: AtomicUsize,
     shard_tasks: AtomicUsize,
-    threads_spawned: AtomicUsize,
+    morsels_dispatched: AtomicUsize,
+    /// Pool-lifetime readings at the last [`Database::reset_metrics`]:
+    /// the pool's own counters are cumulative (they outlive metric
+    /// windows), so a snapshot reports `live - baseline`.
+    steals_baseline: AtomicUsize,
+    queue_wait_baseline_ns: AtomicU64,
     views_registered: AtomicUsize,
     view_refreshes_incremental: AtomicUsize,
     view_refreshes_full: AtomicUsize,
@@ -288,7 +340,12 @@ impl MetricCounters {
         .fetch_add(1, Ordering::Relaxed);
     }
 
-    fn snapshot(&self, indexes_built: usize, shard_sets_built: usize) -> EngineMetrics {
+    fn snapshot(
+        &self,
+        indexes_built: usize,
+        shard_sets_built: usize,
+        pool: PoolStats,
+    ) -> EngineMetrics {
         EngineMetrics {
             queries_run: self.queries_run.load(Ordering::Relaxed),
             plans_built: self.plans_built.load(Ordering::Relaxed),
@@ -299,7 +356,14 @@ impl MetricCounters {
             indexes_built,
             shard_sets_built,
             shard_tasks: self.shard_tasks.load(Ordering::Relaxed),
-            threads_spawned: self.threads_spawned.load(Ordering::Relaxed),
+            threads_spawned: pool.threads,
+            morsels_dispatched: self.morsels_dispatched.load(Ordering::Relaxed),
+            morsel_steals: pool
+                .steals
+                .saturating_sub(self.steals_baseline.load(Ordering::Relaxed)),
+            pool_queue_wait_ns: pool
+                .queue_wait_ns
+                .saturating_sub(self.queue_wait_baseline_ns.load(Ordering::Relaxed)),
             views_registered: self.views_registered.load(Ordering::Relaxed),
             view_refreshes_incremental: self.view_refreshes_incremental.load(Ordering::Relaxed),
             view_refreshes_full: self.view_refreshes_full.load(Ordering::Relaxed),
@@ -315,7 +379,9 @@ impl MetricCounters {
         }
     }
 
-    fn reset(&self) {
+    /// Zeroes the window, re-anchoring the pool baselines at the pool's
+    /// current lifetime readings.
+    fn reset(&self, pool: PoolStats) {
         self.queries_run.store(0, Ordering::Relaxed);
         self.plans_built.store(0, Ordering::Relaxed);
         self.plan_cache_hits.store(0, Ordering::Relaxed);
@@ -323,7 +389,10 @@ impl MetricCounters {
         self.runs_yannakakis_witness.store(0, Ordering::Relaxed);
         self.runs_indexed_search.store(0, Ordering::Relaxed);
         self.shard_tasks.store(0, Ordering::Relaxed);
-        self.threads_spawned.store(0, Ordering::Relaxed);
+        self.morsels_dispatched.store(0, Ordering::Relaxed);
+        self.steals_baseline.store(pool.steals, Ordering::Relaxed);
+        self.queue_wait_baseline_ns
+            .store(pool.queue_wait_ns, Ordering::Relaxed);
         self.views_registered.store(0, Ordering::Relaxed);
         self.view_refreshes_incremental.store(0, Ordering::Relaxed);
         self.view_refreshes_full.store(0, Ordering::Relaxed);
@@ -435,6 +504,11 @@ pub struct Database {
     durability: Option<DurabilityCore>,
     /// What recovery found, for databases created by [`Database::open`].
     recovery: Option<RecoveryReport>,
+    /// The persistent worker pool, created at the first `parallelism > 1`
+    /// run and joined when the database drops (the pool's `Drop` flags
+    /// shutdown and joins its threads).  Never populated on a serial
+    /// database.  Leaf-level locking: see the module docs.
+    pool: OnceLock<Arc<WorkerPool>>,
     metrics: MetricCounters,
     latency: LatencyRecorders,
 }
@@ -465,9 +539,34 @@ impl Database {
             pinned_views: Mutex::new(Vec::new()),
             durability: None,
             recovery: None,
+            pool: OnceLock::new(),
             metrics: MetricCounters::default(),
             latency: LatencyRecorders::default(),
         }
+    }
+
+    /// The worker pool for `parallelism > 1` runs, creating it on first
+    /// use; `None` exactly when the database is serial, so parallelism-1
+    /// sessions never spawn a thread.
+    fn pool_handle(&self) -> Option<Arc<WorkerPool>> {
+        if self.exec.parallelism <= 1 {
+            return None;
+        }
+        Some(Arc::clone(self.pool.get_or_init(|| {
+            Arc::new(WorkerPool::new(self.exec.parallelism))
+        })))
+    }
+
+    /// Live pool readings for metric snapshots (zeroes before the pool
+    /// exists and on serial databases).
+    fn pool_stats(&self) -> PoolStats {
+        self.pool
+            .get()
+            .map_or(PoolStats::default(), |pool| PoolStats {
+                threads: pool.size(),
+                steals: pool.steals(),
+                queue_wait_ns: pool.queue_wait_ns(),
+            })
     }
 
     /// Parses a list of ground facts into a fresh database.
@@ -828,27 +927,26 @@ impl Database {
 
     /// Evaluates a batch of queries, amortizing planning and index building
     /// across the whole workload.  With [`Database::with_parallelism`] above
-    /// 1, the queries fan out over the scoped worker pool — results still
-    /// come back in input order, identical to the serial batch.
+    /// 1, the queries fan out over the persistent worker pool, one morsel
+    /// per query — results still come back in input order, identical to the
+    /// serial batch.
     ///
-    /// The thread budget is spent once: when the batch itself fans out,
-    /// each worker executes its queries serially (per-shard parallelism
+    /// The parallelism budget is spent once: when the batch itself fans
+    /// out, each morsel executes its query serially (per-shard parallelism
     /// applies to single [`Database::run`] / [`PreparedQuery::execute`]
-    /// calls), so a batch never oversubscribes to `parallelism²` threads.
+    /// calls), so batch morsels never submit nested regions.
     pub fn run_batch(&self, queries: &[ConjunctiveQuery]) -> Vec<ResultSet> {
-        let parallelism = self.exec.parallelism;
-        if parallelism <= 1 || queries.len() <= 1 {
+        let Some(pool) = self.pool_handle().filter(|_| queries.len() > 1) else {
             return queries.iter().map(|q| self.run(q)).collect();
-        }
+        };
         // Resolve every plan serially first: duplicate queries in the batch
         // would otherwise race the cold plan cache and re-run the expensive
         // witness search once per worker instead of once per shape.
         let plans: Vec<Arc<Plan>> = queries.iter().map(|q| self.plan_arc(q)).collect();
-        let (results, threads) =
-            pool::parallel_map(parallelism, &plans, |plan| self.run_plan_at(plan, 1));
+        let results = pool.run(&plans, |plan| self.run_plan_at(plan, 1));
         self.metrics
-            .threads_spawned
-            .fetch_add(threads, Ordering::Relaxed);
+            .morsels_dispatched
+            .fetch_add(plans.len(), Ordering::Relaxed);
         results
     }
 
@@ -906,8 +1004,14 @@ impl Database {
         };
         // …then execute lock-free (the instance read guard is still held, so
         // the snapshots stay consistent with the data for the whole run).
+        let pool = if parallelism > 1 {
+            self.pool_handle()
+        } else {
+            None
+        };
         let mut ctx =
-            exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows);
+            exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows)
+                .with_pool(pool);
         let (plan_cache_hit, query_text) = match trace {
             Some(TraceStart {
                 mut probe,
@@ -1189,7 +1293,8 @@ impl Database {
                     PlanShards::new(),
                     parallelism,
                     self.exec.min_parallel_rows,
-                ),
+                )
+                .with_pool(self.pool_handle()),
                 probe,
             );
             let delta = exec::execute_delta(&core.plan, instance, &watermarks, &ctx)
@@ -1220,7 +1325,8 @@ impl Database {
                 (indexes, shards)
             };
             let ctx = attach(
-                exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows),
+                exec::ExecContext::new(indexes, shards, parallelism, self.exec.min_parallel_rows)
+                    .with_pool(self.pool_handle()),
                 probe,
             );
             state.answers = Arc::new(exec::execute_with(&core.plan, instance, &ctx));
@@ -1303,17 +1409,22 @@ impl Database {
             .shard_tasks
             .fetch_add(ctx.shard_tasks(), Ordering::Relaxed);
         self.metrics
-            .threads_spawned
-            .fetch_add(ctx.threads_spawned(), Ordering::Relaxed);
+            .morsels_dispatched
+            .fetch_add(ctx.morsels_dispatched(), Ordering::Relaxed);
     }
 
     /// Session counters (plan-cache hit rate, per-strategy runs, …).
+    /// `threads_spawned` reads the live pool size; `morsel_steals` and
+    /// `pool_queue_wait_ns` read the pool's counters relative to the last
+    /// [`Database::reset_metrics`].
     pub fn metrics(&self) -> EngineMetrics {
         let (indexes_built, shard_sets_built) = {
             let cache = self.lock_indexes();
             (cache.built(), cache.shard_sets_built())
         };
-        let mut m = self.metrics.snapshot(indexes_built, shard_sets_built);
+        let mut m = self
+            .metrics
+            .snapshot(indexes_built, shard_sets_built, self.pool_stats());
         m.run_latency = self.latency.run.snapshot();
         m.prepare_latency = self.latency.prepare.snapshot();
         m.view_refresh_latency = self.latency.view_refresh.snapshot();
@@ -1321,9 +1432,11 @@ impl Database {
     }
 
     /// Zeroes every metric counter, including the index-build counter.  The
-    /// caches themselves are untouched (see [`Database::clear_caches`]).
+    /// caches themselves are untouched (see [`Database::clear_caches`]),
+    /// and so is the worker pool — `threads_spawned` keeps reporting its
+    /// live size, while the steal/queue-wait readings restart from zero.
     pub fn reset_metrics(&self) {
-        self.metrics.reset();
+        self.metrics.reset(self.pool_stats());
         self.lock_indexes().reset_built();
         self.latency.run.reset();
         self.latency.prepare.reset();

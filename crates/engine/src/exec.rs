@@ -28,17 +28,26 @@
 //!
 //! ## Parallel execution
 //!
-//! With [`ExecContext::parallelism`] above 1, the data-proportional phases
-//! run on the scoped worker pool of [`crate::pool`], partitioned by cached
-//! relation shards ([`PlanShards`]):
+//! With [`ExecContext::parallelism`] above 1 and a pool handle attached,
+//! the data-proportional phases submit morsels to the persistent
+//! [`crate::pool::WorkerPool`] owned by the database, partitioned by
+//! cached relation shards ([`PlanShards`]):
 //!
-//! * **match sets** are computed per `(node, shard)` task — full-scan nodes
-//!   split into one task per hash shard — and the per-shard partial tables
-//!   are merged by hash-set union;
-//! * **semijoin sweeps** chunk each large node table and filter the chunks
+//! * **match sets** are computed per `(node, shard)` morsel — full-scan
+//!   nodes split into one morsel per hash shard — and the per-shard
+//!   partial tables are merged by hash-set union;
+//! * **semijoin sweeps** chunk each large node table into morsels of
+//!   roughly [`ExecContext::morsel_rows`] rows each and filter the chunks
 //!   concurrently against the shared key set;
-//! * the **fallback search** seeds one backtracking worker per shard of the
-//!   first atom's relation and merges the per-shard answer sets.
+//! * the **fallback search** seeds one backtracking morsel per shard of
+//!   the first atom's relation and merges the per-shard answer sets.
+//!
+//! Morsel *sizes* are row-count-derived (the same figures
+//! [`sac_storage::RelationStats`] reports), not thread-count-derived: a
+//! region over `n` rows produces about `n / morsel_rows` morsels, clamped
+//! to a small multiple of the parallelism, so small inputs stay serial and
+//! large inputs produce enough morsels for the pool's stealing to balance
+//! skew.
 //!
 //! Merging is order-insensitive (sets all the way down) and the final
 //! answers land in a `BTreeSet` of decoded terms, so results are
@@ -53,7 +62,7 @@
 
 use crate::index::{PlanIndexes, PlanShards};
 use crate::plan::{ExecPlan, IndexedPlan, NodeShape, Plan, YannakakisPlan};
-use crate::pool;
+use crate::pool::WorkerPool;
 use sac_common::{FxHashMap, FxHashSet, Substitution, Symbol, Term};
 use sac_storage::{dict, Instance, Relation};
 use sac_telemetry::{Phase, Probe};
@@ -72,8 +81,12 @@ pub(crate) struct ExecContext {
     /// thread-spawn overhead dwarfs the work (see
     /// [`crate::ExecOptions::min_parallel_rows`]).
     pub(crate) min_parallel_rows: usize,
+    /// Handle to the database's persistent worker pool; `None` for serial
+    /// contexts (`parallelism == 1` never creates a pool).
+    pool: Option<Arc<WorkerPool>>,
     shard_tasks: AtomicUsize,
-    threads_spawned: AtomicUsize,
+    morsels: AtomicUsize,
+    pool_width: AtomicUsize,
     /// Phase timers and per-node row counts for a traced run; `None` for
     /// ordinary runs, whose only tracing cost is this `Option` check.
     /// Only the orchestrating thread marks, so the mutex is uncontended —
@@ -93,10 +106,19 @@ impl ExecContext {
             shards,
             parallelism: parallelism.max(1),
             min_parallel_rows,
+            pool: None,
             shard_tasks: AtomicUsize::new(0),
-            threads_spawned: AtomicUsize::new(0),
+            morsels: AtomicUsize::new(0),
+            pool_width: AtomicUsize::new(0),
             probe: None,
         }
+    }
+
+    /// Attaches the database's worker pool (builder-style).  Without a
+    /// pool every region runs inline regardless of `parallelism`.
+    pub(crate) fn with_pool(mut self, pool: Option<Arc<WorkerPool>>) -> ExecContext {
+        self.pool = pool;
+        self
     }
 
     /// A context for plain serial execution.
@@ -145,9 +167,44 @@ impl ExecContext {
         }
     }
 
-    fn note_parallel(&self, tasks: usize, threads: usize) {
+    fn note_parallel(&self, tasks: usize) {
         self.shard_tasks.fetch_add(tasks, Ordering::Relaxed);
-        self.threads_spawned.fetch_add(threads, Ordering::Relaxed);
+    }
+
+    /// Target rows per morsel for data-chunked regions.  The serial size
+    /// gate doubles as the morsel granule: below `min_parallel_rows` the
+    /// dispatch cost exceeds the scan, so that is exactly the row count a
+    /// single morsel should carry.
+    pub(crate) fn morsel_rows(&self) -> usize {
+        self.min_parallel_rows.max(1)
+    }
+
+    /// Whether this context can actually fan work out (a pool is attached
+    /// and parallelism allows it).  Callers use this to skip the
+    /// chunk/merge bookkeeping entirely on serial runs.
+    fn parallel_enabled(&self) -> bool {
+        self.parallelism > 1 && self.pool.is_some()
+    }
+
+    /// Runs one parallel region over `items` on the database's pool — one
+    /// morsel per item, results in item order — and records the morsel
+    /// count and pool width for [`crate::EngineMetrics`].  Falls back to
+    /// an inline map when no pool is attached or there is at most one
+    /// item, which is exactly the serial path byte-for-byte.
+    fn run_region<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        match &self.pool {
+            Some(pool) if self.parallelism > 1 && items.len() > 1 => {
+                self.morsels.fetch_add(items.len(), Ordering::Relaxed);
+                self.pool_width.store(pool.size(), Ordering::Relaxed);
+                pool.run(items, f)
+            }
+            _ => items.iter().map(f).collect(),
+        }
     }
 
     /// The shard decomposition to scan for `atom`, if the snapshot holds one
@@ -172,9 +229,17 @@ impl ExecContext {
         self.shard_tasks.load(Ordering::Relaxed)
     }
 
-    /// Scoped worker threads spawned by this run's parallel regions.
+    /// Morsels this run dispatched to the worker pool.
+    pub(crate) fn morsels_dispatched(&self) -> usize {
+        self.morsels.load(Ordering::Relaxed)
+    }
+
+    /// Pool width the run had available: the number of persistent worker
+    /// threads, reported once (0 when every region ran inline).  Kept
+    /// under the historical `threads_spawned` name for trace/metric
+    /// continuity — the pool spawns nothing per run.
     pub(crate) fn threads_spawned(&self) -> usize {
-        self.threads_spawned.load(Ordering::Relaxed)
+        self.pool_width.load(Ordering::Relaxed)
     }
 }
 
@@ -335,25 +400,31 @@ impl Table {
         }
     }
 
-    /// Keeps exactly the tuples `survives` accepts, chunked across the
-    /// worker pool for large tables when the context allows it.
+    /// Keeps exactly the tuples `survives` accepts, chunked into morsels
+    /// across the worker pool for large tables when the context allows it.
     fn retain_tuples<F: Fn(&Vec<u32>) -> bool + Sync>(&mut self, ctx: &ExecContext, survives: F) {
-        if ctx.parallelism > 1 && self.tuples.len() >= ctx.min_parallel_rows.max(2) {
+        let rows = self.tuples.len();
+        let morsel_rows = ctx.morsel_rows();
+        // Morsel count is row-derived, not thread-derived: a sweep goes
+        // parallel only when it yields at least two full morsels, and then
+        // splits into roughly `rows / morsel_rows` chunks (clamped to a
+        // small multiple of the pool width so dispatch overhead stays
+        // bounded).  Under the old `parallelism * 4` sizing a 512-row
+        // table at parallelism 8 produced 16-row chunks whose dispatch
+        // cost exceeded the scan; it now stays serial.
+        if ctx.parallel_enabled() && rows >= ctx.min_parallel_rows.max(2) && rows >= 2 * morsel_rows
+        {
             // Workers return keep-masks (chunks partition `drained` in
-            // order, and parallel_map returns results in task order), so the
+            // order, and region results come back in morsel order), so the
             // surviving tuples are moved, never cloned.
             let drained: Vec<Vec<u32>> = self.tuples.drain().collect();
-            // 4 chunks per worker, not 1: with chunks == workers the pool's
-            // claim-next-task balancing has nothing to balance, and one
-            // expensive chunk (skewed semijoin keys) serializes the sweep —
-            // e13's phase timers show the semijoin share growing with pool
-            // width under the old sizing.
-            let chunk_len = drained.len().div_ceil(ctx.parallelism * 4);
+            let chunk_count = (rows / morsel_rows).clamp(2, ctx.parallelism * 4);
+            let chunk_len = drained.len().div_ceil(chunk_count);
             let chunks: Vec<&[Vec<u32>]> = drained.chunks(chunk_len).collect();
-            let (masks, threads) = pool::parallel_map(ctx.parallelism, &chunks, |chunk| {
+            let masks = ctx.run_region(&chunks, |chunk| {
                 chunk.iter().map(&survives).collect::<Vec<bool>>()
             });
-            ctx.note_parallel(chunks.len(), threads);
+            ctx.note_parallel(chunks.len());
             self.tuples = drained
                 .into_iter()
                 .zip(masks.into_iter().flatten())
@@ -671,7 +742,7 @@ fn match_tables(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> Vec<
         share_duplicates(&mut tables);
         tables
     };
-    if ctx.parallelism <= 1 {
+    if !ctx.parallel_enabled() {
         return serial();
     }
     let mut tasks: Vec<MatchTask<'_>> = Vec::with_capacity(n);
@@ -698,11 +769,11 @@ fn match_tables(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> Vec<
     }
     // Honour the size gate: with no relation decomposed (everything under
     // `min_parallel_rows`, or nothing scanned), the run stays serial rather
-    // than paying thread spawns for per-node tasks over small data.
+    // than paying morsel dispatch for per-node tasks over small data.
     if shard_tasks == 0 {
         return serial();
     }
-    let (partials, threads) = pool::parallel_map(ctx.parallelism, &tasks, |task| match task {
+    let partials = ctx.run_region(&tasks, |task| match task {
         MatchTask::Whole(i) => {
             let atom = &plan.tree.atoms[*i];
             (
@@ -718,7 +789,7 @@ fn match_tables(plan: &YannakakisPlan, db: &Instance, ctx: &ExecContext) -> Vec<
         }
         MatchTask::Shard(i, shard) => (*i, node_matches_shard(&plan.shapes[*i], shard)),
     });
-    ctx.note_parallel(shard_tasks, threads);
+    ctx.note_parallel(shard_tasks);
     let mut tables: Vec<Table> = plan.shapes.iter().map(Table::empty).collect();
     for (i, partial) in partials {
         tables[i].tuples.extend(partial.tuples);
@@ -1126,13 +1197,13 @@ fn run_indexed(plan: &IndexedPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet
         .collect();
 
     // Parallel root: when the first step is an unbound scan and its relation
-    // has a cached shard decomposition, seed one backtracking worker per
+    // has a cached shard decomposition, seed one backtracking morsel per
     // shard and merge the per-shard answer sets.
-    if ctx.parallelism > 1 && !plan.order.is_empty() && plan.bound_positions[0].is_empty() {
+    if ctx.parallel_enabled() && !plan.order.is_empty() && plan.bound_positions[0].is_empty() {
         let atom = &plan.query.body[plan.order[0]];
         if let Some(set) = ctx.shards_for(db, atom) {
             let shards = set.shards();
-            let (partials, threads) = pool::parallel_map(ctx.parallelism, shards, |shard| {
+            let partials = ctx.run_region(shards, |shard| {
                 let mut local = BTreeSet::new();
                 let mut state = Substitution::new();
                 for tuple in shard.iter() {
@@ -1140,7 +1211,7 @@ fn run_indexed(plan: &IndexedPlan, db: &Instance, ctx: &ExecContext) -> BTreeSet
                 }
                 local
             });
-            ctx.note_parallel(shards.len(), threads);
+            ctx.note_parallel(shards.len());
             let mut answers = BTreeSet::new();
             for partial in partials {
                 answers.extend(partial);
@@ -1275,12 +1346,18 @@ mod tests {
     use sac_common::{atom, intern, Atom};
     use sac_query::{evaluate, ConjunctiveQuery};
 
+    /// A throwaway pool for parallel test contexts (`None` keeps the
+    /// context serial, mirroring what the database does at parallelism 1).
+    fn pooled(parallelism: usize) -> Option<Arc<WorkerPool>> {
+        (parallelism > 1).then(|| Arc::new(WorkerPool::new(parallelism)))
+    }
+
     fn run_at(q: &ConjunctiveQuery, db: &Instance, parallelism: usize) -> BTreeSet<Vec<Term>> {
         let plan = plan_query(q, &[], db, &EngineConfig::default());
         let mut cache = IndexCache::new(db);
         let indexes = cache.snapshot(db, &required_indexes(&plan));
         let shards = cache.snapshot_shards(db, &required_shards(&plan), parallelism, 0);
-        let ctx = ExecContext::new(indexes, shards, parallelism, 0);
+        let ctx = ExecContext::new(indexes, shards, parallelism, 0).with_pool(pooled(parallelism));
         execute_with(&plan, db, &ctx)
     }
 
@@ -1387,7 +1464,8 @@ mod tests {
             assert_eq!(execute_with(&plan, &db, &ctx), evaluate(&q, &db));
             // A parallel context with no shard snapshot also degrades
             // cleanly (serial scans, identical answers).
-            let ctx = ExecContext::new(PlanIndexes::new(), PlanShards::new(), 4, 0);
+            let ctx =
+                ExecContext::new(PlanIndexes::new(), PlanShards::new(), 4, 0).with_pool(pooled(4));
             assert_eq!(execute_with(&plan, &db, &ctx), evaluate(&q, &db));
         }
     }
@@ -1542,11 +1620,16 @@ mod tests {
         let indexes = cache.snapshot(&db, &required_indexes(&plan));
         let shards = cache.snapshot_shards(&db, &required_shards(&plan), 4, 0);
         assert!(!shards.is_empty(), "the path query scans E");
-        let ctx = ExecContext::new(indexes, shards, 4, 0);
+        let ctx = ExecContext::new(indexes, shards, 4, 0).with_pool(pooled(4));
         let answers = execute_with(&plan, &db, &ctx);
         assert_eq!(answers, evaluate(&q, &db));
         assert!(ctx.shard_tasks() >= 4, "per-shard match tasks ran");
-        assert!(ctx.threads_spawned() > 0, "workers were spawned");
+        assert!(ctx.morsels_dispatched() >= 4, "morsels went to the pool");
+        assert_eq!(
+            ctx.threads_spawned(),
+            3,
+            "pool width is reported once, not accumulated per region"
+        );
     }
 
     /// Delta oracle: materialize at `base`, append `appends`, push the
@@ -1558,7 +1641,8 @@ mod tests {
         let mut cache = IndexCache::new(&grown);
         let mut answers = {
             let indexes = cache.snapshot(&grown, &required_indexes(&plan));
-            let ctx = ExecContext::new(indexes, PlanShards::new(), parallelism, 0);
+            let ctx = ExecContext::new(indexes, PlanShards::new(), parallelism, 0)
+                .with_pool(pooled(parallelism));
             execute_with(&plan, &grown, &ctx)
         };
         for atom in appends {
@@ -1575,7 +1659,8 @@ mod tests {
             .chain(delta_edge_indexes(&plan))
             .collect();
         let indexes = cache.snapshot(&grown, &needed);
-        let ctx = ExecContext::new(indexes, PlanShards::new(), parallelism, 0);
+        let ctx = ExecContext::new(indexes, PlanShards::new(), parallelism, 0)
+            .with_pool(pooled(parallelism));
         let delta = execute_delta(&plan, &grown, &watermarks, &ctx)
             .expect("acyclic queries compile to Yannakakis plans");
         answers.extend(delta);

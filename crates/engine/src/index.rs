@@ -365,27 +365,39 @@ impl IndexCache {
         out
     }
 
-    /// Ensures a `k`-way shard decomposition for every predicate in `needed`
-    /// whose relation holds at least `min_rows` tuples and returns an
-    /// immutable [`PlanShards`] snapshot over them.  Unshardable or
-    /// too-small entries are simply absent — the executor falls back to
-    /// serial scans for those, so small relations never pay the shard copy,
-    /// its incremental maintenance, or the per-query thread spawns.
+    /// Ensures a shard decomposition for every predicate in `needed` whose
+    /// relation holds at least `min_rows` tuples and returns an immutable
+    /// [`PlanShards`] snapshot over them.  Unshardable or too-small entries
+    /// are simply absent — the executor falls back to serial scans for
+    /// those, so small relations never pay the shard copy, its incremental
+    /// maintenance, or the morsel dispatch.
+    ///
+    /// The shard count is **row-count-derived** per relation (the same
+    /// figure [`sac_storage::RelationStats`] reports): roughly one shard
+    /// per `min_rows`-sized morsel, clamped to `[parallelism,
+    /// 4 * parallelism]` so every pool lane gets work and one skewed shard
+    /// cannot serialize the region, without drowning small relations in
+    /// dispatch overhead.  The decomposition is cached under its count and
+    /// extended in place on append, so the count is fixed at first build.
     pub(crate) fn snapshot_shards(
         &mut self,
         db: &Instance,
         needed: &[Symbol],
-        k: usize,
+        parallelism: usize,
         min_rows: usize,
     ) -> PlanShards {
+        let parallelism = parallelism.max(1);
+        let morsel_rows = min_rows.max(1);
         let mut out = PlanShards::with_capacity(needed.len());
         for &predicate in needed {
-            if db
+            let Some(rows) = db
                 .relation(predicate)
-                .is_none_or(|rel| rel.len() < min_rows)
-            {
+                .map(sac_storage::Relation::len)
+                .filter(|&rows| rows >= min_rows)
+            else {
                 continue;
-            }
+            };
+            let k = (rows / morsel_rows).clamp(parallelism, parallelism * 4);
             if self.ensure_shards(db, predicate, k) {
                 if let Some(arc) = self.shards.get(&(predicate, k)) {
                     out.insert(predicate, Arc::clone(arc));

@@ -60,26 +60,28 @@
 //! assert_eq!(db.metrics().plans_built, 1);
 //! ```
 //!
-//! ## Sharded parallel execution
+//! ## Morsel-driven parallel execution
 //!
 //! With [`Database::with_parallelism`] (or [`ExecOptions`]) above 1, the
-//! data-proportional phases of a run fan out over a scoped-thread worker
-//! pool, partitioned by cached hash shards of the scanned relations:
+//! data-proportional phases of a run submit morsel-sized work units to a
+//! **persistent worker pool** (spawned once at the first parallel run,
+//! parked when idle, joined on drop), partitioned by cached hash shards
+//! of the scanned relations:
 //!
 //! ```text
 //!        Database::run / run_batch      ExecOptions { parallelism: k }
 //!                    │
-//!          plan cache (Arc<Plan>)            batch: one worker per query
+//!          plan cache (Arc<Plan>)           batch: one morsel per query
 //!                    │
 //!     IndexCache snapshot (one short lock)
 //!     ├── PlanIndexes: multi-column join indexes   ──┐ both maintained
-//!     └── PlanShards:  R = R₀ ∪ R₁ ∪ … ∪ R_{k−1}   ──┘ incrementally on
-//!                    │        (hash-partitioned)       every insert
+//!     └── PlanShards:  R = R₀ ∪ R₁ ∪ … ∪ R_{m−1}   ──┘ incrementally on
+//!                    │   (hash-partitioned, m ≈ rows/morsel)  every insert
 //!       ┌────────────┼────────────┐
-//!    shard R₀     shard R₁  …  shard R_{k−1}     scoped worker pool:
-//!    match sets · semijoin chunks · fallback       claim-next-task,
-//!    search roots, one task per shard              join before return
-//!       └────────────┼────────────┘
+//!    shard R₀     shard R₁  …  shard R_{m−1}    persistent pool (k−1
+//!    match sets · semijoin chunks · fallback    threads + the submitter):
+//!    search roots, one morsel per shard         injector + per-worker
+//!       └────────────┼────────────┘             deques, steal on empty
 //!                    ▼
 //!        merge per-shard partials (set union)
 //!                    │
@@ -93,9 +95,11 @@
 //! live in the same epoch-validated cache as the join indexes and are
 //! extended in place on every insert ([`IndexCache::note_growth`]), so a
 //! single fact append costs a few hash inserts instead of a rebuild.
-//! [`EngineMetrics::shard_tasks`] and [`EngineMetrics::threads_spawned`]
-//! make the fan-out observable even on single-core hosts, where wall-clock
-//! speedup cannot show.
+//! [`EngineMetrics::shard_tasks`], [`EngineMetrics::morsels_dispatched`]
+//! and [`EngineMetrics::morsel_steals`] make the fan-out observable even
+//! on single-core hosts, where wall-clock speedup cannot show;
+//! [`EngineMetrics::threads_spawned`] reports the pool size once, not a
+//! per-region spawn count — the pool never respawns.
 //!
 //! ## Materialized views
 //!

@@ -55,11 +55,14 @@ pub enum Event {
         /// Number of shards produced.
         shards: usize,
     },
-    /// The worker pool fanned a parallel region out.
+    /// The persistent worker pool fanned a parallel region out.
     ParallelRegion {
-        /// Tasks claimed across the region.
+        /// Morsels dispatched across the region (one per work item).
         tasks: usize,
-        /// Worker threads spawned to run them.
+        /// Pool size: the persistent worker threads available to claim
+        /// them (the submitting thread helps too, so effective width is
+        /// `threads + 1`).  Pool threads are spawned once per database,
+        /// not per region.
         threads: usize,
     },
     /// A materialized view was registered with the database.

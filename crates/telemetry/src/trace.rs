@@ -233,7 +233,10 @@ pub struct QueryTrace {
     pub node_rows: Vec<NodeRows>,
     /// Parallel tasks executed across the run's fan-out points.
     pub shard_tasks: usize,
-    /// Worker threads spawned for those tasks.
+    /// Worker-pool width the run had available (the persistent pool's
+    /// thread count, reported once; 0 when every region ran inline).  The
+    /// historical name is kept for schema continuity — the pool spawns
+    /// nothing per run.
     pub threads_spawned: usize,
     /// Answer rows returned.
     pub answers: usize,
@@ -300,7 +303,7 @@ impl fmt::Display for QueryTrace {
         if self.shard_tasks > 0 {
             write!(
                 f,
-                "; {} shard tasks on {} threads",
+                "; {} shard tasks on a {}-thread pool",
                 self.shard_tasks, self.threads_spawned
             )?;
         }

@@ -129,8 +129,8 @@ fn main() {
     );
     let pm = par_db.metrics();
     println!(
-        "  fan-out: {} shard sets built, {} shard tasks on {} worker threads",
-        pm.shard_sets_built, pm.shard_tasks, pm.threads_spawned
+        "  fan-out: {} shard sets built, {} shard tasks / {} morsels ({} stolen) on a {}-thread pool",
+        pm.shard_sets_built, pm.shard_tasks, pm.morsels_dispatched, pm.morsel_steals, pm.threads_spawned
     );
     println!(
         "  run latency: p50 {} / p99 {} over {} runs",
