@@ -1,0 +1,176 @@
+//! E16 — recursive queries: semi-naive vs naive fixpoints, and what the
+//! replayable provenance costs.
+//!
+//! Three questions, answered with self-timed medians over the reproducible
+//! recursive workloads of `sac_gen::datalog`:
+//!
+//! 1. **What does semi-naive evaluation buy?**  Each workload runs through
+//!    the engine's delta-driven evaluator (`Database::run_datalog`) and
+//!    through the independent naive bottom-up reference
+//!    (`sac_datalog::naive::naive_fixpoint`), which re-joins the full
+//!    instance every round.  Reported as a speedup per workload and size.
+//! 2. **What does provenance cost at derivation time?**  Every engine run
+//!    is timed twice, with certificates on (the default) and off.
+//! 3. **What does checking cost?**  The engine-independent replay
+//!    (`sac_datalog::check::check_certificate`) is timed against the same
+//!    certificate, giving µs/derived-fact for the fail-closed audit.
+//!
+//! **Differential gate:** before anything is reported, every engine run is
+//! asserted to derive exactly the naive reference's fact set, and every
+//! certificate must replay green.  The experiment writes `BENCH_e16.json`
+//! at the workspace root; `--json` additionally echoes the JSON to stdout.
+//! With `--smoke` (the CI mode) only the smallest size per family runs and
+//! the document goes to a temp-dir file, so the tree stays clean.
+
+use sac::prelude::*;
+use sac_bench::{json_document, json_object, write_workspace_file};
+use std::collections::BTreeSet;
+
+/// One recursive workload: a program and the base instance to saturate.
+fn workloads(smoke: bool) -> Vec<(String, DatalogProgram, Instance)> {
+    let mut out = Vec::new();
+    let reach_sizes: &[usize] = if smoke { &[30] } else { &[30, 90, 180] };
+    for &nodes in reach_sizes {
+        out.push((
+            format!("reachability-n{nodes}"),
+            sac::gen::reachability_program(),
+            sac::gen::random_graph_database(nodes, nodes * 2, 11),
+        ));
+    }
+    let sg_gens: &[usize] = if smoke { &[4] } else { &[4, 6] };
+    for &generations in sg_gens {
+        out.push((
+            format!("same-generation-g{generations}"),
+            sac::gen::same_generation_program(),
+            sac::gen::parent_tree_database(generations, 2),
+        ));
+    }
+    let onto_sizes: &[usize] = if smoke { &[20] } else { &[20, 60] };
+    for &classes in onto_sizes {
+        out.push((
+            format!("ontology-c{classes}"),
+            sac::gen::ontology_closure_program(),
+            sac::gen::ontology_database(classes, classes * 3, 5),
+        ));
+    }
+    out
+}
+
+fn main() {
+    let smoke = sac_bench::flag("--smoke");
+    println!("e16 — recursive queries: semi-naive vs naive, provenance costs\n");
+    println!(
+        "{:>22} {:>8} {:>8} {:>11} {:>11} {:>9} {:>11} {:>11}",
+        "workload", "base", "derived", "naive s", "semi s", "speedup", "cert ovhd", "µs/check"
+    );
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for (name, program, base) in workloads(smoke) {
+        // The naive reference: full re-join every round, and the oracle the
+        // engine must reproduce exactly.
+        let (fixpoint, reference_cert) =
+            sac::datalog::naive::naive_fixpoint(&program, &base).unwrap();
+        let reference: BTreeSet<Atom> = fixpoint.atoms().filter(|a| !base.contains(a)).collect();
+        let naive_secs = sac_bench::median_secs(3, || {
+            std::hint::black_box(
+                sac::datalog::naive::naive_fixpoint(&program, &base)
+                    .unwrap()
+                    .0
+                    .len(),
+            );
+        });
+
+        let db = Database::from_instance(base.clone());
+        let run = db.run_datalog(&program).unwrap();
+        let derived: BTreeSet<Atom> = run.derived.iter().cloned().collect();
+        // The differential gate: no row is reported unless the engine's
+        // fixpoint is byte-identical to the reference and both certificates
+        // replay green.
+        assert_eq!(
+            derived, reference,
+            "{name}: semi-naive disagrees with naive"
+        );
+        let certificate = run.certificate.as_ref().unwrap();
+        sac::datalog::check::check_certificate(&program, &base, certificate).unwrap();
+        sac::datalog::check::check_certificate(&program, &base, &reference_cert).unwrap();
+
+        let semi_secs = sac_bench::median_secs(3, || {
+            std::hint::black_box(db.run_datalog(&program).unwrap().derived.len());
+        });
+        let nocert_secs = sac_bench::median_secs(3, || {
+            let run = db
+                .run_datalog_with(
+                    &program,
+                    DatalogOptions {
+                        certificate: false,
+                        ..DatalogOptions::default()
+                    },
+                )
+                .unwrap();
+            std::hint::black_box(run.derived.len());
+        });
+        let check_secs = sac_bench::median_secs(3, || {
+            sac::datalog::check::check_certificate(&program, &base, certificate).unwrap();
+        });
+
+        let speedup = naive_secs / semi_secs.max(1e-9);
+        let cert_overhead = semi_secs / nocert_secs.max(1e-9);
+        let check_us_per_fact = if run.derived.is_empty() {
+            0.0
+        } else {
+            check_secs / run.derived.len() as f64 * 1e6
+        };
+        speedups.push(speedup);
+        println!(
+            "{name:>22} {:>8} {:>8} {naive_secs:>11.5} {semi_secs:>11.5} {speedup:>9.2} \
+             {cert_overhead:>11.2} {check_us_per_fact:>11.2}",
+            base.len(),
+            run.derived.len(),
+        );
+        rows.push(json_object(&[
+            ("workload", format!("\"{name}\"")),
+            ("base_atoms", base.len().to_string()),
+            ("derived_facts", run.derived.len().to_string()),
+            ("iterations", run.stats.iterations.to_string()),
+            ("strata", run.stats.strata.to_string()),
+            ("naive_secs", format!("{naive_secs:.6}")),
+            ("semi_naive_secs", format!("{semi_secs:.6}")),
+            ("semi_naive_no_cert_secs", format!("{nocert_secs:.6}")),
+            ("certificate_steps", certificate.len().to_string()),
+            ("check_secs", format!("{check_secs:.6}")),
+            ("speedup_vs_naive", format!("{speedup:.3}")),
+            ("certificate_overhead", format!("{cert_overhead:.3}")),
+            ("check_micros_per_fact", format!("{check_us_per_fact:.3}")),
+        ]));
+    }
+
+    let best = speedups.iter().cloned().fold(0.0f64, f64::max);
+    let doc = json_document(
+        "e16_datalog",
+        &[
+            ("smoke", smoke.to_string()),
+            ("best_speedup_vs_naive", format!("{best:.3}")),
+            (
+                "gate",
+                "\"every run asserted fact-identical to the naive reference; every \
+                 certificate replayed through the engine-independent checker\""
+                    .to_owned(),
+            ),
+        ],
+        &rows,
+    );
+    let path = if smoke {
+        let path = std::env::temp_dir().join("BENCH_e16_smoke.json");
+        std::fs::write(&path, &doc).expect("write smoke report");
+        eprintln!("bench smoke ok: all workloads agree with the naive reference");
+        path
+    } else {
+        write_workspace_file("BENCH_e16.json", &doc)
+    };
+    println!("\nheadline: best semi-naive speedup over naive {best:.2}x");
+    println!("wrote {}", path.display());
+    if sac_bench::json_flag() {
+        print!("{doc}");
+    }
+}

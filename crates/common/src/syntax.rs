@@ -20,11 +20,16 @@
 //!
 //! Grammar summary:
 //! ```text
-//! rule   :=  name(T1, …, Tk) :- atom, …, atom .   (k may be 0)
+//! rule   :=  name(T1, …, Tk) :- literal, …, literal .   (k may be 0)
+//! literal :=  atom  |  not atom                          (rule bodies only)
 //! tgd    :=  atom, …, atom -> atom, …, atom .
 //! egd    :=  atom, …, atom -> T = U .
 //! fact   :=  atom .
 //! ```
+//!
+//! `not` is a contextual keyword: it negates the following atom only when it
+//! is immediately followed by another identifier (the atom's predicate), so
+//! `not(X)` still parses as a positive atom whose predicate is `not`.
 //!
 //! Errors are [`Error::Parse`] values carrying the byte offset plus the
 //! 1-based line/column of the failure.
@@ -140,13 +145,17 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
 /// belongs to the crates that own the corresponding types.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RawStatement {
-    /// `head :- atom, …, atom.` — a query/rule.  The head is kept as a full
-    /// atom; the query layer checks that its arguments are variables.
+    /// `head :- literal, …, literal.` — a query/rule.  The head is kept as a
+    /// full atom; the query layer checks that its arguments are variables.
+    /// Negated literals (`not P(…)`) are collected separately: conjunctive
+    /// queries reject them, the Datalog layer stratifies them.
     Rule {
         /// The head pseudo-atom `name(args)`.
         head: Atom,
-        /// The body conjunction.
+        /// The positive body conjunction.
         body: Vec<Atom>,
+        /// The negated body atoms (`not P(…)`), in source order.
+        negated: Vec<Atom>,
     },
     /// `atom, …, atom -> atom, …, atom.` — a tuple-generating dependency.
     Tgd {
@@ -270,6 +279,34 @@ impl<'a> RawParser<'a> {
         Ok(atoms)
     }
 
+    /// Whether the parser sits on a `not P` negation marker: the contextual
+    /// keyword `not` followed by another identifier.  A lone `not(` is the
+    /// start of a positive atom whose predicate happens to be `not`.
+    fn at_negation(&self) -> bool {
+        matches!(self.peek(), Some(Token::Ident(word)) if word == "not")
+            && matches!(self.tokens.get(self.pos + 1), Some((Token::Ident(_), _)))
+    }
+
+    /// Parses a rule body: positive and negated literals in any order.
+    fn literal_list(&mut self) -> Result<(Vec<Atom>, Vec<Atom>)> {
+        let mut body = Vec::new();
+        let mut negated = Vec::new();
+        loop {
+            if self.at_negation() {
+                self.pos += 1;
+                negated.push(self.atom()?);
+            } else {
+                body.push(self.atom()?);
+            }
+            if self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok((body, negated))
+    }
+
     /// Parses one statement ending with `.`.
     fn statement(&mut self) -> Result<RawStatement> {
         let start = self.pos;
@@ -277,11 +314,12 @@ impl<'a> RawParser<'a> {
         match self.peek() {
             Some(Token::ColonDash) => {
                 self.pos += 1;
-                let body = self.atom_list()?;
+                let (body, negated) = self.literal_list()?;
                 self.eat(&Token::Dot)?;
                 Ok(RawStatement::Rule {
                     head: first_atom,
                     body,
+                    negated,
                 })
             }
             Some(Token::Dot) => {
@@ -381,11 +419,17 @@ mod tests {
         assert_eq!(parsed[1].kind(), "tgd");
         assert_eq!(parsed[2].kind(), "egd");
         assert_eq!(parsed[3].kind(), "query");
-        let RawStatement::Rule { head, body } = &parsed[3] else {
+        let RawStatement::Rule {
+            head,
+            body,
+            negated,
+        } = &parsed[3]
+        else {
             panic!("expected a rule");
         };
         assert_eq!(head.arity(), 2);
         assert_eq!(body.len(), 3);
+        assert!(negated.is_empty());
     }
 
     #[test]
@@ -430,7 +474,7 @@ mod tests {
     fn multi_byte_identifiers_lex_without_panicking() {
         // Regression: the byte-wise lexer used to slice mid-character on
         // non-ASCII identifiers.  They now parse as ordinary identifiers…
-        let RawStatement::Rule { head, body } = parse_statement("q(X) :- Ré(X, öäü).").unwrap()
+        let RawStatement::Rule { head, body, .. } = parse_statement("q(X) :- Ré(X, öäü).").unwrap()
         else {
             panic!("expected a rule");
         };
@@ -457,6 +501,50 @@ mod tests {
         assert_eq!(atom.predicate.as_str(), "R*2");
         assert!(parse_statement("*R(a).").is_err());
         assert!(parse_statement("q(X) :- R(X), *S(X).").is_err());
+    }
+
+    #[test]
+    fn negated_literals_parse_in_rule_bodies() {
+        let RawStatement::Rule {
+            head,
+            body,
+            negated,
+        } = parse_statement("alive(X) :- node(X), not dead(X).").unwrap()
+        else {
+            panic!("expected a rule");
+        };
+        assert_eq!(head.predicate.as_str(), "alive");
+        assert_eq!(body, vec![atom!("node", var "X")]);
+        assert_eq!(negated, vec![atom!("dead", var "X")]);
+    }
+
+    #[test]
+    fn not_stays_a_predicate_when_directly_applied() {
+        // `not(X)` — no following identifier, so `not` is an ordinary atom.
+        let RawStatement::Rule { body, negated, .. } =
+            parse_statement("q(X) :- not(X), R(X).").unwrap()
+        else {
+            panic!("expected a rule");
+        };
+        assert_eq!(body[0].predicate.as_str(), "not");
+        assert!(negated.is_empty());
+        // And `not not(X)` negates the `not` predicate.
+        let RawStatement::Rule { body, negated, .. } =
+            parse_statement("q(X) :- R(X), not not(X).").unwrap()
+        else {
+            panic!("expected a rule");
+        };
+        assert_eq!(body.len(), 1);
+        assert_eq!(negated[0].predicate.as_str(), "not");
+    }
+
+    #[test]
+    fn negation_is_rule_body_only() {
+        // `not` in a tgd body is just an atom application; a dangling `not`
+        // before an atom fails to parse as a dependency.
+        assert!(parse_statement("R(X), not S(X) -> T(X).").is_err());
+        // Facts cannot be negated.
+        assert!(parse_statement("not R(a).").is_err());
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Derivation certificates: replayable provenance for Datalog answers.
+
+use sac_common::{resolve, Atom, Symbol};
+use std::fmt;
+
+/// One premise of a derivation step.
+///
+/// Base facts are referenced by their stable, append-only row id inside the
+/// base instance; derived facts by the index of the earlier step that
+/// produced them.  Both references are compact and independent of the
+/// engine that produced the certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Premise {
+    /// A fact from the base instance: `predicate` relation, row `row`.
+    Base {
+        /// The predicate whose relation holds the fact.
+        predicate: Symbol,
+        /// The stable insertion-order row id within that relation.
+        row: usize,
+    },
+    /// The fact derived by an earlier step of the same certificate.
+    Derived(usize),
+}
+
+impl fmt::Display for Premise {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Premise::Base { predicate, row } => write!(f, "{}#{row}", resolve(*predicate)),
+            Premise::Derived(step) => write!(f, "step {step}"),
+        }
+    }
+}
+
+/// One rule application: which rule fired, what it derived, and from what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivationStep {
+    /// Index of the applied rule within the program.
+    pub rule: usize,
+    /// The derived ground fact.
+    pub fact: Atom,
+    /// One premise per positive body atom, in body order.
+    pub premises: Vec<Premise>,
+    /// The instantiated (ground) negated literals the rule relied on being
+    /// absent, in rule order.  Empty for positive rules.
+    pub negated: Vec<Atom>,
+}
+
+impl fmt::Display for DerivationStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule {} => {} <= [", self.rule, self.fact)?;
+        for (i, premise) in self.premises.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{premise}")?;
+        }
+        write!(f, "]")?;
+        for literal in &self.negated {
+            write!(f, "; not {literal}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A topologically ordered derivation log.
+///
+/// Every step's `Derived` premises point strictly backwards, so replaying
+/// the steps in order reconstructs exactly the facts the producer claims to
+/// have derived.  The [`crate::check`] module performs that replay without
+/// any engine machinery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Certificate {
+    /// The derivation steps, in derivation order.
+    pub steps: Vec<DerivationStep>,
+}
+
+impl Certificate {
+    /// The number of derivation steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the certificate derives nothing.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The derived facts, in derivation order.
+    pub fn facts(&self) -> impl Iterator<Item = &Atom> {
+        self.steps.iter().map(|step| &step.fact)
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "#{i}: {step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_common::{intern, Term};
+
+    #[test]
+    fn display_is_compact_and_stable() {
+        let step = DerivationStep {
+            rule: 1,
+            fact: Atom::from_parts("T", vec![Term::constant("a"), Term::constant("c")]),
+            premises: vec![
+                Premise::Base {
+                    predicate: intern("E"),
+                    row: 0,
+                },
+                Premise::Derived(0),
+            ],
+            negated: vec![Atom::from_parts("Blocked", vec![Term::constant("a")])],
+        };
+        let cert = Certificate { steps: vec![step] };
+        assert_eq!(
+            cert.to_string(),
+            "#0: rule 1 => T(a, c) <= [E#0, step 0]; not Blocked(a)"
+        );
+    }
+}

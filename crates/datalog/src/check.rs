@@ -1,0 +1,406 @@
+//! The standalone certificate checker.
+//!
+//! Replays a [`Certificate`] against a program and a base instance with no
+//! engine machinery at all — just premise lookup and first-order matching.
+//! Every deviation from a valid derivation is rejected fail-closed with a
+//! specific [`CheckError`], so a verified certificate is a proof that each
+//! recorded fact really follows from the base facts under the program.
+//!
+//! The negation check is two-phase: during replay each step's recorded
+//! negated literals are checked to be the ground instantiation the rule
+//! demands, and after replay each is checked to be absent from the final
+//! model (base facts plus every derived fact).  For stratified programs the
+//! final model is the perfect model, so absence at the end implies absence
+//! at the step's stratum.
+
+use crate::certificate::{Certificate, Premise};
+use crate::program::DatalogProgram;
+use sac_common::{Atom, Substitution};
+use sac_storage::Instance;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a certificate was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A step names a rule index outside the program.
+    UnknownRule {
+        /// Offending step index.
+        step: usize,
+        /// The out-of-range rule index.
+        rule: usize,
+    },
+    /// A step's derived fact contains variables or nulls.
+    NotGround {
+        /// Offending step index.
+        step: usize,
+    },
+    /// A step records a different number of premises than its rule has
+    /// positive body atoms.
+    PremiseCount {
+        /// Offending step index.
+        step: usize,
+        /// Positive body atoms of the named rule.
+        expected: usize,
+        /// Premises actually recorded.
+        found: usize,
+    },
+    /// A `Derived` premise points at this step or a later one.
+    ForwardReference {
+        /// Offending step index.
+        step: usize,
+        /// The referenced step index.
+        reference: usize,
+    },
+    /// A `Base` premise names a predicate or row the base instance lacks.
+    MissingBaseFact {
+        /// Offending step index.
+        step: usize,
+        /// The dangling premise.
+        premise: Premise,
+    },
+    /// A premise fact does not match its rule's body atom under the
+    /// substitution accumulated so far.
+    PremiseMismatch {
+        /// Offending step index.
+        step: usize,
+        /// Position of the premise within the step.
+        position: usize,
+    },
+    /// Instantiating the rule head does not yield the recorded fact.
+    HeadMismatch {
+        /// Offending step index.
+        step: usize,
+    },
+    /// A step's recorded negated literals disagree with its rule.
+    NegatedMismatch {
+        /// Offending step index.
+        step: usize,
+    },
+    /// A recorded negated literal is actually present in the final model.
+    NegatedFactPresent {
+        /// Offending step index.
+        step: usize,
+        /// The present fact the step claimed was absent.
+        fact: Atom,
+    },
+    /// The answer handed to [`verify_answer`] is not in the replayed model.
+    AnswerNotDerived {
+        /// The unsupported answer.
+        fact: Atom,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnknownRule { step, rule } => {
+                write!(f, "step {step}: rule index {rule} is outside the program")
+            }
+            CheckError::NotGround { step } => {
+                write!(f, "step {step}: derived fact is not ground")
+            }
+            CheckError::PremiseCount {
+                step,
+                expected,
+                found,
+            } => write!(
+                f,
+                "step {step}: rule has {expected} positive body atoms but \
+                 {found} premises were recorded"
+            ),
+            CheckError::ForwardReference { step, reference } => write!(
+                f,
+                "step {step}: premise references step {reference}, which is \
+                 not strictly earlier"
+            ),
+            CheckError::MissingBaseFact { step, premise } => write!(
+                f,
+                "step {step}: base premise {premise} is not in the base instance"
+            ),
+            CheckError::PremiseMismatch { step, position } => write!(
+                f,
+                "step {step}: premise {position} does not match the rule's \
+                 body atom under the accumulated substitution"
+            ),
+            CheckError::HeadMismatch { step } => write!(
+                f,
+                "step {step}: instantiated rule head differs from the recorded fact"
+            ),
+            CheckError::NegatedMismatch { step } => write!(
+                f,
+                "step {step}: recorded negated literals disagree with the rule"
+            ),
+            CheckError::NegatedFactPresent { step, fact } => write!(
+                f,
+                "step {step}: negated literal {fact} is present in the final model"
+            ),
+            CheckError::AnswerNotDerived { fact } => {
+                write!(f, "answer {fact} is not derived by the certificate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Replays `certificate` against `program` and `base`, returning the set of
+/// derived facts on success.
+///
+/// The replay is fail-closed: any dangling premise, unification failure,
+/// head mismatch, out-of-order reference or violated negated literal aborts
+/// with the first [`CheckError`] encountered.
+pub fn replay(
+    program: &DatalogProgram,
+    base: &Instance,
+    certificate: &Certificate,
+) -> Result<BTreeSet<Atom>, CheckError> {
+    let rules = program.rules();
+    let mut derived: Vec<Atom> = Vec::with_capacity(certificate.len());
+
+    for (index, step) in certificate.steps.iter().enumerate() {
+        let rule = rules.get(step.rule).ok_or(CheckError::UnknownRule {
+            step: index,
+            rule: step.rule,
+        })?;
+        if !step.fact.is_ground() {
+            return Err(CheckError::NotGround { step: index });
+        }
+        if step.premises.len() != rule.body.len() {
+            return Err(CheckError::PremiseCount {
+                step: index,
+                expected: rule.body.len(),
+                found: step.premises.len(),
+            });
+        }
+        let mut substitution = Substitution::new();
+        for (position, (premise, pattern)) in step.premises.iter().zip(rule.body.iter()).enumerate()
+        {
+            let fact = match premise {
+                Premise::Base { predicate, row } => {
+                    let missing = CheckError::MissingBaseFact {
+                        step: index,
+                        premise: *premise,
+                    };
+                    let relation = base.relation(*predicate).ok_or(missing.clone())?;
+                    let args = relation.row(*row).ok_or(missing)?;
+                    Atom::new(*predicate, args)
+                }
+                Premise::Derived(reference) => {
+                    if *reference >= index {
+                        return Err(CheckError::ForwardReference {
+                            step: index,
+                            reference: *reference,
+                        });
+                    }
+                    derived[*reference].clone()
+                }
+            };
+            if !substitution.match_atom(pattern, &fact) {
+                return Err(CheckError::PremiseMismatch {
+                    step: index,
+                    position,
+                });
+            }
+        }
+        if substitution.apply_atom(&rule.head) != step.fact {
+            return Err(CheckError::HeadMismatch { step: index });
+        }
+        if step.negated.len() != rule.negated.len() {
+            return Err(CheckError::NegatedMismatch { step: index });
+        }
+        for (recorded, literal) in step.negated.iter().zip(rule.negated.iter()) {
+            if !recorded.is_ground() || substitution.apply_atom(literal) != *recorded {
+                return Err(CheckError::NegatedMismatch { step: index });
+            }
+        }
+        derived.push(step.fact.clone());
+    }
+
+    let model: BTreeSet<Atom> = derived.iter().cloned().collect();
+    for (index, step) in certificate.steps.iter().enumerate() {
+        for literal in &step.negated {
+            if base.contains(literal) || model.contains(literal) {
+                return Err(CheckError::NegatedFactPresent {
+                    step: index,
+                    fact: literal.clone(),
+                });
+            }
+        }
+    }
+    Ok(model)
+}
+
+/// Checks a certificate, discarding the replayed model.
+pub fn check_certificate(
+    program: &DatalogProgram,
+    base: &Instance,
+    certificate: &Certificate,
+) -> Result<(), CheckError> {
+    replay(program, base, certificate).map(|_| ())
+}
+
+/// Checks that `certificate` is valid *and* supports the ground `answer`:
+/// the answer must be a base fact or one of the replayed derivations.
+pub fn verify_answer(
+    program: &DatalogProgram,
+    base: &Instance,
+    certificate: &Certificate,
+    answer: &Atom,
+) -> Result<(), CheckError> {
+    let model = replay(program, base, certificate)?;
+    if base.contains(answer) || model.contains(answer) {
+        Ok(())
+    } else {
+        Err(CheckError::AnswerNotDerived {
+            fact: answer.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::DerivationStep;
+    use crate::naive::naive_fixpoint;
+    use sac_common::{intern, Term};
+
+    fn reachability() -> (DatalogProgram, Instance) {
+        let program: DatalogProgram = "T(X, Y) :- E(X, Y).\n\
+                                       T(X, Z) :- E(X, Y), T(Y, Z)."
+            .parse()
+            .unwrap();
+        let base = Instance::from_atoms([
+            Atom::from_parts("E", vec![Term::constant("a"), Term::constant("b")]),
+            Atom::from_parts("E", vec![Term::constant("b"), Term::constant("c")]),
+        ])
+        .unwrap();
+        (program, base)
+    }
+
+    #[test]
+    fn honest_certificates_replay_green() {
+        let (program, base) = reachability();
+        let (fixpoint, certificate) = naive_fixpoint(&program, &base).unwrap();
+        let model = replay(&program, &base, &certificate).unwrap();
+        assert_eq!(model.len() + 2, fixpoint.len());
+        for fact in certificate.facts() {
+            verify_answer(&program, &base, &certificate, fact).unwrap();
+        }
+    }
+
+    #[test]
+    fn dropped_premises_are_rejected() {
+        let (program, base) = reachability();
+        let (_, mut certificate) = naive_fixpoint(&program, &base).unwrap();
+        certificate.steps[0].premises.clear();
+        assert!(matches!(
+            check_certificate(&program, &base, &certificate),
+            Err(CheckError::PremiseCount { .. })
+        ));
+    }
+
+    #[test]
+    fn swapped_rule_ids_are_rejected() {
+        let (program, base) = reachability();
+        let (_, mut certificate) = naive_fixpoint(&program, &base).unwrap();
+        // Step 0 fires the single-premise base rule; pointing it at the
+        // two-premise recursive rule breaks the premise count.
+        assert_eq!(certificate.steps[0].rule, 0);
+        certificate.steps[0].rule = 1;
+        assert!(check_certificate(&program, &base, &certificate).is_err());
+    }
+
+    #[test]
+    fn forged_facts_are_rejected() {
+        let (program, base) = reachability();
+        let (_, mut certificate) = naive_fixpoint(&program, &base).unwrap();
+        certificate.steps[0].fact =
+            Atom::from_parts("T", vec![Term::constant("z"), Term::constant("z")]);
+        assert!(matches!(
+            check_certificate(&program, &base, &certificate),
+            Err(CheckError::HeadMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_base_rows_are_rejected() {
+        let (program, base) = reachability();
+        let (_, mut certificate) = naive_fixpoint(&program, &base).unwrap();
+        certificate.steps[0].premises[0] = Premise::Base {
+            predicate: intern("E"),
+            row: 99,
+        };
+        assert!(matches!(
+            check_certificate(&program, &base, &certificate),
+            Err(CheckError::MissingBaseFact { .. })
+        ));
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let (program, base) = reachability();
+        let (_, mut certificate) = naive_fixpoint(&program, &base).unwrap();
+        let last = certificate.len() - 1;
+        for premise in &mut certificate.steps[0].premises {
+            *premise = Premise::Derived(last);
+        }
+        assert!(matches!(
+            check_certificate(&program, &base, &certificate),
+            Err(CheckError::ForwardReference { .. })
+        ));
+    }
+
+    #[test]
+    fn violated_negated_literals_are_rejected() {
+        let program: DatalogProgram = "Lonely(X) :- N(X), not E(X, X).".parse().unwrap();
+        let base =
+            Instance::from_atoms([Atom::from_parts("N", vec![Term::constant("a")])]).unwrap();
+        let (_, certificate) = naive_fixpoint(&program, &base).unwrap();
+        assert_eq!(certificate.len(), 1);
+        check_certificate(&program, &base, &certificate).unwrap();
+
+        // The same steps against a base where E(a, a) holds must fail the
+        // absence check.
+        let dirty = Instance::from_atoms([
+            Atom::from_parts("N", vec![Term::constant("a")]),
+            Atom::from_parts("E", vec![Term::constant("a"), Term::constant("a")]),
+        ])
+        .unwrap();
+        assert!(matches!(
+            check_certificate(&program, &dirty, &certificate),
+            Err(CheckError::NegatedFactPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn unsupported_answers_are_rejected() {
+        let (program, base) = reachability();
+        let (_, certificate) = naive_fixpoint(&program, &base).unwrap();
+        let bogus = Atom::from_parts("T", vec![Term::constant("c"), Term::constant("a")]);
+        assert!(matches!(
+            verify_answer(&program, &base, &certificate, &bogus),
+            Err(CheckError::AnswerNotDerived { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_derivation_steps_are_rejected_not_ignored() {
+        let (program, base) = reachability();
+        let (_, mut certificate) = naive_fixpoint(&program, &base).unwrap();
+        let step = DerivationStep {
+            rule: 0,
+            fact: Atom::from_parts("T", vec![Term::variable("X"), Term::constant("b")]),
+            premises: vec![Premise::Base {
+                predicate: intern("E"),
+                row: 0,
+            }],
+            negated: Vec::new(),
+        };
+        certificate.steps.push(step);
+        assert!(matches!(
+            check_certificate(&program, &base, &certificate),
+            Err(CheckError::NotGround { .. })
+        ));
+    }
+}

@@ -41,6 +41,7 @@
 //! lazily at the first `parallelism > 1` run (a `OnceLock`), parked while
 //! idle, and joined when the database drops.
 
+use crate::datalog::{self, DatalogOptions, DatalogRun, DatalogSource, PreparedDatalog};
 use crate::durability::{
     self, CheckpointReport, DurabilityCore, DurabilityOptions, DurableState, RecoveryReport,
 };
@@ -53,6 +54,7 @@ use crate::result::ResultSet;
 use crate::view::{MaterializedView, RefreshMode, ViewCore, ViewOptions, ViewRefresh};
 use sac_common::{Atom, Symbol};
 use sac_core::SemAcConfig;
+use sac_datalog::Certificate;
 use sac_deps::Tgd;
 use sac_query::ConjunctiveQuery;
 use sac_storage::{Instance, InstanceStats};
@@ -186,6 +188,13 @@ pub struct EngineMetrics {
     /// Appended rows consumed by incremental view refreshes — the total
     /// "Δ" that maintenance was proportional to instead of the database.
     pub view_delta_rows: usize,
+    /// Datalog fixpoint evaluations ([`Database::run_datalog`] /
+    /// [`crate::PreparedDatalog::run`] calls).
+    pub datalog_runs: usize,
+    /// Semi-naive iterations across every Datalog run (all strata).
+    pub datalog_iterations: usize,
+    /// Facts derived on top of base instances across every Datalog run.
+    pub datalog_facts_derived: usize,
     /// WAL records appended (durable databases only; see
     /// [`Database::open`]).
     pub wal_appends: usize,
@@ -207,6 +216,9 @@ pub struct EngineMetrics {
     /// Latency distribution of view refreshes that did work (incremental
     /// delta pushes and full recomputes; already-fresh no-ops are skipped).
     pub view_refresh_latency: HistogramSnapshot,
+    /// Latency distribution of whole Datalog fixpoint evaluations
+    /// (planning, every iteration and certificate bookkeeping included).
+    pub datalog_latency: HistogramSnapshot,
 }
 
 impl EngineMetrics {
@@ -240,6 +252,7 @@ impl EngineMetrics {
             run_latency: HistogramSnapshot::default(),
             prepare_latency: HistogramSnapshot::default(),
             view_refresh_latency: HistogramSnapshot::default(),
+            datalog_latency: HistogramSnapshot::default(),
             morsel_steals: 0,
             pool_queue_wait_ns: 0,
             ..self.clone()
@@ -270,6 +283,13 @@ impl fmt::Display for EngineMetrics {
             self.view_refreshes_full,
             self.view_delta_rows,
         )?;
+        if self.datalog_runs > 0 {
+            write!(
+                f,
+                "; datalog: {} runs, {} iterations, {} facts derived",
+                self.datalog_runs, self.datalog_iterations, self.datalog_facts_derived,
+            )?;
+        }
         if self.wal_appends > 0 || self.snapshots_written > 0 || self.recovery_replayed_batches > 0
         {
             write!(
@@ -289,6 +309,9 @@ impl fmt::Display for EngineMetrics {
         }
         if !self.view_refresh_latency.is_empty() {
             write!(f, "; view refresh latency: {}", self.view_refresh_latency)?;
+        }
+        if !self.datalog_latency.is_empty() {
+            write!(f, "; datalog latency: {}", self.datalog_latency)?;
         }
         Ok(())
     }
@@ -323,6 +346,9 @@ struct MetricCounters {
     view_refreshes_incremental: AtomicUsize,
     view_refreshes_full: AtomicUsize,
     view_delta_rows: AtomicUsize,
+    datalog_runs: AtomicUsize,
+    datalog_iterations: AtomicUsize,
+    datalog_facts_derived: AtomicUsize,
     wal_appends: AtomicUsize,
     wal_bytes: AtomicUsize,
     snapshots_written: AtomicUsize,
@@ -368,6 +394,9 @@ impl MetricCounters {
             view_refreshes_incremental: self.view_refreshes_incremental.load(Ordering::Relaxed),
             view_refreshes_full: self.view_refreshes_full.load(Ordering::Relaxed),
             view_delta_rows: self.view_delta_rows.load(Ordering::Relaxed),
+            datalog_runs: self.datalog_runs.load(Ordering::Relaxed),
+            datalog_iterations: self.datalog_iterations.load(Ordering::Relaxed),
+            datalog_facts_derived: self.datalog_facts_derived.load(Ordering::Relaxed),
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             snapshots_written: self.snapshots_written.load(Ordering::Relaxed),
@@ -376,6 +405,7 @@ impl MetricCounters {
             run_latency: HistogramSnapshot::default(),
             prepare_latency: HistogramSnapshot::default(),
             view_refresh_latency: HistogramSnapshot::default(),
+            datalog_latency: HistogramSnapshot::default(),
         }
     }
 
@@ -397,6 +427,9 @@ impl MetricCounters {
         self.view_refreshes_incremental.store(0, Ordering::Relaxed);
         self.view_refreshes_full.store(0, Ordering::Relaxed);
         self.view_delta_rows.store(0, Ordering::Relaxed);
+        self.datalog_runs.store(0, Ordering::Relaxed);
+        self.datalog_iterations.store(0, Ordering::Relaxed);
+        self.datalog_facts_derived.store(0, Ordering::Relaxed);
         self.wal_appends.store(0, Ordering::Relaxed);
         self.wal_bytes.store(0, Ordering::Relaxed);
         self.snapshots_written.store(0, Ordering::Relaxed);
@@ -412,6 +445,7 @@ struct LatencyRecorders {
     run: Histogram,
     prepare: Histogram,
     view_refresh: Histogram,
+    datalog: Histogram,
 }
 
 /// Everything a traced run carries from its entry point into
@@ -548,7 +582,7 @@ impl Database {
     /// The worker pool for `parallelism > 1` runs, creating it on first
     /// use; `None` exactly when the database is serial, so parallelism-1
     /// sessions never spawn a thread.
-    fn pool_handle(&self) -> Option<Arc<WorkerPool>> {
+    pub(crate) fn pool_handle(&self) -> Option<Arc<WorkerPool>> {
         if self.exec.parallelism <= 1 {
             return None;
         }
@@ -948,6 +982,100 @@ impl Database {
             .morsels_dispatched
             .fetch_add(plans.len(), Ordering::Relaxed);
         results
+    }
+
+    /// Evaluates a stratified Datalog program to fixpoint over the current
+    /// facts with default [`DatalogOptions`] (certificate recording on,
+    /// constraint-free rule planning).
+    ///
+    /// The evaluation is semi-naive on a point-in-time snapshot: each
+    /// rule's positive body is compiled through the ordinary strategy
+    /// lattice, and iterations past the first evaluate only against the
+    /// rows the previous iteration appended (see [`crate::datalog`]).  The
+    /// database's own facts are untouched — the saturated instance comes
+    /// back in [`DatalogRun::fixpoint`].
+    ///
+    /// ```
+    /// use sac_engine::Database;
+    ///
+    /// let db = Database::from_facts("E(a, b). E(b, c).").unwrap();
+    /// let run = db
+    ///     .run_datalog("T(X, Y) :- E(X, Y).\nT(X, Z) :- E(X, Y), T(Y, Z).")
+    ///     .unwrap();
+    /// assert_eq!(run.derived_for("T").len(), 3);
+    /// // Every answer ships with a replayable, engine-independent proof.
+    /// let cert = run.certificate.as_ref().unwrap();
+    /// let program = "T(X, Y) :- E(X, Y).\nT(X, Z) :- E(X, Y), T(Y, Z)."
+    ///     .parse()
+    ///     .unwrap();
+    /// db.read(|base| sac_datalog::check::check_certificate(&program, base, cert))
+    ///     .unwrap();
+    /// ```
+    pub fn run_datalog<P: DatalogSource>(&self, source: P) -> SacResult<DatalogRun> {
+        self.run_datalog_with(source, DatalogOptions::default())
+    }
+
+    /// [`Database::run_datalog`] with explicit options.
+    pub fn run_datalog_with<P: DatalogSource>(
+        &self,
+        source: P,
+        options: DatalogOptions,
+    ) -> SacResult<DatalogRun> {
+        let program = source.into_program()?;
+        self.run_datalog_program(&program, options)
+    }
+
+    /// Parses and stratifies a program once for repeated evaluation.
+    pub fn prepare_datalog<P: DatalogSource>(&self, source: P) -> SacResult<PreparedDatalog<'_>> {
+        Ok(PreparedDatalog {
+            db: self,
+            program: Arc::new(source.into_program()?),
+            options: DatalogOptions::default(),
+        })
+    }
+
+    /// The shared evaluation entry: snapshots the instance, runs the
+    /// semi-naive loop, and folds the run into metrics, the latency
+    /// histogram and the event bus.
+    pub(crate) fn run_datalog_program(
+        &self,
+        program: &sac_datalog::DatalogProgram,
+        options: DatalogOptions,
+    ) -> SacResult<DatalogRun> {
+        let started = Instant::now();
+        let work = self.snapshot();
+        let tgds = if options.use_constraints {
+            self.tgds()
+        } else {
+            Vec::new()
+        };
+        let run = datalog::evaluate(
+            program,
+            work,
+            &tgds,
+            &self.config,
+            self.exec,
+            self.pool_handle(),
+            options,
+        )?;
+        let elapsed = started.elapsed();
+        self.latency.datalog.record(elapsed);
+        self.metrics.datalog_runs.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .datalog_iterations
+            .fetch_add(run.stats.iterations, Ordering::Relaxed);
+        self.metrics
+            .datalog_facts_derived
+            .fetch_add(run.stats.facts_derived, Ordering::Relaxed);
+        bus::emit(|| Event::DatalogCompleted {
+            rules: run.stats.rules,
+            strata: run.stats.strata,
+            iterations: run.stats.iterations,
+            facts_derived: run.stats.facts_derived,
+            certificate_steps: run.certificate.as_ref().map_or(0, Certificate::len),
+            micros: u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX),
+        });
+        Ok(run)
     }
 
     fn run_plan(&self, plan: &Plan) -> ResultSet {
@@ -1428,6 +1556,7 @@ impl Database {
         m.run_latency = self.latency.run.snapshot();
         m.prepare_latency = self.latency.prepare.snapshot();
         m.view_refresh_latency = self.latency.view_refresh.snapshot();
+        m.datalog_latency = self.latency.datalog.snapshot();
         m
     }
 
@@ -1441,6 +1570,7 @@ impl Database {
         self.latency.run.reset();
         self.latency.prepare.reset();
         self.latency.view_refresh.reset();
+        self.latency.datalog.reset();
     }
 
     /// Maintenance hook: drops every cached plan and join index.  Subsequent

@@ -1,0 +1,645 @@
+//! Semi-naive evaluation of stratified Datalog programs on the engine's
+//! execution machinery.
+//!
+//! The language, certificates and the fail-closed checker live in
+//! [`sac_datalog`]; this module is the *performance* side: it compiles each
+//! rule's positive body into an ordinary conjunctive-query [`Plan`] (so
+//! every rule ride the same strategy lattice as one-shot queries —
+//! Yannakakis on acyclic bodies, a verified acyclic Σ-witness on
+//! semantically acyclic ones, indexed search otherwise) and drives the
+//! classic stratum-by-stratum semi-naive fixpoint over the storage layer's
+//! append-only delta logs:
+//!
+//! - **Iteration 1** of a stratum evaluates every rule body in full with
+//!   `exec::execute_with`.
+//! - **Iteration k+1** evaluates only against the rows appended by
+//!   iteration k.  Yannakakis-rung rules reuse the *view maintenance* delta
+//!   executor (`exec::execute_delta`): delta match sets at the dirty join
+//!   tree nodes, index-driven restriction outward, then the ordinary
+//!   sweeps.  Fallback-rung rules seed a homomorphism search from each
+//!   delta row at each body-atom occurrence.
+//! - Consequences are collected per iteration and applied **after** the
+//!   iteration (Jacobi style), in rule order then tuple order, so the
+//!   derivation log — and therefore the [`Certificate`] — is byte-identical
+//!   across strategies and parallelism levels.
+//!
+//! Rule bodies are planned with the *full* variable set as their head (one
+//! answer row per body substitution), which is what lets each answer carry
+//! provenance: the row *is* the substitution, and every premise resolves to
+//! a stable base row id or an earlier derivation step.
+//!
+//! Parallelism reuses the database's persistent morsel pool at two
+//! granularities without nesting regions: a multi-rule stratum fans out one
+//! morsel per rule (each rule executing serially), while a single-rule
+//! stratum gives that rule the full intra-query fan-out.
+
+use crate::database::{Database, EngineConfig, ExecOptions};
+use crate::error::{SacError, SacResult};
+use crate::exec;
+use crate::index::{IndexCache, PlanShards};
+use crate::plan::{plan_query, Plan, Strategy};
+use crate::pool::WorkerPool;
+use sac_common::{Atom, Error, FxHashMap, Result, Substitution, Symbol, Term};
+use sac_datalog::{Certificate, DatalogProgram, DerivationStep, Premise, Rule};
+use sac_deps::Tgd;
+use sac_query::{ConjunctiveQuery, HomomorphismSearch};
+use sac_storage::{DeltaCursor, Instance};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Per-run knobs for [`Database::run_datalog_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatalogOptions {
+    /// Record a replayable [`Certificate`] alongside the answers (the
+    /// default).  Disable to skip provenance bookkeeping on runs where only
+    /// the fixpoint matters.
+    pub certificate: bool,
+    /// Plan rule bodies under the database's tgds, enabling the
+    /// [`Strategy::YannakakisWitness`] rung for cyclic-but-semantically-
+    /// acyclic bodies.  Sound when the tgds mention only extensional
+    /// predicates and the base instance satisfies them: derived facts only
+    /// touch rule-head predicates, so they can never violate such
+    /// constraints mid-fixpoint.  Off by default — without constraints
+    /// every rung is unconditionally equivalent.
+    pub use_constraints: bool,
+}
+
+impl Default for DatalogOptions {
+    fn default() -> DatalogOptions {
+        DatalogOptions {
+            certificate: true,
+            use_constraints: false,
+        }
+    }
+}
+
+/// What one Datalog evaluation did, beyond its answers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DatalogStats {
+    /// Rules in the evaluated program.
+    pub rules: usize,
+    /// Strata the program stratified into.
+    pub strata: usize,
+    /// Fixpoint iterations across all strata (each stratum contributes at
+    /// least its full first pass plus one empty confirming pass when it
+    /// derived anything).
+    pub iterations: usize,
+    /// New facts derived on top of the base instance.
+    pub facts_derived: usize,
+    /// Rule evaluations executed on [`Strategy::YannakakisDirect`] plans.
+    pub rule_runs_yannakakis_direct: usize,
+    /// Rule evaluations executed on [`Strategy::YannakakisWitness`] plans.
+    pub rule_runs_yannakakis_witness: usize,
+    /// Rule evaluations executed on [`Strategy::IndexedSearch`] plans.
+    pub rule_runs_indexed_search: usize,
+    /// Rule evaluations served by the Yannakakis delta executor (the
+    /// remaining delta passes used seeded homomorphism search).
+    pub delta_rule_runs: usize,
+}
+
+impl DatalogStats {
+    /// Rule evaluations by strategy rung, as `(direct, witness, fallback)`.
+    pub fn rule_runs(&self) -> (usize, usize, usize) {
+        (
+            self.rule_runs_yannakakis_direct,
+            self.rule_runs_yannakakis_witness,
+            self.rule_runs_indexed_search,
+        )
+    }
+}
+
+/// The result of one Datalog fixpoint evaluation.
+#[derive(Debug, Clone)]
+pub struct DatalogRun {
+    /// The saturated instance: the base facts plus every derived fact.
+    pub fixpoint: Instance,
+    /// The derived facts only, in derivation order.
+    pub derived: Vec<Atom>,
+    /// The derivation log, when [`DatalogOptions::certificate`] was set:
+    /// replayable by the engine-independent [`sac_datalog::check`] module.
+    pub certificate: Option<Certificate>,
+    /// Evaluation statistics.
+    pub stats: DatalogStats,
+}
+
+impl DatalogRun {
+    /// The derived facts of one predicate, in derivation order.
+    pub fn derived_for(&self, predicate: &str) -> Vec<Atom> {
+        let symbol = sac_common::intern(predicate);
+        self.derived
+            .iter()
+            .filter(|fact| fact.predicate == symbol)
+            .cloned()
+            .collect()
+    }
+}
+
+/// Anything [`Database::run_datalog`] accepts as a program: a parsed
+/// [`DatalogProgram`] (owned or borrowed) or program text in the
+/// workspace's rule syntax (`T(X, Z) :- E(X, Y), T(Y, Z).`).
+pub trait DatalogSource {
+    /// Converts the source into a validated, stratified program.
+    fn into_program(self) -> SacResult<DatalogProgram>;
+}
+
+impl DatalogSource for DatalogProgram {
+    fn into_program(self) -> SacResult<DatalogProgram> {
+        Ok(self)
+    }
+}
+
+impl DatalogSource for &DatalogProgram {
+    fn into_program(self) -> SacResult<DatalogProgram> {
+        Ok(self.clone())
+    }
+}
+
+impl DatalogSource for &str {
+    fn into_program(self) -> SacResult<DatalogProgram> {
+        self.parse::<DatalogProgram>().map_err(SacError::from)
+    }
+}
+
+impl DatalogSource for &String {
+    fn into_program(self) -> SacResult<DatalogProgram> {
+        self.as_str().into_program()
+    }
+}
+
+impl DatalogSource for String {
+    fn into_program(self) -> SacResult<DatalogProgram> {
+        self.as_str().into_program()
+    }
+}
+
+/// A program parsed and stratified once, pinned to a database for repeated
+/// evaluation (the Datalog analogue of [`crate::PreparedQuery`]).
+#[derive(Debug, Clone)]
+pub struct PreparedDatalog<'db> {
+    pub(crate) db: &'db Database,
+    pub(crate) program: Arc<DatalogProgram>,
+    pub(crate) options: DatalogOptions,
+}
+
+impl PreparedDatalog<'_> {
+    /// Evaluates the program against the database's current facts.
+    pub fn run(&self) -> SacResult<DatalogRun> {
+        self.db.run_datalog_program(&self.program, self.options)
+    }
+
+    /// The validated program.
+    pub fn program(&self) -> &DatalogProgram {
+        &self.program
+    }
+
+    /// Overrides the evaluation options (builder-style).
+    pub fn with_options(mut self, options: DatalogOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// One rule compiled for the evaluation loop: its positive body planned as
+/// a conjunctive query whose head is **every** distinct body variable, so
+/// each answer row is a full substitution.
+struct CompiledRule<'p> {
+    index: usize,
+    rule: &'p Rule,
+    vars: Vec<Symbol>,
+    plan: Plan,
+}
+
+/// Distinct positive-body variables in first-occurrence order — the answer
+/// row layout of the rule's body query.
+fn body_variables(rule: &Rule) -> Vec<Symbol> {
+    let mut vars = Vec::new();
+    for atom in &rule.body {
+        for term in &atom.args {
+            if let Term::Variable(v) = term {
+                if !vars.contains(v) {
+                    vars.push(*v);
+                }
+            }
+        }
+    }
+    vars
+}
+
+/// Evaluates `program` to fixpoint over the owned working instance `work`
+/// (a snapshot of the database), semi-naively, stratum by stratum.
+pub(crate) fn evaluate(
+    program: &DatalogProgram,
+    mut work: Instance,
+    tgds: &[Tgd],
+    config: &EngineConfig,
+    exec_options: ExecOptions,
+    pool: Option<Arc<WorkerPool>>,
+    options: DatalogOptions,
+) -> Result<DatalogRun> {
+    // Everything at or below this cursor is a base fact: certificate
+    // premises below it use stable row ids, above it derivation steps.
+    let base_cursor = work.delta_cursor();
+    let planning_tgds: &[Tgd] = if options.use_constraints { tgds } else { &[] };
+
+    let compiled = program
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(index, rule)| {
+            let vars = body_variables(rule);
+            let query = ConjunctiveQuery::new(vars.clone(), rule.body.clone())?;
+            let plan = plan_query(&query, planning_tgds, &work, config);
+            Ok(CompiledRule {
+                index,
+                rule,
+                vars,
+                plan,
+            })
+        })
+        .collect::<Result<Vec<CompiledRule<'_>>>>()?;
+
+    let mut stats = DatalogStats {
+        rules: program.rule_count(),
+        strata: program.strata().len(),
+        ..DatalogStats::default()
+    };
+    // A private index cache over the working instance, extended in place
+    // after every apply phase — the database's own cache never sees the
+    // intermediate fixpoint states.
+    let mut cache = IndexCache::new(&work);
+    let mut derived: Vec<Atom> = Vec::new();
+    let mut derived_step: FxHashMap<Atom, usize> = FxHashMap::default();
+    let mut certificate = options.certificate.then(Certificate::default);
+
+    for stratum in program.strata() {
+        let rules: Vec<&CompiledRule<'_>> = stratum.iter().map(|&i| &compiled[i]).collect();
+        // A single-rule stratum keeps the full intra-query fan-out; a
+        // multi-rule stratum fans out one morsel per rule instead (each
+        // rule serial), so pool regions never nest.
+        let single = rules.len() == 1;
+        let inner_parallelism = if single { exec_options.parallelism } else { 1 };
+        let inner_pool = if single { pool.clone() } else { None };
+
+        let mut delta_from = work.delta_cursor();
+        let mut full_pass = true;
+        loop {
+            stats.iterations += 1;
+            let watermarks: HashMap<Symbol, usize> = if full_pass {
+                HashMap::new()
+            } else {
+                work.delta_since(&delta_from)
+                    .iter()
+                    .map(|delta| (delta.predicate, delta.from_row))
+                    .collect()
+            };
+
+            // Snapshot one execution context per rule up front (the cache
+            // needs `&mut`), then fan the evaluations out.
+            let contexts: Vec<exec::ExecContext> = rules
+                .iter()
+                .map(|cr| {
+                    let mut needed = exec::required_indexes(&cr.plan);
+                    if !full_pass {
+                        needed.extend(exec::delta_edge_indexes(&cr.plan));
+                    }
+                    let indexes = cache.snapshot(&work, &needed);
+                    let shards = if inner_parallelism > 1 {
+                        cache.snapshot_shards(
+                            &work,
+                            &exec::required_shards(&cr.plan),
+                            inner_parallelism,
+                            exec_options.min_parallel_rows,
+                        )
+                    } else {
+                        PlanShards::new()
+                    };
+                    exec::ExecContext::new(
+                        indexes,
+                        shards,
+                        inner_parallelism,
+                        exec_options.min_parallel_rows,
+                    )
+                    .with_pool(inner_pool.clone())
+                })
+                .collect();
+
+            let run_one = |slot: &usize| -> (BTreeSet<Vec<Term>>, bool) {
+                let (cr, ctx) = (rules[*slot], &contexts[*slot]);
+                if full_pass {
+                    (exec::execute_with(&cr.plan, &work, ctx), false)
+                } else {
+                    match exec::execute_delta(&cr.plan, &work, &watermarks, ctx) {
+                        Some(rows) => (rows, true),
+                        None => (seeded_delta(cr, &work, &watermarks), false),
+                    }
+                }
+            };
+            let slots: Vec<usize> = (0..rules.len()).collect();
+            let outputs: Vec<(BTreeSet<Vec<Term>>, bool)> = match &pool {
+                Some(pool) if !single => pool.run(&slots, run_one),
+                _ => slots.iter().map(run_one).collect(),
+            };
+
+            for (cr, (_, via_delta_exec)) in rules.iter().zip(outputs.iter()) {
+                match cr.plan.strategy() {
+                    Strategy::YannakakisDirect => stats.rule_runs_yannakakis_direct += 1,
+                    Strategy::YannakakisWitness => stats.rule_runs_yannakakis_witness += 1,
+                    Strategy::IndexedSearch => stats.rule_runs_indexed_search += 1,
+                }
+                if *via_delta_exec {
+                    stats.delta_rule_runs += 1;
+                }
+            }
+
+            // Apply phase: rule order, then the body query's sorted answer
+            // order — the derivation log never depends on how the rows
+            // were computed.
+            let before_apply = work.delta_cursor();
+            let mut changed = false;
+            for (cr, (rows, _)) in rules.iter().zip(outputs.iter()) {
+                for row in rows {
+                    let lookup = |term: Term| match term {
+                        Term::Variable(v) => {
+                            let slot = cr
+                                .vars
+                                .iter()
+                                .position(|&u| u == v)
+                                .expect("safe rules only use positive body variables");
+                            row[slot]
+                        }
+                        rigid => rigid,
+                    };
+                    let negated: Vec<Atom> = cr
+                        .rule
+                        .negated
+                        .iter()
+                        .map(|literal| literal.map_args(lookup))
+                        .collect();
+                    // Negated predicates sit in strictly lower strata, so
+                    // their extent is already final here.
+                    if negated.iter().any(|literal| work.contains(literal)) {
+                        continue;
+                    }
+                    let fact = cr.rule.head.map_args(lookup);
+                    if !work.insert(fact.clone())? {
+                        continue;
+                    }
+                    changed = true;
+                    stats.facts_derived += 1;
+                    if let Some(cert) = &mut certificate {
+                        let premises = cr
+                            .rule
+                            .body
+                            .iter()
+                            .map(|atom| {
+                                resolve_premise(
+                                    &work,
+                                    &base_cursor,
+                                    &derived_step,
+                                    &atom.map_args(lookup),
+                                )
+                            })
+                            .collect::<Result<Vec<Premise>>>()?;
+                        derived_step.insert(fact.clone(), cert.steps.len());
+                        cert.steps.push(DerivationStep {
+                            rule: cr.index,
+                            fact: fact.clone(),
+                            premises,
+                            negated,
+                        });
+                    }
+                    derived.push(fact);
+                }
+            }
+            cache.note_growth(&work);
+            delta_from = before_apply;
+            if !changed {
+                break;
+            }
+            full_pass = false;
+        }
+    }
+
+    Ok(DatalogRun {
+        fixpoint: work,
+        derived,
+        certificate,
+        stats,
+    })
+}
+
+/// Delta evaluation for rules whose plan has no Yannakakis delta executor:
+/// seed a full-body homomorphism search from every appended row at every
+/// body-atom occurrence.  Complete because any new body match must use at
+/// least one appended row at some occurrence; the result may repeat older
+/// matches, which the apply phase's insert dedup absorbs.
+fn seeded_delta(
+    cr: &CompiledRule<'_>,
+    work: &Instance,
+    watermarks: &HashMap<Symbol, usize>,
+) -> BTreeSet<Vec<Term>> {
+    let mut out = BTreeSet::new();
+    for atom in &cr.rule.body {
+        let Some(&from_row) = watermarks.get(&atom.predicate) else {
+            continue;
+        };
+        let Some(relation) = work.relation(atom.predicate) else {
+            continue;
+        };
+        if relation.arity() != atom.arity() {
+            continue;
+        }
+        for tuple in relation.rows_from(from_row) {
+            let target = Atom::new(atom.predicate, tuple);
+            let mut seed = Substitution::new();
+            if !seed.match_atom(atom, &target) {
+                continue;
+            }
+            for sub in HomomorphismSearch::new(&cr.rule.body, work)
+                .with_initial(seed)
+                .all()
+            {
+                out.insert(
+                    cr.vars
+                        .iter()
+                        .map(|&v| sub.apply(Term::Variable(v)))
+                        .collect::<Vec<Term>>(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Resolves a ground premise fact to its certificate reference: a stable
+/// base row id when the fact predates the fixpoint, otherwise the step that
+/// derived it.
+fn resolve_premise(
+    work: &Instance,
+    base_cursor: &DeltaCursor,
+    derived_step: &FxHashMap<Atom, usize>,
+    fact: &Atom,
+) -> Result<Premise> {
+    if let Some(relation) = work.relation(fact.predicate) {
+        if let Some(row) = relation.find_row(&fact.args) {
+            if row < base_cursor.rows_covered(fact.predicate) {
+                return Ok(Premise::Base {
+                    predicate: fact.predicate,
+                    row,
+                });
+            }
+        }
+    }
+    derived_step
+        .get(fact)
+        .copied()
+        .map(Premise::Derived)
+        .ok_or_else(|| {
+            Error::Malformed(format!(
+                "internal: premise {fact} is neither a base fact nor a recorded derivation"
+            ))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sac_datalog::{check, naive};
+    use std::collections::BTreeSet as Set;
+
+    fn atoms(instance: &Instance) -> Set<Atom> {
+        instance.atoms().collect()
+    }
+
+    #[test]
+    fn semi_naive_matches_the_naive_reference() {
+        let db = Database::from_facts("E(a, b). E(b, c). E(c, d). E(d, b).").unwrap();
+        let program: DatalogProgram = "T(X, Y) :- E(X, Y).\nT(X, Z) :- E(X, Y), T(Y, Z)."
+            .parse()
+            .unwrap();
+        let run = db.run_datalog(&program).unwrap();
+        let (reference, _) = naive::naive_fixpoint(&program, &db.snapshot()).unwrap();
+        assert_eq!(atoms(&run.fixpoint), atoms(&reference));
+        assert!(run.stats.iterations >= 3, "recursion needs delta passes");
+        assert!(
+            run.stats.delta_rule_runs > 0,
+            "acyclic bodies take the delta executor"
+        );
+
+        let certificate = run.certificate.expect("certificates are on by default");
+        assert_eq!(certificate.len(), run.derived.len());
+        db.read(|base| check::check_certificate(&program, base, &certificate))
+            .unwrap();
+    }
+
+    #[test]
+    fn stratified_negation_agrees_with_the_reference() {
+        let db = Database::from_facts("E(a, b). E(b, c). N(a). N(b). N(c).").unwrap();
+        let program: DatalogProgram = "T(X, Y) :- E(X, Y).\n\
+                                       T(X, Z) :- E(X, Y), T(Y, Z).\n\
+                                       Un(X, Y) :- N(X), N(Y), not T(X, Y)."
+            .parse()
+            .unwrap();
+        let run = db.run_datalog(&program).unwrap();
+        let (reference, _) = naive::naive_fixpoint(&program, &db.snapshot()).unwrap();
+        assert_eq!(atoms(&run.fixpoint), atoms(&reference));
+        assert_eq!(run.stats.strata, 2);
+        let certificate = run.certificate.unwrap();
+        db.read(|base| check::check_certificate(&program, base, &certificate))
+            .unwrap();
+    }
+
+    #[test]
+    fn parallel_runs_are_byte_identical_to_serial() {
+        let mut facts = String::new();
+        for i in 0..40 {
+            facts.push_str(&format!("E(n{}, n{}). ", i, (i * 7 + 3) % 40));
+        }
+        let program: DatalogProgram = "T(X, Y) :- E(X, Y).\n\
+                                       T(X, Z) :- E(X, Y), T(Y, Z).\n\
+                                       S(X) :- T(X, X)."
+            .parse()
+            .unwrap();
+        let serial = Database::from_facts(&facts)
+            .unwrap()
+            .run_datalog(&program)
+            .unwrap();
+        for parallelism in [2, 4] {
+            let db = Database::from_facts(&facts)
+                .unwrap()
+                .with_exec_options(ExecOptions {
+                    parallelism,
+                    min_parallel_rows: 0,
+                });
+            let run = db.run_datalog(&program).unwrap();
+            assert_eq!(run.derived, serial.derived, "parallelism {parallelism}");
+            assert_eq!(run.certificate, serial.certificate);
+        }
+    }
+
+    #[test]
+    fn options_disable_certificates_and_metrics_count_runs() {
+        let db = Database::from_facts("E(a, b). E(b, c).").unwrap();
+        let run = db
+            .run_datalog_with(
+                "T(X, Y) :- E(X, Y).\nT(X, Z) :- E(X, Y), T(Y, Z).",
+                DatalogOptions {
+                    certificate: false,
+                    ..DatalogOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(run.certificate.is_none());
+        assert_eq!(run.derived_for("T").len(), 3);
+        let metrics = db.metrics();
+        assert_eq!(metrics.datalog_runs, 1);
+        assert_eq!(metrics.datalog_facts_derived, 3);
+        assert!(metrics.datalog_iterations >= run.stats.iterations);
+        assert!(!metrics.datalog_latency.is_empty());
+    }
+
+    #[test]
+    fn prepared_programs_rerun_against_new_facts() {
+        let db = Database::from_facts("E(a, b).").unwrap();
+        let prepared = db
+            .prepare_datalog("T(X, Y) :- E(X, Y).\nT(X, Z) :- E(X, Y), T(Y, Z).")
+            .unwrap();
+        assert_eq!(prepared.run().unwrap().derived.len(), 1);
+        db.insert(Atom::from_parts(
+            "E",
+            vec![Term::constant("b"), Term::constant("c")],
+        ))
+        .unwrap();
+        assert_eq!(prepared.run().unwrap().derived.len(), 3);
+    }
+
+    #[test]
+    fn constraint_planning_can_take_the_witness_rung() {
+        // The cyclic rule body E(X,Y), E(Y,Z), C(X,Z) is semantically
+        // acyclic under the collector tgd, so with `use_constraints` its
+        // rule runs on the witness rung; without it, the fallback.
+        let db = Database::from_instance(sac_gen::music_database(30, 60, 7))
+            .with_tgds(vec![sac_gen::collector_tgd()]);
+        let triangle = sac_gen::example1_triangle();
+        let head_var = triangle.body[0].args[0];
+        let rule = sac_datalog::Rule::positive(
+            Atom::from_parts("Tri", vec![head_var]),
+            triangle.body.clone(),
+        )
+        .unwrap();
+        let program = sac_datalog::DatalogProgram::new(vec![rule]).unwrap();
+        let witness = db
+            .run_datalog_with(
+                &program,
+                DatalogOptions {
+                    use_constraints: true,
+                    ..DatalogOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(witness.stats.rule_runs_yannakakis_witness > 0);
+        let fallback = db.run_datalog(&program).unwrap();
+        assert!(fallback.stats.rule_runs_yannakakis_witness == 0);
+        assert_eq!(witness.derived, fallback.derived);
+    }
+}

@@ -141,6 +141,7 @@
 //! [`Database`]; see [`engine`] for the migration table.
 
 pub mod database;
+pub mod datalog;
 pub mod durability;
 pub mod engine;
 mod error;
@@ -158,6 +159,7 @@ pub use sac_telemetry as telemetry;
 pub use database::{
     Database, EngineConfig, EngineMetrics, ExecOptions, PreparedQuery, QuerySource,
 };
+pub use datalog::{DatalogOptions, DatalogRun, DatalogSource, DatalogStats, PreparedDatalog};
 pub use durability::{CheckpointReport, DurabilityOptions, RecoveryReport, SyncMode};
 #[allow(deprecated)]
 pub use engine::Engine;
@@ -165,6 +167,7 @@ pub use error::{SacError, SacResult};
 pub use index::{IndexCache, JoinIndex, ShardSet};
 pub use plan::{Explain, Plan, Strategy};
 pub use result::{ResultSet, Row};
+pub use sac_datalog::{Certificate, CheckError, DatalogProgram, DerivationStep, Premise};
 pub use sac_telemetry::{
     fmt_ns, Event, EventSink, HistogramSnapshot, JsonLinesSink, NodeRows, Phase, PhaseTimes,
     QueryTrace, RingSink,

@@ -1,0 +1,201 @@
+//! Recursive (Datalog) workloads for the experiments.
+//!
+//! Three named program families — graph reachability, same-generation over
+//! a parent tree, and ontology closure (transitive subclassing plus type
+//! propagation) — with deterministic seeded databases to run them on, and a
+//! seeded random *stratified* program generator for the certificate
+//! property tests.  Every generator is valid by construction: the returned
+//! [`DatalogProgram`]s are safe and stratified, so callers never handle a
+//! construction error.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sac_common::{Atom, Term};
+use sac_datalog::DatalogProgram;
+use sac_storage::Instance;
+
+/// Transitive closure of the binary edge predicate `E` into `T`:
+/// the canonical linear-recursive reachability program.
+pub fn reachability_program() -> DatalogProgram {
+    "T(X, Y) :- E(X, Y).
+     T(X, Z) :- E(X, Y), T(Y, Z)."
+        .parse()
+        .expect("reachability program is well-formed")
+}
+
+/// The classic same-generation program over the binary `Parent` predicate:
+/// two individuals are in `Sg` when they sit at the same depth under a
+/// common ancestry.  Nonlinear recursion (the recursive rule joins two
+/// `Parent` atoms around the recursive call).
+pub fn same_generation_program() -> DatalogProgram {
+    "Sg(X, Y) :- Parent(P, X), Parent(P, Y).
+     Sg(X, Y) :- Parent(P, X), Parent(Q, Y), Sg(P, Q)."
+        .parse()
+        .expect("same-generation program is well-formed")
+}
+
+/// Ontology closure: `Sub(C, D)` subclass edges close transitively into
+/// `SubT`, and `Is(X, C)` memberships propagate up the closed hierarchy
+/// into `Type`.  Two strata of mutual structure without negation — the
+/// shape of RDFS-style materialization.
+pub fn ontology_closure_program() -> DatalogProgram {
+    "SubT(C, D) :- Sub(C, D).
+     SubT(C, E) :- Sub(C, D), SubT(D, E).
+     Type(X, C) :- Is(X, C).
+     Type(X, D) :- Type(X, C), SubT(C, D)."
+        .parse()
+        .expect("ontology closure program is well-formed")
+}
+
+/// A complete ancestry tree for [`same_generation_program`]: `generations`
+/// levels below the root, each individual with `fanout` children, as
+/// `Parent(parent, child)` facts.  Deterministic — the node at breadth-first
+/// index `i` is the constant `p{i}`.
+pub fn parent_tree_database(generations: usize, fanout: usize) -> Instance {
+    let mut inst = Instance::new();
+    let person = |i: usize| Term::constant(&format!("p{i}"));
+    let mut next = 1usize;
+    let mut level = vec![0usize];
+    for _ in 0..generations {
+        let mut children = Vec::new();
+        for &parent in &level {
+            for _ in 0..fanout {
+                inst.insert(Atom::from_parts(
+                    "Parent",
+                    vec![person(parent), person(next)],
+                ))
+                .expect("consistent arities");
+                children.push(next);
+                next += 1;
+            }
+        }
+        level = children;
+    }
+    inst
+}
+
+/// A seeded ontology for [`ontology_closure_program`]: `classes` classes in
+/// a random forward-edge DAG of `Sub(C, D)` facts (so the subclass graph is
+/// acyclic by construction) and `individuals` individuals, each asserted
+/// into one random class via `Is(X, C)`.
+pub fn ontology_database(classes: usize, individuals: usize, seed: u64) -> Instance {
+    let classes = classes.max(2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut inst = Instance::new();
+    let class = |i: usize| Term::constant(&format!("c{i}"));
+    for c in 0..classes - 1 {
+        // Each class gets at least one superclass further down the order,
+        // plus an occasional extra edge for diamonds.
+        let parent = rng.gen_range(c + 1..classes);
+        inst.insert(Atom::from_parts("Sub", vec![class(c), class(parent)]))
+            .expect("consistent arities");
+        if rng.gen_range(0..3usize) == 0 {
+            let extra = rng.gen_range(c + 1..classes);
+            inst.insert(Atom::from_parts("Sub", vec![class(c), class(extra)]))
+                .expect("consistent arities");
+        }
+    }
+    for i in 0..individuals {
+        let c = rng.gen_range(0..classes);
+        inst.insert(Atom::from_parts(
+            "Is",
+            vec![Term::constant(&format!("i{i}")), class(c)],
+        ))
+        .expect("consistent arities");
+    }
+    inst
+}
+
+/// A seeded random **stratified** program over a random graph base, for the
+/// certificate property tests: a recursive positive stratum over the edge
+/// predicate `E` and (sometimes) a second stratum that negates it.  Valid
+/// by construction — safe, stratified, never empty — while the rule set,
+/// recursion shape and base graph all vary with the seed.
+///
+/// Returns the program together with a base instance holding the graph
+/// (`E`) and its node domain (`N`), so negated rules stay safe.
+pub fn random_stratified_program(seed: u64) -> (DatalogProgram, Instance) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = rng.gen_range(4..9);
+    let edges = rng.gen_range(nodes..nodes * 3);
+    let mut base = crate::random_graph_database(nodes, edges, rng.gen_range(0..u64::MAX));
+    for i in 0..nodes {
+        base.insert(Atom::from_parts(
+            "N",
+            vec![Term::constant(&format!("n{i}"))],
+        ))
+        .expect("consistent arities");
+    }
+
+    let mut rules = vec!["T(X, Y) :- E(X, Y).".to_string()];
+    // The recursive closure rule, in a seed-chosen association.
+    rules.push(
+        if rng.gen_bool(0.5) {
+            "T(X, Z) :- E(X, Y), T(Y, Z)."
+        } else {
+            "T(X, Z) :- T(X, Y), E(Y, Z)."
+        }
+        .to_string(),
+    );
+    if rng.gen_bool(0.5) {
+        rules.push("Out(X) :- E(X, Y).".to_string());
+    }
+    if rng.gen_bool(0.5) {
+        rules.push("Mutual(X, Y) :- E(X, Y), E(Y, X).".to_string());
+    }
+    // A negation stratum over the positive fixpoint, most of the time.
+    match rng.gen_range(0..4usize) {
+        0 => rules.push("Sep(X, Y) :- N(X), N(Y), not T(X, Y).".to_string()),
+        1 => rules.push("Sink(X) :- N(X), not Out(X).".to_string()),
+        2 => {
+            rules.push("Sep(X, Y) :- N(X), N(Y), not T(X, Y).".to_string());
+            rules.push("Stuck(X) :- N(X), not T(X, X).".to_string());
+        }
+        _ => {}
+    }
+    let text = rules.join("\n");
+    let program = text
+        .parse()
+        .expect("generated programs are safe and stratified");
+    (program, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_programs_are_well_formed() {
+        assert_eq!(reachability_program().rule_count(), 2);
+        assert_eq!(same_generation_program().rule_count(), 2);
+        assert_eq!(ontology_closure_program().rule_count(), 4);
+        assert!(reachability_program().is_positive());
+    }
+
+    #[test]
+    fn parent_tree_has_the_expected_size() {
+        // 2 generations of fanout 3: 3 + 9 Parent facts.
+        assert_eq!(parent_tree_database(2, 3).len(), 12);
+        assert!(parent_tree_database(0, 3).is_empty());
+    }
+
+    #[test]
+    fn ontology_database_is_seed_deterministic() {
+        let a = ontology_database(6, 10, 42);
+        let b = ontology_database(6, 10, 42);
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() >= 6 - 1 + 10);
+    }
+
+    #[test]
+    fn random_programs_are_stratified_and_reproducible() {
+        for seed in 0..20 {
+            let (program, base) = random_stratified_program(seed);
+            assert!(program.rule_count() >= 2);
+            assert!(!base.is_empty());
+            let (again, base2) = random_stratified_program(seed);
+            assert_eq!(program.to_string(), again.to_string());
+            assert_eq!(base.len(), base2.len());
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //!   Example 1 (closed under the collector tgd), random graphs, star-schema
 //!   data for evaluation sweeps, and the append-heavy
 //!   [`streaming_graph_workload`] behind the view-maintenance experiment.
+//! * [`datalog`] — recursive workloads: reachability, same-generation and
+//!   ontology-closure programs with seeded databases, plus a random
+//!   stratified program generator for the certificate property tests.
 //!
 //! Everything is deterministic — named fixtures are fixed, random ones are
 //! seeded — so tests and experiments reproduce bit-for-bit:
@@ -38,11 +41,16 @@
 //! ```
 
 pub mod databases;
+pub mod datalog;
 pub mod deps;
 pub mod queries;
 
 pub use databases::{
     music_database, random_graph_database, star_schema_database, streaming_graph_workload,
+};
+pub use datalog::{
+    ontology_closure_program, ontology_database, parent_tree_database, random_stratified_program,
+    reachability_program, same_generation_program,
 };
 pub use deps::{
     collector_tgd, example2_tgd, example3_sticky_family, example5_keys, figure1_non_sticky,

@@ -45,4 +45,7 @@
 
 mod parse;
 
-pub use parse::{parse_database, parse_egd, parse_program, parse_query, parse_tgd, Program};
+pub use parse::{
+    parse_database, parse_datalog_program, parse_egd, parse_program, parse_query, parse_tgd,
+    Program,
+};

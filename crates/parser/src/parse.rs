@@ -7,6 +7,7 @@
 
 use sac_common::syntax::{parse_statements_located, RawStatement};
 use sac_common::{Error, Result};
+use sac_datalog::{DatalogProgram, Rule};
 use sac_deps::{Egd, Tgd};
 use sac_query::ConjunctiveQuery;
 use sac_storage::Instance;
@@ -66,6 +67,60 @@ pub fn parse_program(input: &str) -> Result<Program> {
             .map_err(|e| Error::parse_at(e.to_string(), input, offset))?;
     }
     Ok(program)
+}
+
+/// Parses a Datalog program together with its base facts.
+///
+/// Rule statements (`head :- body.`, optionally with `not` literals) become
+/// the [`DatalogProgram`]; ground facts become the base [`Instance`].  Unlike
+/// [`parse_program`], dependencies are rejected — a Datalog source is rules
+/// and facts only — and the rule set must be safe and stratifiable, which is
+/// validated here so the caller never holds an unevaluable program.
+///
+/// ```
+/// use sac_parser::parse_datalog_program;
+/// let (program, base) = parse_datalog_program(
+///     "E(a, b). E(b, c).
+///      T(X, Y) :- E(X, Y).
+///      T(X, Z) :- E(X, Y), T(Y, Z).",
+/// )
+/// .unwrap();
+/// assert_eq!(program.rule_count(), 2);
+/// assert_eq!(base.len(), 2);
+/// ```
+pub fn parse_datalog_program(input: &str) -> Result<(DatalogProgram, Instance)> {
+    let mut rules = Vec::new();
+    let mut base = Instance::default();
+    for (statement, offset) in parse_statements_located(input)? {
+        match statement {
+            rule @ RawStatement::Rule { .. } => {
+                let rule = Rule::try_from(rule)
+                    .map_err(|e| Error::parse_at(e.to_string(), input, offset))?;
+                rules.push(rule);
+            }
+            RawStatement::Fact(atom) => {
+                if !atom.is_ground() {
+                    return Err(Error::parse_at(
+                        format!("facts must be ground (constants only), found `{atom}`"),
+                        input,
+                        offset,
+                    ));
+                }
+                base.insert(atom)
+                    .map_err(|e| Error::parse_at(format!("invalid fact: {e}"), input, offset))?;
+            }
+            RawStatement::Tgd { .. } | RawStatement::Egd { .. } => {
+                return Err(Error::parse_at(
+                    "datalog programs contain only rules and facts, found a dependency",
+                    input,
+                    offset,
+                ));
+            }
+        }
+    }
+    let program =
+        DatalogProgram::new(rules).map_err(|e| Error::parse_at(e.to_string(), input, 0))?;
+    Ok((program, base))
 }
 
 /// Parses a single conjunctive query.  Equivalent to
@@ -215,6 +270,33 @@ mod tests {
     fn malformed_dependencies_are_rejected() {
         assert!(parse_program("R(X) -> Y = Z.").is_err()); // egd vars not in body
         assert!(parse_program("R(X), R(X, Y) -> S(X).").is_err()); // arity clash
+    }
+
+    #[test]
+    fn parses_datalog_rules_and_facts_together() {
+        let (program, base) = parse_datalog_program(
+            "E(a, b). E(b, c).
+             T(X, Y) :- E(X, Y).
+             T(X, Z) :- E(X, Y), T(Y, Z).
+             Isolated(X) :- N(X), not T(X, X).
+             N(a).",
+        )
+        .unwrap();
+        assert_eq!(program.rule_count(), 3);
+        assert_eq!(program.strata().len(), 2);
+        assert_eq!(base.len(), 3);
+    }
+
+    #[test]
+    fn datalog_programs_reject_dependencies_and_bad_rules() {
+        // A tgd is not a Datalog statement.
+        let err = parse_datalog_program("E(a, b).\nE(X, Y) -> E(Y, X).").unwrap_err();
+        assert!(err.to_string().contains("dependency"), "got {err}");
+        // Unsafe rules are positioned parse errors, not panics downstream.
+        assert!(parse_datalog_program("P(X) :- Q(Y).").is_err());
+        // Unstratifiable negation is rejected at parse time.
+        let err = parse_datalog_program("P(X) :- E(X), not P(X).").unwrap_err();
+        assert!(err.to_string().contains("stratifiable"), "got {err}");
     }
 
     #[test]

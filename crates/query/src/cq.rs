@@ -244,7 +244,18 @@ impl TryFrom<sac_common::RawStatement> for ConjunctiveQuery {
 
     fn try_from(statement: sac_common::RawStatement) -> Result<ConjunctiveQuery> {
         match statement {
-            sac_common::RawStatement::Rule { head, body } => {
+            sac_common::RawStatement::Rule {
+                head,
+                body,
+                negated,
+            } => {
+                if !negated.is_empty() {
+                    return Err(Error::Malformed(format!(
+                        "conjunctive queries cannot use negation (`not {}`); \
+                         negated literals belong to Datalog rules",
+                        negated[0]
+                    )));
+                }
                 let head_vars: Result<Vec<Symbol>> = head
                     .args
                     .iter()

@@ -60,6 +60,37 @@
 //! # }
 //! ```
 //!
+//! ## Quickstart: recursive queries with replayable provenance
+//!
+//! [`Database::run_datalog`] evaluates stratified Datalog programs
+//! semi-naively on the same plan/index machinery, and returns a
+//! [`Certificate`] — a derivation log that an engine-independent checker
+//! ([`datalog::check`]) replays against the base facts alone:
+//!
+//! ```
+//! use sac::prelude::*;
+//!
+//! # fn main() -> Result<(), SacError> {
+//! let db = Database::from_facts("E(a, b). E(b, c). E(c, d).")?;
+//! let run = db.run_datalog(
+//!     "T(X, Y) :- E(X, Y).
+//!      T(X, Z) :- E(X, Y), T(Y, Z).",
+//! )?;
+//! assert_eq!(run.derived_for("T").len(), 6);
+//!
+//! // The certificate replays without the engine: base facts in, every
+//! // derivation re-checked rule by rule, fail-closed on any mismatch.
+//! let program: DatalogProgram = "T(X, Y) :- E(X, Y).
+//!      T(X, Z) :- E(X, Y), T(Y, Z)."
+//!     .parse()
+//!     .unwrap();
+//! let cert = run.certificate.as_ref().unwrap();
+//! db.read(|base| sac::datalog::check::check_certificate(&program, base, cert))
+//!     .unwrap();
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! ## Quickstart: the paper's decision problem
 //!
 //! Example 1 of the paper — the cyclic "compulsive collector" triangle is
@@ -91,6 +122,7 @@ pub use sac_acyclic as acyclic;
 pub use sac_chase as chase;
 pub use sac_common as common;
 pub use sac_core as core;
+pub use sac_datalog as datalog;
 pub use sac_deps as deps;
 pub use sac_engine as engine;
 pub use sac_gen as gen;
@@ -104,7 +136,11 @@ pub use sac_wal as wal;
 // The service façade, promoted to the crate root: `sac::Database` is the
 // front door for evaluation workloads.
 pub use sac_engine::{
-    CheckpointReport, Database, DurabilityOptions, EngineConfig, EngineMetrics, ExecOptions,
+    Certificate, CheckError, Database, DatalogOptions, DatalogProgram, DatalogRun, DatalogSource,
+    DatalogStats, DerivationStep, Premise, PreparedDatalog,
+};
+pub use sac_engine::{
+    CheckpointReport, DurabilityOptions, EngineConfig, EngineMetrics, ExecOptions,
     MaterializedView, PreparedQuery, QuerySource, RecoveryReport, RefreshMode, ResultSet, Row,
     SacError, SacResult, SyncMode, ViewOptions, ViewRefresh,
 };
@@ -138,12 +174,15 @@ pub mod prelude {
     pub use sac_engine::Engine;
     pub use sac_engine::Strategy as PlanStrategy;
     pub use sac_engine::{
-        CheckpointReport, Database, DurabilityOptions, EngineConfig, EngineMetrics, ExecOptions,
-        Explain, IndexCache, JoinIndex, MaterializedView, Plan, PreparedQuery, QuerySource,
-        RecoveryReport, RefreshMode, ResultSet, Row, SacError, SacResult, ShardSet, SyncMode,
-        ViewOptions, ViewRefresh,
+        Certificate, CheckError, CheckpointReport, Database, DatalogOptions, DatalogProgram,
+        DatalogRun, DatalogSource, DatalogStats, DerivationStep, DurabilityOptions, EngineConfig,
+        EngineMetrics, ExecOptions, Explain, IndexCache, JoinIndex, MaterializedView, Plan,
+        Premise, PreparedDatalog, PreparedQuery, QuerySource, RecoveryReport, RefreshMode,
+        ResultSet, Row, SacError, SacResult, ShardSet, SyncMode, ViewOptions, ViewRefresh,
     };
-    pub use sac_parser::{parse_database, parse_egd, parse_program, parse_query, parse_tgd};
+    pub use sac_parser::{
+        parse_database, parse_datalog_program, parse_egd, parse_program, parse_query, parse_tgd,
+    };
     pub use sac_query::{
         contained_in, core_of, equivalent, evaluate, evaluate_boolean, ConjunctiveQuery,
         FrozenQuery, UnionOfConjunctiveQueries,

@@ -175,6 +175,26 @@ impl Relation {
             .is_some_and(|candidates| candidates.iter().any(|&row| self.row_eq(row, codes)))
     }
 
+    /// The row id storing exactly `tuple`, if present.  Relations are
+    /// append-only and deduplicated, so a stored tuple has exactly one row
+    /// id and it is stable for the relation's lifetime — which is what lets
+    /// provenance records reference base facts by `(predicate, row)`.
+    pub fn find_row(&self, tuple: &[Term]) -> Option<usize> {
+        if tuple.len() != self.arity {
+            return None;
+        }
+        let mut codes = Vec::with_capacity(self.arity);
+        for term in tuple {
+            codes.push(dict::lookup(*term)?);
+        }
+        self.seen.get(&hash_codes(&codes)).and_then(|candidates| {
+            candidates
+                .iter()
+                .find(|&&row| self.row_eq(row, &codes))
+                .map(|&row| row as usize)
+        })
+    }
+
     /// The raw code column at `pos` — the engine's vectorized sweeps read
     /// these slices directly.
     ///
@@ -657,6 +677,33 @@ mod tests {
     #[should_panic]
     fn partition_by_rejects_zero_shards() {
         rel().partition_by(0, 0);
+    }
+
+    #[test]
+    fn find_row_returns_stable_insertion_order_ids() {
+        let mut r = Relation::new(intern("FR"), 2);
+        let t0 = vec![Term::constant("a"), Term::constant("b")];
+        let t1 = vec![Term::constant("b"), Term::constant("c")];
+        assert!(r.insert(t0.clone()));
+        assert!(r.insert(t1.clone()));
+        assert_eq!(r.find_row(&t0), Some(0));
+        assert_eq!(r.find_row(&t1), Some(1));
+        // Appends never move existing rows.
+        r.insert(vec![Term::constant("c"), Term::constant("d")]);
+        assert_eq!(r.find_row(&t0), Some(0));
+        // Absent tuples, wrong arities and never-encoded terms miss cleanly.
+        assert_eq!(
+            r.find_row(&[Term::constant("a"), Term::constant("z")]),
+            None
+        );
+        assert_eq!(r.find_row(&[Term::constant("a")]), None);
+        assert_eq!(
+            r.find_row(&[
+                Term::constant("never-encoded-anywhere"),
+                Term::constant("b"),
+            ]),
+            None
+        );
     }
 
     #[test]

@@ -39,6 +39,22 @@ pub enum Event {
         /// Run wall time in microseconds.
         micros: u64,
     },
+    /// One Datalog fixpoint evaluation finished.
+    DatalogCompleted {
+        /// Rules in the evaluated program.
+        rules: usize,
+        /// Strata the program stratified into.
+        strata: usize,
+        /// Semi-naive iterations across all strata.
+        iterations: usize,
+        /// New facts derived on top of the base instance.
+        facts_derived: usize,
+        /// Derivation steps recorded in the certificate (0 when
+        /// certificates were not requested).
+        certificate_steps: usize,
+        /// Evaluation wall time in microseconds.
+        micros: u64,
+    },
     /// The index cache materialized a join index on a miss.
     IndexBuilt {
         /// Relation the index covers.
@@ -124,6 +140,7 @@ impl Event {
         match self {
             Event::PlanBuilt { .. } => "plan_built",
             Event::RunCompleted { .. } => "run_completed",
+            Event::DatalogCompleted { .. } => "datalog_completed",
             Event::IndexBuilt { .. } => "index_built",
             Event::ShardSetBuilt { .. } => "shard_set_built",
             Event::ParallelRegion { .. } => "parallel_region",
@@ -154,6 +171,16 @@ impl Event {
             } => format!(
                 "{{\"event\":\"run_completed\",\"strategy\":{},\"answers\":{answers},\"micros\":{micros}}}",
                 json_string(strategy)
+            ),
+            Event::DatalogCompleted {
+                rules,
+                strata,
+                iterations,
+                facts_derived,
+                certificate_steps,
+                micros,
+            } => format!(
+                "{{\"event\":\"datalog_completed\",\"rules\":{rules},\"strata\":{strata},\"iterations\":{iterations},\"facts_derived\":{facts_derived},\"certificate_steps\":{certificate_steps},\"micros\":{micros}}}"
             ),
             Event::IndexBuilt {
                 predicate,

@@ -1,0 +1,118 @@
+//! Adversarial certificate properties: over seeded random stratified
+//! programs, every engine answer carries a certificate that replays green
+//! through the engine-independent checker — and any single mutation of that
+//! certificate (a dropped premise, a swapped rule id, a forged fact, an
+//! unsupported answer) is rejected fail-closed.
+
+use proptest::prelude::*;
+use sac::prelude::*;
+
+fn run_with_certificate(seed: u64) -> (DatalogProgram, Instance, DatalogRun) {
+    let (program, base) = sac::gen::random_stratified_program(seed);
+    let db = Database::from_instance(base.clone());
+    let run = db.run_datalog(&program).unwrap();
+    (program, base, run)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn honest_certificates_replay_green_and_cover_every_answer(seed in 0u64..5000) {
+        let (program, base, run) = run_with_certificate(seed);
+        let cert = run.certificate.as_ref().unwrap();
+        // One derivation step per derived fact, in derivation order.
+        prop_assert_eq!(cert.len(), run.derived.len());
+        prop_assert!(sac::datalog::check::check_certificate(&program, &base, cert).is_ok());
+        for answer in &run.derived {
+            prop_assert!(
+                sac::datalog::check::verify_answer(&program, &base, cert, answer).is_ok()
+            );
+        }
+    }
+
+    #[test]
+    fn dropping_any_premise_is_rejected(seed in 0u64..5000, pick in 0usize..1_000_000) {
+        let (program, base, run) = run_with_certificate(seed);
+        let cert = run.certificate.unwrap();
+        if cert.is_empty() {
+            return Ok(());
+        }
+        let victim = pick % cert.len();
+        let mut mutated = cert.clone();
+        let premises = &mut mutated.steps[victim].premises;
+        if premises.is_empty() {
+            return Ok(());
+        }
+        premises.remove(pick % premises.len());
+        prop_assert!(
+            sac::datalog::check::check_certificate(&program, &base, &mutated).is_err(),
+            "dropping a premise from step {victim} must fail the replay"
+        );
+    }
+
+    #[test]
+    fn swapping_the_rule_id_is_rejected(seed in 0u64..5000, pick in 0usize..1_000_000) {
+        let (program, base, run) = run_with_certificate(seed);
+        let cert = run.certificate.unwrap();
+        if cert.is_empty() {
+            return Ok(());
+        }
+        let victim = pick % cert.len();
+        let honest = cert.steps[victim].rule;
+        let rules = program.rules();
+        // Swap to a rule that provably cannot have produced the step: a
+        // different body length breaks the premise count, a different head
+        // predicate breaks the head match.
+        let Some(target) = (0..rules.len()).find(|&r| {
+            r != honest
+                && (rules[r].body.len() != rules[honest].body.len()
+                    || rules[r].head.predicate != rules[honest].head.predicate)
+        }) else {
+            return Ok(());
+        };
+        let mut mutated = cert.clone();
+        mutated.steps[victim].rule = target;
+        prop_assert!(
+            sac::datalog::check::check_certificate(&program, &base, &mutated).is_err(),
+            "swapping step {victim} from rule {honest} to {target} must fail the replay"
+        );
+    }
+
+    #[test]
+    fn forging_a_derived_fact_is_rejected(seed in 0u64..5000, pick in 0usize..1_000_000) {
+        let (program, base, run) = run_with_certificate(seed);
+        let cert = run.certificate.unwrap();
+        if cert.is_empty() {
+            return Ok(());
+        }
+        let victim = pick % cert.len();
+        let mut mutated = cert.clone();
+        let fact = &mut mutated.steps[victim].fact;
+        let slot = pick % fact.args.len();
+        fact.args[slot] = Term::constant("forged_constant_zzz");
+        prop_assert!(
+            sac::datalog::check::check_certificate(&program, &base, &mutated).is_err(),
+            "forging the fact of step {victim} must fail the replay"
+        );
+    }
+
+    #[test]
+    fn unsupported_answers_are_rejected(seed in 0u64..5000) {
+        let (program, base, run) = run_with_certificate(seed);
+        let cert = run.certificate.unwrap();
+        // `T` is always an IDB predicate of the generated programs; a fact
+        // over fresh constants is never in the base or the replayed model.
+        let bogus = Atom::from_parts(
+            "T",
+            vec![
+                Term::constant("never_seen_a"),
+                Term::constant("never_seen_b"),
+            ],
+        );
+        prop_assert!(
+            sac::datalog::check::verify_answer(&program, &base, &cert, &bogus).is_err(),
+            "an answer outside base ∪ model must be rejected"
+        );
+    }
+}
